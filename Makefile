@@ -1,0 +1,29 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+test-log:
+	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
+
+bench:
+	dune exec bench/main.exe
+
+bench-log:
+	dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/predict_congestion.exe
+	dune exec examples/spread_3d.exe
+	dune exec examples/flow_compare.exe
+
+clean:
+	dune clean
