@@ -1,0 +1,374 @@
+(* dco3d — command-line front end for the DCO-3D reproduction.
+
+   Subcommands cover the building blocks of the flow: netlist
+   generation, 3D placement, global routing, full flow runs (Pin-3D
+   and its variants), predictor training (Algorithm 1) and
+   differentiable congestion optimization (Algorithm 2) with TCL
+   export. *)
+
+module Nl = Dco3d_netlist.Netlist
+module Gen = Dco3d_netlist.Generator
+module Nio = Dco3d_netlist.Netlist_io
+module P = Dco3d_place
+module Router = Dco3d_route.Router
+module Flow = Dco3d_flow.Flow
+module Dataset = Dco3d_core.Dataset
+module Predictor = Dco3d_core.Predictor
+module Dco = Dco3d_core.Dco
+module Tcl = Dco3d_core.Tcl_export
+
+open Cmdliner
+
+let setup_logs verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))
+
+let verbose_t =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Chatty progress output.")
+
+let design_t =
+  Arg.(
+    value
+    & opt string "DMA"
+    & info [ "d"; "design" ] ~docv:"NAME"
+        ~doc:"Benchmark design: DMA, AES, ECG, LDPC, VGA or Rocket.")
+
+let scale_t =
+  Arg.(
+    value
+    & opt float 0.2
+    & info [ "s"; "scale" ] ~docv:"F"
+        ~doc:
+          "Netlist scale factor (1.0 = the published Table-III sizes, \
+           13K-120K cells).")
+
+let seed_t =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+let gcell_t =
+  Arg.(
+    value & opt int 48
+    & info [ "gcell" ] ~docv:"N" ~doc:"GCell grid dimension (N x N).")
+
+let netlist_of design scale seed =
+  Gen.generate ~scale ~seed (Gen.profile design)
+
+(* ------------------------------------------------------------------ *)
+(* gen                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let gen_cmd =
+  let run verbose design scale seed output =
+    setup_logs verbose;
+    let nl = netlist_of design scale seed in
+    (match output with
+    | Some path ->
+        Nio.write nl path;
+        Printf.printf "wrote %s\n" path
+    | None -> ());
+    print_endline (Nl.stats nl);
+    Printf.printf "logic depth: %d\n" (Nl.logic_depth nl)
+  in
+  let output_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the netlist here.")
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a benchmark netlist and print statistics.")
+    Term.(const run $ verbose_t $ design_t $ scale_t $ seed_t $ output_t)
+
+(* ------------------------------------------------------------------ *)
+(* place                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let preset_t =
+  Arg.(
+    value
+    & opt (enum [ ("default", `Default); ("congestion", `Congestion) ]) `Default
+    & info [ "params" ] ~docv:"PRESET"
+        ~doc:"Placement knob preset: $(b,default) (Pin-3D) or \
+              $(b,congestion) (Pin-3D+Cong.).")
+
+let place_cmd =
+  let run verbose design scale seed gcell preset tcl_out =
+    setup_logs verbose;
+    let nl = netlist_of design scale seed in
+    let fp = P.Floorplan.create ~gcell_nx:gcell ~gcell_ny:gcell nl in
+    let params =
+      match preset with
+      | `Default -> P.Params.default
+      | `Congestion -> P.Params.congestion_focused
+    in
+    let p = P.Placer.global_place ~seed ~params nl fp in
+    Printf.printf "HPWL: %.1f um\ncut size: %d (%d signal nets)\n"
+      (P.Placement.hpwl p) (P.Placement.cut_size p)
+      (List.length (Nl.signal_nets nl));
+    Printf.printf "tier balance: %.4f\n" (P.Placement.tier_balance p);
+    (match P.Placer.legal_check p with
+    | Ok () -> print_endline "legalization: OK"
+    | Error e -> Printf.printf "legalization: FAILED (%s)\n" e);
+    match tcl_out with
+    | Some path ->
+        Tcl.write p path;
+        Printf.printf "wrote %s\n" path
+    | None -> ()
+  in
+  let tcl_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tcl" ] ~docv:"FILE" ~doc:"Export the placement as TCL.")
+  in
+  Cmd.v
+    (Cmd.info "place" ~doc:"Run the 3D global placer and report quality.")
+    Term.(
+      const run $ verbose_t $ design_t $ scale_t $ seed_t $ gcell_t $ preset_t
+      $ tcl_t)
+
+(* ------------------------------------------------------------------ *)
+(* route                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let route_cmd =
+  let run verbose design scale seed gcell preset =
+    setup_logs verbose;
+    let nl = netlist_of design scale seed in
+    let fp = P.Floorplan.create ~gcell_nx:gcell ~gcell_ny:gcell nl in
+    let params =
+      match preset with
+      | `Default -> P.Params.default
+      | `Congestion -> P.Params.congestion_focused
+    in
+    let base = P.Placer.global_place ~seed ~params:P.Params.default nl fp in
+    let config = Router.calibrated_config base in
+    let p =
+      if params == P.Params.default then base
+      else P.Placer.global_place ~seed ~params nl fp
+    in
+    let r = Router.route ~config p in
+    Printf.printf
+      "overflow: %d total (H %d, V %d, via %d)\noverflowed gcells: %.2f%%\n\
+       routed wirelength: %.1f um (HPWL %.1f)\nrip-up iterations: %d\n"
+      r.Router.overflow_total r.Router.overflow_h r.Router.overflow_v
+      r.Router.overflow_via r.Router.overflow_gcell_pct r.Router.wirelength
+      (P.Placement.hpwl p) r.Router.iterations_run
+  in
+  Cmd.v
+    (Cmd.info "route" ~doc:"Place and globally route; report congestion.")
+    Term.(
+      const run $ verbose_t $ design_t $ scale_t $ seed_t $ gcell_t $ preset_t)
+
+(* ------------------------------------------------------------------ *)
+(* timing                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let timing_cmd =
+  let run verbose design scale seed gcell =
+    setup_logs verbose;
+    let nl = netlist_of design scale seed in
+    let fp = P.Floorplan.create ~gcell_nx:gcell ~gcell_ny:gcell nl in
+    let p = P.Placer.global_place ~seed ~params:P.Params.default nl fp in
+    let config = Router.calibrated_config p in
+    let r = Router.route ~config p in
+    let net_is_3d nid = P.Placement.net_is_3d p nl.Nl.nets.(nid) in
+    let period =
+      Dco3d_sta.Sta.suggest_period nl ~net_length:r.Router.net_length
+        ~net_is_3d
+    in
+    let cfg = Dco3d_sta.Sta.default_config ~clock_period_ps:period in
+    let t =
+      Dco3d_sta.Sta.analyze cfg nl ~net_length:r.Router.net_length ~net_is_3d
+    in
+    Printf.printf "clock period: %.1f ps
+
+%s
+
+%s
+%s"
+      period
+      (Dco3d_sta.Report.timing_summary t)
+      (Dco3d_sta.Report.critical_path_report nl t)
+      (Dco3d_sta.Report.histogram t)
+  in
+  Cmd.v
+    (Cmd.info "timing"
+       ~doc:"Place, route and report post-route timing (critical path,              slack histogram).")
+    Term.(const run $ verbose_t $ design_t $ scale_t $ seed_t $ gcell_t)
+
+(* ------------------------------------------------------------------ *)
+(* flow                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let flow_cmd =
+  let run verbose design scale seed gcell which bo_iters =
+    setup_logs verbose;
+    let nl = netlist_of design scale seed in
+    let ctx = Flow.make_context ~seed ~gcell_nx:gcell ~gcell_ny:gcell nl in
+    let results =
+      match which with
+      | `Pin3d -> [ Flow.run_pin3d ctx ]
+      | `Cong -> [ Flow.run_pin3d_cong ctx ]
+      | `Bo -> [ Flow.run_pin3d_bo ~iterations:bo_iters ctx ]
+      | `All ->
+          [
+            Flow.run_pin3d ctx;
+            Flow.run_pin3d_cong ctx;
+            Flow.run_pin3d_bo ~iterations:bo_iters ctx;
+          ]
+    in
+    Printf.printf "clock period: %.1f ps\n" ctx.Flow.clock_period_ps;
+    List.iter (fun r -> Format.printf "%a@." Flow.pp_result r) results
+  in
+  let which_t =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("pin3d", `Pin3d); ("cong", `Cong); ("bo", `Bo); ("all", `All) ])
+          `Pin3d
+      & info [ "variant" ] ~docv:"V"
+          ~doc:"Flow variant: $(b,pin3d), $(b,cong), $(b,bo) or $(b,all).")
+  in
+  let bo_t =
+    Arg.(
+      value & opt int 12
+      & info [ "bo-iterations" ] ~docv:"N" ~doc:"BO evaluation budget.")
+  in
+  Cmd.v
+    (Cmd.info "flow" ~doc:"Run a full Pin-3D flow variant and report PPA.")
+    Term.(
+      const run $ verbose_t $ design_t $ scale_t $ seed_t $ gcell_t $ which_t
+      $ bo_t)
+
+(* ------------------------------------------------------------------ *)
+(* train                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let train_cmd =
+  let run verbose design scale seed gcell n_samples epochs input_hw output =
+    setup_logs verbose;
+    let nl = netlist_of design scale seed in
+    let ctx = Flow.make_context ~seed ~gcell_nx:gcell ~gcell_ny:gcell nl in
+    let d =
+      Dataset.build ~n_samples ~seed ~route_cfg:ctx.Flow.route_cfg nl
+        ctx.Flow.fp
+    in
+    let train, test = Dataset.split ~test_fraction:0.2 ~seed d in
+    let predictor, report =
+      Predictor.train ~epochs ~input_hw ~seed ~train ~test ()
+    in
+    Array.iteri
+      (fun e l ->
+        Printf.printf "epoch %2d: train %.4f  test %.4f\n" (e + 1) l
+          report.Predictor.test_loss.(e))
+      report.Predictor.train_loss;
+    let metrics = Predictor.evaluate predictor test in
+    let avg f = match metrics with
+      | [] -> 0.
+      | _ ->
+          List.fold_left (fun a m -> a +. f m) 0. metrics
+          /. float_of_int (List.length metrics)
+    in
+    Printf.printf "test NRMSE %.3f, SSIM %.3f\n" (avg fst) (avg snd);
+    Predictor.save predictor output;
+    Printf.printf "saved predictor to %s\n" output
+  in
+  let samples_t =
+    Arg.(
+      value & opt int 24
+      & info [ "samples" ] ~docv:"N" ~doc:"Layouts in the dataset.")
+  in
+  let epochs_t =
+    Arg.(value & opt int 12 & info [ "epochs" ] ~docv:"N" ~doc:"Training epochs.")
+  in
+  let hw_t =
+    Arg.(
+      value & opt int 32
+      & info [ "input-hw" ] ~docv:"N" ~doc:"Network resolution (paper: 224).")
+  in
+  let out_t =
+    Arg.(
+      value
+      & opt string "predictor.bin"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Where to save the model.")
+  in
+  Cmd.v
+    (Cmd.info "train"
+       ~doc:"Build a congestion dataset and train the Siamese UNet \
+             (Algorithm 1).")
+    Term.(
+      const run $ verbose_t $ design_t $ scale_t $ seed_t $ gcell_t $ samples_t
+      $ epochs_t $ hw_t $ out_t)
+
+(* ------------------------------------------------------------------ *)
+(* optimize (Algorithm 2, end to end)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let optimize_cmd =
+  let run verbose design scale seed gcell n_samples epochs iterations tcl_out =
+    setup_logs verbose;
+    let nl = netlist_of design scale seed in
+    let ctx = Flow.make_context ~seed ~gcell_nx:gcell ~gcell_ny:gcell nl in
+    let d =
+      Dataset.build ~n_samples ~seed ~route_cfg:ctx.Flow.route_cfg nl
+        ctx.Flow.fp
+    in
+    let train, test = Dataset.split ~test_fraction:0.2 ~seed d in
+    let predictor, _ = Predictor.train ~epochs ~seed ~train ~test () in
+    let pin3d = Flow.run_pin3d ctx in
+    let config = { Dco.default_config with Dco.iterations; seed } in
+    let optimized, report = Dco.optimize ~config ~predictor pin3d.Flow.placement in
+    let dco = Flow.run_with_placement ctx ~name:"DCO-3D" optimized in
+    Printf.printf "clock period: %.1f ps\n" ctx.Flow.clock_period_ps;
+    Format.printf "%a@.%a@." Flow.pp_result pin3d Flow.pp_result dco;
+    Printf.printf
+      "DCO: predicted congestion %.4f -> %.4f, cut %d -> %d, %d tier moves, \
+       mean displacement %.3f um\n"
+      report.Dco.predicted_cong_start report.Dco.predicted_cong_end
+      report.Dco.cut_start report.Dco.cut_end report.Dco.tier_moves
+      report.Dco.mean_displacement;
+    match tcl_out with
+    | Some path ->
+        Tcl.write ~only_moved_from:pin3d.Flow.placement optimized path;
+        Printf.printf "wrote spreading constraints to %s\n" path
+    | None -> ()
+  in
+  let samples_t =
+    Arg.(
+      value & opt int 16
+      & info [ "samples" ] ~docv:"N" ~doc:"Dataset layouts to generate.")
+  in
+  let epochs_t =
+    Arg.(value & opt int 10 & info [ "epochs" ] ~docv:"N" ~doc:"Training epochs.")
+  in
+  let iters_t =
+    Arg.(
+      value & opt int 60
+      & info [ "iterations" ] ~docv:"N" ~doc:"Algorithm-2 gradient steps.")
+  in
+  let tcl_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tcl" ] ~docv:"FILE"
+          ~doc:"Export the cell-spreading decisions as TCL constraints.")
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:"Full DCO-3D: train the predictor, optimize the placement \
+             (Algorithm 2), finish the flow, compare against Pin-3D.")
+    Term.(
+      const run $ verbose_t $ design_t $ scale_t $ seed_t $ gcell_t $ samples_t
+      $ epochs_t $ iters_t $ tcl_t)
+
+let main =
+  Cmd.group
+    (Cmd.info "dco3d" ~version:"1.0.0"
+       ~doc:"Differentiable congestion optimization for 3D ICs (DAC'25 \
+             reproduction).")
+    [ gen_cmd; place_cmd; route_cmd; timing_cmd; flow_cmd; train_cmd; optimize_cmd ]
+
+let () = exit (Cmd.eval main)

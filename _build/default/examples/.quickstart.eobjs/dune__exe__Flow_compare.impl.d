@@ -1,0 +1,1 @@
+examples/flow_compare.ml: Dco3d_core Dco3d_flow Dco3d_netlist Float Format Logs Printf

@@ -1,0 +1,1 @@
+examples/predict_congestion.ml: Array Dco3d_congestion Dco3d_core Dco3d_flow Dco3d_netlist Dco3d_tensor List Logs Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Dco3d_cts Dco3d_netlist Dco3d_place Dco3d_route Dco3d_sta Printf

@@ -1,0 +1,1 @@
+examples/spread_3d.ml: Dco3d_core Dco3d_flow Dco3d_netlist Dco3d_route Format List Logs Printf

@@ -1,0 +1,1 @@
+examples/spread_3d.mli:

@@ -1,0 +1,50 @@
+(* Flow comparison (one Table-III block in miniature).
+
+   Runs the three baselines of the paper — Pin-3D, Pin-3D with
+   congestion-driven placement, Pin-3D with Bayesian optimization over
+   the Table-I knobs — plus the full DCO-3D flow on one design, and
+   prints a Table-III-style block.
+
+   Run with:  dune exec examples/flow_compare.exe *)
+
+module Gen = Dco3d_netlist.Generator
+module Flow = Dco3d_flow.Flow
+module Dataset = Dco3d_core.Dataset
+module Predictor = Dco3d_core.Predictor
+module Dco = Dco3d_core.Dco
+
+let () =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some Logs.Warning);
+  let nl = Gen.generate ~scale:0.2 ~seed:42 (Gen.profile "AES") in
+  Printf.printf "%s\n%!" (Dco3d_netlist.Netlist.stats nl);
+  let ctx = Flow.make_context nl in
+  Printf.printf "clock period: %.1f ps (fixed across all flows)\n%!"
+    ctx.Flow.clock_period_ps;
+
+  let pin3d = Flow.run_pin3d ctx in
+  Format.printf "%a@." Flow.pp_result pin3d;
+  let cong = Flow.run_pin3d_cong ctx in
+  Format.printf "%a@." Flow.pp_result cong;
+  let bo = Flow.run_pin3d_bo ~iterations:10 ctx in
+  Format.printf "%a@." Flow.pp_result bo;
+
+  (* DCO-3D: predictor + differentiable spreading on the Pin-3D start *)
+  let d =
+    Dataset.build ~n_samples:12 ~seed:7 ~route_cfg:ctx.Flow.route_cfg nl
+      ctx.Flow.fp
+  in
+  let train, test = Dataset.split ~test_fraction:0.25 ~seed:1 d in
+  let predictor, _ = Predictor.train ~epochs:8 ~seed:3 ~train ~test () in
+  let optimized, _ = Dco.optimize ~predictor pin3d.Flow.placement in
+  let dco = Flow.run_with_placement ctx ~name:"DCO-3D (ours)" optimized in
+  Format.printf "%a@." Flow.pp_result dco;
+
+  let pct now base =
+    100. *. (now -. base) /. Float.max 1e-9 (abs_float base)
+  in
+  Printf.printf "\nDCO-3D vs Pin-3D: overflow %+.1f%%, TNS %+.1f%%, power %+.1f%%\n"
+    (pct (float_of_int dco.Flow.place_stage.Flow.overflow)
+       (float_of_int pin3d.Flow.place_stage.Flow.overflow))
+    (pct dco.Flow.signoff.Flow.tns_ps pin3d.Flow.signoff.Flow.tns_ps *. -1.)
+    (pct dco.Flow.signoff.Flow.power_mw pin3d.Flow.signoff.Flow.power_mw)

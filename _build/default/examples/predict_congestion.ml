@@ -1,0 +1,69 @@
+(* Congestion prediction (Algorithm 1 / Fig. 5 in miniature).
+
+   Builds a dataset of diverse placements for one design, trains the
+   Siamese UNet, and reports the paper's evaluation: NRMSE / SSIM
+   distributions on held-out layouts, plus the comparison against the
+   classical RUDY estimator (Fig. 5c) — the learned model should
+   correlate with post-route congestion far better than RUDY does.
+
+   Run with:  dune exec examples/predict_congestion.exe *)
+
+module T = Dco3d_tensor.Tensor
+module Gen = Dco3d_netlist.Generator
+module Flow = Dco3d_flow.Flow
+module Metrics = Dco3d_congestion.Metrics
+module Dataset = Dco3d_core.Dataset
+module Predictor = Dco3d_core.Predictor
+
+let () =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some Logs.Info);
+  let nl = Gen.generate ~scale:0.15 ~seed:42 (Gen.profile "AES") in
+  let ctx = Flow.make_context nl in
+  Printf.printf "building dataset (%s)...\n%!"
+    nl.Dco3d_netlist.Netlist.design;
+  let d =
+    Dataset.build ~n_samples:16 ~seed:7 ~route_cfg:ctx.Flow.route_cfg nl
+      ctx.Flow.fp
+  in
+  let train, test = Dataset.split ~test_fraction:0.25 ~seed:1 d in
+  Printf.printf "training (%d train layouts x8 augmented, %d test)...\n%!"
+    (Array.length train.Dataset.samples)
+    (Array.length test.Dataset.samples);
+  let predictor, report =
+    Predictor.train ~epochs:10 ~input_hw:32 ~seed:3 ~train ~test ()
+  in
+  print_endline "epoch  train-loss  test-loss";
+  Array.iteri
+    (fun e l ->
+      Printf.printf "%5d  %10.4f  %9.4f\n" (e + 1) l
+        report.Predictor.test_loss.(e))
+    report.Predictor.train_loss;
+
+  (* Fig. 5b: metric distribution over the test set *)
+  let metrics = Predictor.evaluate predictor test in
+  let nrmse = List.map fst metrics and ssim = List.map snd metrics in
+  Printf.printf "\nNRMSE < 0.2: %.0f%% of test maps (paper: >85%%)\n"
+    (100. *. Metrics.fraction_below 0.2 nrmse);
+  Printf.printf "SSIM  > 0.8: %.0f%% of test maps (paper: >85%%)\n"
+    (100. *. Metrics.fraction_above 0.8 ssim);
+
+  (* Fig. 5c: our prediction vs the RUDY estimator on one test sample *)
+  match Array.to_list test.Dataset.samples with
+  | [] -> print_endline "no test samples"
+  | s :: _ ->
+      let pred, _ = Predictor.predict predictor s.Dataset.f_bottom s.Dataset.f_top in
+      let truth = s.Dataset.c_bottom in
+      (* channel 2 + 3 of the features are the 2D/3D RUDY maps *)
+      let rudy =
+        T.add (T.channel s.Dataset.f_bottom 2) (T.channel s.Dataset.f_bottom 3)
+      in
+      let n01 = Metrics.normalize01 in
+      Printf.printf
+        "\nFig. 5c (bottom die, values normalized to [0,1]):\n\
+        \  ours vs ground truth: SSIM %.3f, pearson %.3f\n\
+        \  RUDY vs ground truth: SSIM %.3f, pearson %.3f\n"
+        (Metrics.ssim (n01 pred) (n01 truth))
+        (Metrics.pearson pred truth)
+        (Metrics.ssim (n01 rudy) (n01 truth))
+        (Metrics.pearson rudy truth)

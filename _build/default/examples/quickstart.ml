@@ -1,0 +1,65 @@
+(* Quickstart: generate a benchmark, floorplan it, run the pseudo-3D
+   placement, route it, and report the numbers a physical designer
+   would look at first.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Nl = Dco3d_netlist.Netlist
+module Gen = Dco3d_netlist.Generator
+module Fp = Dco3d_place.Floorplan
+module Pl = Dco3d_place.Placement
+module Placer = Dco3d_place.Placer
+module Params = Dco3d_place.Params
+module Router = Dco3d_route.Router
+module Sta = Dco3d_sta.Sta
+module Cts = Dco3d_cts.Cts
+
+let () =
+  (* 1. A DMA-profile netlist at 20 % of the published size. *)
+  let nl = Gen.generate ~scale:0.2 ~seed:42 (Gen.profile "DMA") in
+  print_endline (Nl.stats nl);
+
+  (* 2. Floorplan two face-to-face dies at 55 % utilization. *)
+  let fp = Fp.create nl in
+  Printf.printf "die: %.1f x %.1f um, %d rows, %dx%d GCells\n"
+    fp.Fp.width fp.Fp.height fp.Fp.n_rows fp.Fp.gcell_nx fp.Fp.gcell_ny;
+
+  (* 3. 3D global placement (tier partitioning + quadratic placement +
+        spreading + legalization). *)
+  let p = Placer.global_place ~seed:1 ~params:Params.default nl fp in
+  Printf.printf "placement: HPWL %.1f um, cut size %d, tier balance %.3f\n"
+    (Pl.hpwl p) (Pl.cut_size p) (Pl.tier_balance p);
+  (match Placer.legal_check p with
+  | Ok () -> print_endline "placement is legal"
+  | Error e -> Printf.printf "legalization issue: %s\n" e);
+
+  (* 4. Global routing on a fabric calibrated for this design. *)
+  let config = Router.calibrated_config p in
+  let r = Router.route ~config p in
+  Printf.printf
+    "routing: overflow %d (H %d / V %d / via %d), %.1f%% GCells overflowed, \
+     WL %.1f um\n"
+    r.Router.overflow_total r.Router.overflow_h r.Router.overflow_v
+    r.Router.overflow_via r.Router.overflow_gcell_pct r.Router.wirelength;
+
+  (* 5. Clock tree and signoff timing/power. *)
+  let clock = Cts.synthesize p in
+  Printf.printf "CTS: %d sinks, %d buffers, %.1f um clock wire, skew %.1f ps\n"
+    clock.Cts.n_sinks clock.Cts.n_buffers clock.Cts.wirelength clock.Cts.skew_ps;
+  let net_is_3d nid = Pl.net_is_3d p nl.Nl.nets.(nid) in
+  let period =
+    Sta.suggest_period nl ~net_length:r.Router.net_length ~net_is_3d
+  in
+  let cfg = Sta.default_config ~clock_period_ps:period in
+  let t = Sta.analyze cfg nl ~net_length:r.Router.net_length ~net_is_3d in
+  let pw =
+    Sta.estimate_power cfg nl ~net_length:r.Router.net_length
+      ~clock_wirelength:clock.Cts.wirelength ~clock_buffers:clock.Cts.n_buffers
+      ()
+  in
+  Printf.printf
+    "timing @ %.0f ps clock: WNS %.2f ps, TNS %.1f ps (%d violating endpoints)\n"
+    period t.Sta.wns t.Sta.tns t.Sta.n_violations;
+  Printf.printf "power: %.3f mW (switching %.3f, internal %.3f, leakage %.3f, clock %.3f)\n"
+    pw.Sta.total_mw pw.Sta.switching_mw pw.Sta.internal_mw pw.Sta.leakage_mw
+    pw.Sta.clock_mw

@@ -1,0 +1,43 @@
+(* Visualize the paper's maps in the terminal: the 7 input feature
+   channels (Fig. 2), and the post-route congestion heat maps of both
+   dies (Fig. 6), rendered as ASCII art.
+
+   Run with:  dune exec examples/visualize_maps.exe *)
+
+module T = Dco3d_tensor.Tensor
+module Gen = Dco3d_netlist.Generator
+module Fp = Dco3d_place.Floorplan
+module Placer = Dco3d_place.Placer
+module Router = Dco3d_route.Router
+module Fm = Dco3d_congestion.Feature_maps
+module Ascii = Dco3d_congestion.Ascii_map
+
+let () =
+  let nl = Gen.generate ~scale:0.2 ~seed:42 (Gen.profile "AES") in
+  let fp = Fp.create nl in
+  let p = Placer.global_place ~seed:1 ~params:Dco3d_place.Params.default nl fp in
+  let f0, f1 = Fm.both_dies p ~nx:fp.Fp.gcell_nx ~ny:fp.Fp.gcell_ny in
+
+  print_endline "== Fig. 2: input feature maps (bottom die | top die) ==";
+  Array.iteri
+    (fun ch name ->
+      Printf.printf "\n-- channel %d: %s --\n" ch name;
+      print_endline
+        (Ascii.render_pair ~width:64
+           ~labels:("bottom", "top")
+           (T.channel f0 ch) (T.channel f1 ch)))
+    Fm.channel_names;
+
+  print_endline "\n== Fig. 6: post-route congestion (overflow per GCell) ==";
+  let cfg = Router.calibrated_config p in
+  let r = Router.route ~config:cfg p in
+  Printf.printf "overflow %d (%.1f%% of GCells)\n" r.Router.overflow_total
+    r.Router.overflow_gcell_pct;
+  print_endline
+    (Ascii.render_pair ~width:64 ~labels:("bottom", "top")
+       r.Router.congestion.(0) r.Router.congestion.(1));
+
+  print_endline "== routing utilization (demand / capacity) ==";
+  print_endline
+    (Ascii.render_pair ~width:64 ~labels:("bottom", "top")
+       r.Router.utilization.(0) r.Router.utilization.(1))

@@ -1,0 +1,1 @@
+lib/autodiff/optimizer.ml: Array Dco3d_tensor List Value

@@ -1,0 +1,1 @@
+lib/autodiff/optimizer.mli: Value

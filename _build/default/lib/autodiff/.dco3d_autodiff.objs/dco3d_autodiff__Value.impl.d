@@ -1,0 +1,1 @@
+lib/autodiff/value.ml: Array Dco3d_tensor Float Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/autodiff/value.mli: Dco3d_tensor

@@ -1,0 +1,103 @@
+module T = Dco3d_tensor.Tensor
+
+type algo =
+  | Sgd of { momentum : float; mutable velocity : T.t array }
+  | Adam of {
+      beta1 : float;
+      beta2 : float;
+      eps : float;
+      mutable t : int;
+      m : T.t array;
+      v : T.t array;
+    }
+
+type t = {
+  params : Value.t list;
+  param_arr : Value.t array;
+  mutable lr : float;
+  weight_decay : float;
+  algo : algo;
+}
+
+let sgd ?(momentum = 0.) ?(weight_decay = 0.) ~lr params =
+  let param_arr = Array.of_list params in
+  let velocity = Array.map (fun p -> T.zeros (Value.shape p)) param_arr in
+  { params; param_arr; lr; weight_decay; algo = Sgd { momentum; velocity } }
+
+let adam ?(beta1 = 0.9) ?(beta2 = 0.999) ?(eps = 1e-8) ?(weight_decay = 0.)
+    ~lr params =
+  let param_arr = Array.of_list params in
+  let m = Array.map (fun p -> T.zeros (Value.shape p)) param_arr in
+  let v = Array.map (fun p -> T.zeros (Value.shape p)) param_arr in
+  { params; param_arr; lr; weight_decay; algo = Adam { beta1; beta2; eps; t = 0; m; v } }
+
+let zero_grad t = List.iter Value.zero_grad t.params
+let set_lr t lr = t.lr <- lr
+let lr t = t.lr
+let params t = t.params
+
+let grad_norm t =
+  let acc =
+    List.fold_left
+      (fun acc p ->
+        let g = Value.grad p in
+        acc +. T.dot g g)
+      0. t.params
+  in
+  sqrt acc
+
+let clip_grad_norm t bound =
+  let norm = grad_norm t in
+  if norm > bound && norm > 0. then begin
+    let s = bound /. norm in
+    (* [Value.grad] returns the live gradient tensor when one has been
+       accumulated, so in-place scaling is enough; parameters without a
+       gradient are untouched (scaling zero is a no-op). *)
+    List.iter
+      (fun p ->
+        let g = Value.grad p in
+        let n = T.numel g in
+        for i = 0 to n - 1 do
+          T.set_flat g i (s *. T.get_flat g i)
+        done)
+      t.params
+  end
+
+let step t =
+  (match t.algo with
+  | Sgd { momentum; velocity } ->
+      Array.iteri
+        (fun i p ->
+          let g = Value.grad p in
+          let x = Value.data p in
+          let n = T.numel x in
+          let v = velocity.(i) in
+          for j = 0 to n - 1 do
+            let gj = T.get_flat g j +. (t.weight_decay *. T.get_flat x j) in
+            let vj = (momentum *. T.get_flat v j) +. gj in
+            T.set_flat v j vj;
+            T.set_flat x j (T.get_flat x j -. (t.lr *. vj))
+          done)
+        t.param_arr
+  | Adam a ->
+      a.t <- a.t + 1;
+      let bc1 = 1. -. (a.beta1 ** float_of_int a.t) in
+      let bc2 = 1. -. (a.beta2 ** float_of_int a.t) in
+      Array.iteri
+        (fun i p ->
+          let g = Value.grad p in
+          let x = Value.data p in
+          let n = T.numel x in
+          let m = a.m.(i) and v = a.v.(i) in
+          for j = 0 to n - 1 do
+            let gj = T.get_flat g j +. (t.weight_decay *. T.get_flat x j) in
+            let mj = (a.beta1 *. T.get_flat m j) +. ((1. -. a.beta1) *. gj) in
+            let vj = (a.beta2 *. T.get_flat v j) +. ((1. -. a.beta2) *. gj *. gj) in
+            T.set_flat m j mj;
+            T.set_flat v j vj;
+            let mhat = mj /. bc1 and vhat = vj /. bc2 in
+            T.set_flat x j
+              (T.get_flat x j -. (t.lr *. mhat /. (sqrt vhat +. a.eps)))
+          done)
+        t.param_arr);
+  zero_grad t

@@ -1,0 +1,39 @@
+(** Gradient-descent optimizers over {!Value.param} leaves.
+
+    Both Algorithm 1 (predictor training) and Algorithm 2 (GNN cell
+    spreading) of the paper are driven by these: after
+    {!Value.backward}, {!step} reads each parameter's accumulated
+    gradient and updates its data in place, then clears the gradient. *)
+
+type t
+
+val sgd : ?momentum:float -> ?weight_decay:float -> lr:float -> Value.t list -> t
+(** Stochastic gradient descent with optional classical momentum. *)
+
+val adam :
+  ?beta1:float ->
+  ?beta2:float ->
+  ?eps:float ->
+  ?weight_decay:float ->
+  lr:float ->
+  Value.t list ->
+  t
+(** Adam (Kingma & Ba) with bias correction. *)
+
+val step : t -> unit
+(** Apply one update using the gradients currently stored on the
+    parameters, then zero them. *)
+
+val zero_grad : t -> unit
+(** Clear all parameter gradients without updating. *)
+
+val set_lr : t -> float -> unit
+val lr : t -> float
+val params : t -> Value.t list
+
+val grad_norm : t -> float
+(** L2 norm of the concatenated parameter gradients (diagnostics). *)
+
+val clip_grad_norm : t -> float -> unit
+(** Scale gradients down so their global L2 norm is at most the given
+    bound. *)

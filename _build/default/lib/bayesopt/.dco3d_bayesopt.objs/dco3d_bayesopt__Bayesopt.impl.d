@@ -1,0 +1,1 @@
+lib/bayesopt/bayesopt.ml: Array Dco3d_tensor Float List Option

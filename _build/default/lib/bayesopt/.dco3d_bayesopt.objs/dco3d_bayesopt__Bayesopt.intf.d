@@ -1,0 +1,1 @@
+lib/bayesopt/bayesopt.mli:

@@ -1,0 +1,146 @@
+module T = Dco3d_tensor.Tensor
+module Rng = Dco3d_tensor.Rng
+module Linalg = Dco3d_tensor.Linalg
+
+type t = {
+  dim : int;
+  length_scale : float;
+  noise : float;
+  rng : Rng.t;
+  mutable xs : float array list;  (** newest first *)
+  mutable ys : float list;
+  (* cached factorization, rebuilt lazily on observe *)
+  mutable chol : T.t option;
+  mutable alpha : T.t option;  (** K^-1 (y - mean) *)
+  mutable y_mean : float;
+  mutable y_std : float;
+}
+
+let create ?(length_scale = 0.35) ?(noise = 1e-3) ?(seed = 0) ~dim () =
+  {
+    dim;
+    length_scale;
+    noise;
+    rng = Rng.create (seed lxor 0x5b0b);
+    xs = [];
+    ys = [];
+    chol = None;
+    alpha = None;
+    y_mean = 0.;
+    y_std = 1.;
+  }
+
+let n_observations t = List.length t.ys
+
+let kernel t a b =
+  let acc = ref 0. in
+  for i = 0 to t.dim - 1 do
+    let d = a.(i) -. b.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  exp (-. !acc /. (2. *. t.length_scale *. t.length_scale))
+
+let observe t x y =
+  if Array.length x <> t.dim then invalid_arg "Bayesopt.observe: bad dimension";
+  t.xs <- Array.copy x :: t.xs;
+  t.ys <- y :: t.ys;
+  t.chol <- None;
+  t.alpha <- None
+
+let best t =
+  let rec go xs ys acc =
+    match (xs, ys) with
+    | [], [] -> acc
+    | x :: xs', y :: ys' ->
+        let acc =
+          match acc with
+          | Some (_, by) when by <= y -> acc
+          | _ -> Some (x, y)
+        in
+        go xs' ys' acc
+    | _ -> assert false
+  in
+  go t.xs t.ys None
+
+let refresh t =
+  match t.chol with
+  | Some _ -> ()
+  | None ->
+      let xs = Array.of_list t.xs in
+      let ys = Array.of_list t.ys in
+      let n = Array.length xs in
+      if n = 0 then invalid_arg "Bayesopt: no observations";
+      let mean = Array.fold_left ( +. ) 0. ys /. float_of_int n in
+      let var =
+        Array.fold_left (fun a y -> a +. ((y -. mean) ** 2.)) 0. ys
+        /. float_of_int n
+      in
+      let std = Float.max 1e-9 (sqrt var) in
+      t.y_mean <- mean;
+      t.y_std <- std;
+      let k =
+        T.init [| n; n |] (fun i ->
+            kernel t xs.(i.(0)) xs.(i.(1))
+            +. if i.(0) = i.(1) then t.noise else 0.)
+      in
+      let l = Linalg.cholesky k in
+      let y_norm = T.of_array1 (Array.map (fun y -> (y -. mean) /. std) ys) in
+      t.chol <- Some l;
+      t.alpha <- Some (Linalg.cholesky_solve l y_norm)
+
+let posterior t x =
+  refresh t;
+  let xs = Array.of_list t.xs in
+  let n = Array.length xs in
+  let l = Option.get t.chol and alpha = Option.get t.alpha in
+  let kstar = T.of_array1 (Array.init n (fun i -> kernel t x xs.(i))) in
+  let mean_norm = T.dot kstar alpha in
+  (* variance: k(x,x) - ||L^-1 k*||^2 *)
+  let v = Linalg.solve_lower l kstar in
+  let var = Float.max 1e-12 (1. +. t.noise -. T.dot v v) in
+  ((mean_norm *. t.y_std) +. t.y_mean, sqrt var *. t.y_std)
+
+(* standard normal pdf / cdf *)
+let phi z = exp (-0.5 *. z *. z) /. sqrt (2. *. Float.pi)
+
+let cdf z = 0.5 *. (1. +. Float.erf (z /. sqrt 2.))
+
+let expected_improvement t ~best_y x =
+  let mu, sigma = posterior t x in
+  if sigma <= 1e-12 then 0.
+  else begin
+    let z = (best_y -. mu) /. sigma in
+    ((best_y -. mu) *. cdf z) +. (sigma *. phi z)
+  end
+
+let random_point t = Array.init t.dim (fun _ -> Rng.uniform t.rng)
+
+let suggest ?(candidates = 512) t =
+  match best t with
+  | None -> random_point t
+  | Some (_, best_y) ->
+      refresh t;
+      let best_x = ref (random_point t) in
+      let best_ei = ref (expected_improvement t ~best_y !best_x) in
+      for _ = 2 to candidates do
+        let x = random_point t in
+        let ei = expected_improvement t ~best_y x in
+        if ei > !best_ei then begin
+          best_ei := ei;
+          best_x := x
+        end
+      done;
+      !best_x
+
+let minimize ?(iterations = 16) ?(init = 4) t f =
+  for _ = 1 to min init iterations do
+    let x = random_point t in
+    observe t x (f x)
+  done;
+  for _ = n_observations t + 1 to iterations do
+    let x = suggest t in
+    observe t x (f x)
+  done;
+  match best t with
+  | Some (x, y) -> (x, y)
+  | None -> invalid_arg "Bayesopt.minimize: zero iterations"

@@ -1,0 +1,48 @@
+(** Gaussian-process Bayesian optimization — the engine behind the
+    "Pin-3D + BO" baseline (section V-B), which tunes the Table-I
+    placement parameters with the method of Ma et al. [19].
+
+    Standard recipe: GP regression with an RBF kernel over the
+    normalized parameter cube [\[0,1\]^d], expected-improvement
+    acquisition maximized by random multistart, observations normalized
+    to zero mean / unit variance. *)
+
+type t
+
+val create :
+  ?length_scale:float ->
+  ?noise:float ->
+  ?seed:int ->
+  dim:int ->
+  unit ->
+  t
+(** Defaults: [length_scale = 0.35], [noise = 1e-3]. *)
+
+val observe : t -> float array -> float -> unit
+(** [observe t x y] records an evaluation of the objective (to be
+    {e minimized}) at point [x] in the unit cube. *)
+
+val n_observations : t -> int
+
+val best : t -> (float array * float) option
+(** Best (lowest) observation so far. *)
+
+val posterior : t -> float array -> float * float
+(** [(mean, stddev)] of the GP posterior at a point (in original
+    objective units).
+    @raise Invalid_argument before any observation. *)
+
+val suggest : ?candidates:int -> t -> float array
+(** Next point to evaluate: maximizes expected improvement over random
+    candidates (default 512).  Before any observations, returns a
+    uniform random point. *)
+
+val minimize :
+  ?iterations:int ->
+  ?init:int ->
+  t ->
+  (float array -> float) ->
+  float array * float
+(** Full loop: [init] random evaluations (default 4) then
+    EI-guided ones, [iterations] total (default 16).  Returns the best
+    point and value. *)

@@ -1,0 +1,1 @@
+lib/congestion/ascii_map.ml: Buffer Dco3d_tensor Float List Printf String

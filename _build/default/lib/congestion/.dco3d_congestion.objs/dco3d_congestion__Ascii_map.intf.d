@@ -1,0 +1,1 @@
+lib/congestion/ascii_map.mli: Dco3d_tensor

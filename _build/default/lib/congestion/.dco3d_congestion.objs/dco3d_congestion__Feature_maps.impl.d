@@ -1,0 +1,1 @@
+lib/congestion/feature_maps.ml: Array Dco3d_netlist Dco3d_place Dco3d_tensor Float List Rudy

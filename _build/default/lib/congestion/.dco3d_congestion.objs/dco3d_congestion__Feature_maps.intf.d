@@ -1,0 +1,1 @@
+lib/congestion/feature_maps.mli: Dco3d_place Dco3d_tensor

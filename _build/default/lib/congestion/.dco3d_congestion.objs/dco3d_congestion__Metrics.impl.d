@@ -1,0 +1,1 @@
+lib/congestion/metrics.ml: Array Dco3d_tensor Float List

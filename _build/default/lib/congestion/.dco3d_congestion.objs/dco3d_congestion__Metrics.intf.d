@@ -1,0 +1,1 @@
+lib/congestion/metrics.mli: Dco3d_tensor

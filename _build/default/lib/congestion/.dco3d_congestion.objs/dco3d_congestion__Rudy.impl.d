@@ -1,0 +1,1 @@
+lib/congestion/rudy.ml: Array Dco3d_netlist Dco3d_place Dco3d_tensor Float List

@@ -1,0 +1,61 @@
+module T = Dco3d_tensor.Tensor
+
+let default_palette = " .:-=+*#%@"
+
+let cell palette lo hi v =
+  let n = String.length palette in
+  if n = 0 then ' '
+  else begin
+    let t = if hi -. lo <= 1e-15 then 0. else (v -. lo) /. (hi -. lo) in
+    let k = int_of_float (t *. float_of_int n) in
+    palette.[max 0 (min (n - 1) k)]
+  end
+
+let prepare ?(width = 48) m =
+  if T.rank m <> 2 then invalid_arg "Ascii_map.render: rank-2 map expected";
+  let h = T.dim m 0 and w = T.dim m 1 in
+  if w <= width then m
+  else begin
+    let h' = max 1 (h * width / w) in
+    T.resize_nearest m h' width
+  end
+
+let render ?(width = 48) ?(palette = default_palette) ?lo ?hi m =
+  let m = prepare ~width m in
+  let lo = match lo with Some v -> v | None -> T.min_elt m in
+  let hi = match hi with Some v -> v | None -> T.max_elt m in
+  let h = T.dim m 0 and w = T.dim m 1 in
+  let buf = Buffer.create ((h + 2) * (w + 3)) in
+  Buffer.add_char buf '+';
+  Buffer.add_string buf (String.make w '-');
+  Buffer.add_string buf "+\n";
+  (* row 0 of the tensor is the bottom of the die: draw top first *)
+  for i = h - 1 downto 0 do
+    Buffer.add_char buf '|';
+    for j = 0 to w - 1 do
+      Buffer.add_char buf (cell palette lo hi (T.get2 m i j))
+    done;
+    Buffer.add_string buf "|\n"
+  done;
+  Buffer.add_char buf '+';
+  Buffer.add_string buf (String.make w '-');
+  Buffer.add_string buf "+\n";
+  Buffer.contents buf
+
+let render_pair ?(width = 48) ?(labels = ("bottom", "top")) a b =
+  let a' = prepare ~width:(width / 2) a and b' = prepare ~width:(width / 2) b in
+  let lo = Float.min (T.min_elt a') (T.min_elt b') in
+  let hi = Float.max (T.max_elt a') (T.max_elt b') in
+  let ra = render ~width:(width / 2) ~lo ~hi a' in
+  let rb = render ~width:(width / 2) ~lo ~hi b' in
+  let la = String.split_on_char '\n' ra and lb = String.split_on_char '\n' rb in
+  let rec zip xs ys acc =
+    match (xs, ys) with
+    | x :: xs', y :: ys' -> zip xs' ys' ((x ^ "  " ^ y) :: acc)
+    | [], rest | rest, [] -> List.rev_append acc rest
+  in
+  let name_a, name_b = labels in
+  let header =
+    Printf.sprintf "%-*s  %s" ((width / 2) + 2) name_a name_b
+  in
+  String.concat "\n" (header :: zip la lb [])

@@ -1,0 +1,25 @@
+(** Terminal rendering of GCell maps.
+
+    The paper's figures (Fig. 2, 5c, 6, 7) are heat maps; this renders
+    any rank-2 map as ASCII art so the examples and the bench harness
+    can show the spatial structure (hotspot locations, die halves)
+    without a plotting stack. *)
+
+val render :
+  ?width:int ->
+  ?palette:string ->
+  ?lo:float ->
+  ?hi:float ->
+  Dco3d_tensor.Tensor.t ->
+  string
+(** [render m] draws the map top row first, one character per
+    (downsampled) cell.  [width] bounds the output columns (default 48,
+    the map is nearest-resized when wider).  [palette] maps intensity
+    from low to high (default [" .:-=+*#%@"]); [lo]/[hi] fix the scale
+    (default: the map's own range). *)
+
+val render_pair :
+  ?width:int -> ?labels:string * string ->
+  Dco3d_tensor.Tensor.t -> Dco3d_tensor.Tensor.t -> string
+(** Two maps side by side on a shared scale — the paper's
+    bottom-die/top-die (Fig. 2) or Pin-3D/DCO-3D (Fig. 6) layouts. *)

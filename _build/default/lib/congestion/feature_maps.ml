@@ -1,0 +1,100 @@
+module T = Dco3d_tensor.Tensor
+module Nl = Dco3d_netlist.Netlist
+module Pl = Dco3d_place.Placement
+module Fp = Dco3d_place.Floorplan
+
+let n_channels = 7
+
+let channel_names =
+  [|
+    "cell_density"; "pin_density"; "rudy_2d"; "rudy_3d"; "pin_rudy_2d";
+    "pin_rudy_3d"; "macro_blockage";
+  |]
+
+let pin_density_map p ~tier ~nx ~ny =
+  let fp = p.Pl.fp in
+  let bw = fp.Fp.width /. float_of_int nx in
+  let bh = fp.Fp.height /. float_of_int ny in
+  let map = T.zeros [| ny; nx |] in
+  let add e =
+    let x, y, t = Pl.endpoint_position p e in
+    if t = tier then begin
+      let gx = max 0 (min (nx - 1) (int_of_float (x /. bw))) in
+      let gy = max 0 (min (ny - 1) (int_of_float (y /. bh))) in
+      T.set2 map gy gx (T.get2 map gy gx +. 1.)
+    end
+  in
+  List.iter
+    (fun (net : Nl.net) ->
+      add net.Nl.driver;
+      Array.iter add net.Nl.sinks)
+    (Nl.signal_nets p.Pl.nl);
+  T.scale (1. /. (bw *. bh)) map
+
+let macro_blockage_map p ~tier ~nx ~ny =
+  let fp = p.Pl.fp in
+  let bw = fp.Fp.width /. float_of_int nx in
+  let bh = fp.Fp.height /. float_of_int ny in
+  let map = T.zeros [| ny; nx |] in
+  let n = Nl.n_cells p.Pl.nl in
+  for c = 0 to n - 1 do
+    if Nl.is_macro p.Pl.nl c && p.Pl.tier.(c) = tier then begin
+      let m = p.Pl.nl.Nl.masters.(c) in
+      let w = m.Dco3d_netlist.Cell_lib.width in
+      let h = m.Dco3d_netlist.Cell_lib.height in
+      let x0 = p.Pl.x.(c) -. (w /. 2.) and x1 = p.Pl.x.(c) +. (w /. 2.) in
+      let y0 = p.Pl.y.(c) -. (h /. 2.) and y1 = p.Pl.y.(c) +. (h /. 2.) in
+      let gx0 = max 0 (int_of_float (x0 /. bw)) in
+      let gx1 = min (nx - 1) (int_of_float (x1 /. bw)) in
+      let gy0 = max 0 (int_of_float (y0 /. bh)) in
+      let gy1 = min (ny - 1) (int_of_float (y1 /. bh)) in
+      for gy = gy0 to gy1 do
+        for gx = gx0 to gx1 do
+          let ox =
+            Float.max 0.
+              (Float.min x1 (float_of_int (gx + 1) *. bw)
+              -. Float.max x0 (float_of_int gx *. bw))
+          in
+          let oy =
+            Float.max 0.
+              (Float.min y1 (float_of_int (gy + 1) *. bh)
+              -. Float.max y0 (float_of_int gy *. bh))
+          in
+          T.set2 map gy gx
+            (Float.min 1. (T.get2 map gy gx +. (ox *. oy /. (bw *. bh))))
+        done
+      done
+    end
+  done;
+  map
+
+let per_die p ~tier ~nx ~ny =
+  T.concat_channels
+    [
+      Pl.density_map p ~tier ~nx ~ny;
+      pin_density_map p ~tier ~nx ~ny;
+      Rudy.rudy_map p ~tier ~kind:Rudy.Two_d ~nx ~ny;
+      Rudy.rudy_map p ~tier ~kind:Rudy.Three_d ~nx ~ny;
+      Rudy.pin_rudy_map p ~tier ~kind:Rudy.Two_d ~nx ~ny;
+      Rudy.pin_rudy_map p ~tier ~kind:Rudy.Three_d ~nx ~ny;
+      macro_blockage_map p ~tier ~nx ~ny;
+    ]
+
+let both_dies p ~nx ~ny = (per_die p ~tier:0 ~nx ~ny, per_die p ~tier:1 ~nx ~ny)
+
+(* Typical magnitudes at ~55 % utilization and GCell bins: cell density
+   ~0.5, pin density ~30 pins/um^2, RUDY ~10, PinRUDY ~50.  These bring
+   every channel to O(1). *)
+let default_scales = [| 1.0; 40.0; 15.0; 15.0; 60.0; 60.0; 1.0 |]
+
+let normalize stack =
+  if T.rank stack <> 3 || T.dim stack 0 <> n_channels then
+    invalid_arg "Feature_maps.normalize: expected a [7; h; w] stack";
+  T.concat_channels
+    (List.init n_channels (fun c ->
+         T.scale (1. /. default_scales.(c)) (T.channel stack c)))
+
+let resize_stack stack h w =
+  let c = T.dim stack 0 in
+  T.concat_channels
+    (List.init c (fun ch -> T.resize_nearest (T.channel stack ch) h w))

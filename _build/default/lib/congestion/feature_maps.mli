@@ -1,0 +1,38 @@
+(** The 7 per-die input feature maps of section III-B1.
+
+    Channel order (fixed, used everywhere):
+    + 0 — cell density: cell area per bin / bin area
+    + 1 — pin density: pins per um^2
+    + 2 — 2D RUDY (nets with all pins on this die)
+    + 3 — 3D RUDY (nets spanning dies, 0.5-scaled)
+    + 4 — 2D PinRUDY
+    + 5 — 3D PinRUDY
+    + 6 — macro blockage: macro-covered area fraction
+
+    Raw maps are built at GCell resolution and resized to the CNN input
+    with nearest-neighbour interpolation (Fig. 3a); {!normalize}
+    rescales each channel to O(1) for training. *)
+
+val n_channels : int
+val channel_names : string array
+
+val per_die :
+  Dco3d_place.Placement.t -> tier:int -> nx:int -> ny:int ->
+  Dco3d_tensor.Tensor.t
+(** Raw feature stack [[7; ny; nx]] for one die. *)
+
+val both_dies :
+  Dco3d_place.Placement.t -> nx:int -> ny:int ->
+  Dco3d_tensor.Tensor.t * Dco3d_tensor.Tensor.t
+(** [(bottom, top)] raw stacks. *)
+
+val default_scales : float array
+(** Per-channel normalization divisors (bring typical magnitudes to
+    O(1); fixed so that train and inference agree). *)
+
+val normalize : Dco3d_tensor.Tensor.t -> Dco3d_tensor.Tensor.t
+(** Divide each channel by its {!default_scales} entry. *)
+
+val resize_stack : Dco3d_tensor.Tensor.t -> int -> int -> Dco3d_tensor.Tensor.t
+(** Nearest-neighbour resize of every channel to [h x w]
+    (section III-B3). *)

@@ -1,0 +1,104 @@
+module T = Dco3d_tensor.Tensor
+
+let nrmse pred truth =
+  if not (T.same_shape pred truth) then
+    invalid_arg "Metrics.nrmse: shape mismatch";
+  let n = float_of_int (max 1 (T.numel truth)) in
+  let diff = T.sub pred truth in
+  let rmse = sqrt (T.dot diff diff /. n) in
+  let range = T.max_elt truth -. T.min_elt truth in
+  if range > 1e-12 then rmse /. range else rmse
+
+let mean_of a = T.mean a
+
+let ssim ?(window = 7) pred truth =
+  if not (T.same_shape pred truth) then invalid_arg "Metrics.ssim: shape mismatch";
+  if T.rank pred <> 2 then invalid_arg "Metrics.ssim: rank-2 maps expected";
+  let h = T.dim pred 0 and w = T.dim pred 1 in
+  let win = max 2 (min window (min h w)) in
+  let range = Float.max 1e-12 (T.max_elt truth -. T.min_elt truth) in
+  let c1 = (0.01 *. range) ** 2. and c2 = (0.03 *. range) ** 2. in
+  let acc = ref 0. and count = ref 0 in
+  let stride = max 1 (win / 2) in
+  let y = ref 0 in
+  while !y + win <= h do
+    let x = ref 0 in
+    while !x + win <= w do
+      (* patch statistics *)
+      let n = float_of_int (win * win) in
+      let sum_a = ref 0. and sum_b = ref 0. in
+      for i = !y to !y + win - 1 do
+        for j = !x to !x + win - 1 do
+          sum_a := !sum_a +. T.get2 pred i j;
+          sum_b := !sum_b +. T.get2 truth i j
+        done
+      done;
+      let mu_a = !sum_a /. n and mu_b = !sum_b /. n in
+      let var_a = ref 0. and var_b = ref 0. and cov = ref 0. in
+      for i = !y to !y + win - 1 do
+        for j = !x to !x + win - 1 do
+          let da = T.get2 pred i j -. mu_a and db = T.get2 truth i j -. mu_b in
+          var_a := !var_a +. (da *. da);
+          var_b := !var_b +. (db *. db);
+          cov := !cov +. (da *. db)
+        done
+      done;
+      let var_a = !var_a /. n and var_b = !var_b /. n and cov = !cov /. n in
+      let s =
+        ((2. *. mu_a *. mu_b) +. c1)
+        *. ((2. *. cov) +. c2)
+        /. (((mu_a *. mu_a) +. (mu_b *. mu_b) +. c1) *. (var_a +. var_b +. c2))
+      in
+      acc := !acc +. s;
+      incr count;
+      x := !x + stride
+    done;
+    y := !y + stride
+  done;
+  if !count = 0 then 1. else !acc /. float_of_int !count
+
+let pearson a b =
+  if not (T.same_shape a b) then invalid_arg "Metrics.pearson: shape mismatch";
+  let n = float_of_int (max 1 (T.numel a)) in
+  let ma = mean_of a and mb = mean_of b in
+  let cov = ref 0. and va = ref 0. and vb = ref 0. in
+  for i = 0 to T.numel a - 1 do
+    let da = T.get_flat a i -. ma and db = T.get_flat b i -. mb in
+    cov := !cov +. (da *. db);
+    va := !va +. (da *. da);
+    vb := !vb +. (db *. db)
+  done;
+  let denom = sqrt (!va /. n) *. sqrt (!vb /. n) in
+  if denom <= 1e-15 then 0. else !cov /. n /. denom
+
+let normalize01 m =
+  let lo = T.min_elt m and hi = T.max_elt m in
+  if hi -. lo <= 1e-15 then T.map (fun _ -> 0.) m
+  else T.map (fun v -> (v -. lo) /. (hi -. lo)) m
+
+let histogram ~bins ~lo ~hi values =
+  if bins <= 0 then invalid_arg "Metrics.histogram: bins must be positive";
+  let h = Array.make bins 0 in
+  List.iter
+    (fun v ->
+      let t = (v -. lo) /. Float.max 1e-15 (hi -. lo) in
+      let b = max 0 (min (bins - 1) (int_of_float (t *. float_of_int bins))) in
+      h.(b) <- h.(b) + 1)
+    values;
+  h
+
+let fraction_below threshold values =
+  match values with
+  | [] -> 0.
+  | _ ->
+      let n = List.length values in
+      let k = List.length (List.filter (fun v -> v < threshold) values) in
+      float_of_int k /. float_of_int n
+
+let fraction_above threshold values =
+  match values with
+  | [] -> 0.
+  | _ ->
+      let n = List.length values in
+      let k = List.length (List.filter (fun v -> v > threshold) values) in
+      float_of_int k /. float_of_int n

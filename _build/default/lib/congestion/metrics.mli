@@ -1,0 +1,31 @@
+(** Map-comparison metrics for the prediction evaluation (Fig. 5).
+
+    The paper scores congestion-map predictions with NRMSE (below 0.2 =
+    close alignment) and SSIM (above 0.7 sufficient, above 0.8
+    reported).  Both operate on rank-2 maps of equal shape. *)
+
+val nrmse : Dco3d_tensor.Tensor.t -> Dco3d_tensor.Tensor.t -> float
+(** [nrmse pred truth] = RMSE / (max - min of [truth]); falls back to
+    plain RMSE when the truth is constant. *)
+
+val ssim :
+  ?window:int -> Dco3d_tensor.Tensor.t -> Dco3d_tensor.Tensor.t -> float
+(** Mean structural similarity over sliding [window x window] patches
+    (default 7), standard constants [k1 = 0.01], [k2 = 0.03] with the
+    dynamic range taken from the truth map.  Result in [\[-1, 1\]];
+    identical maps score 1. *)
+
+val pearson : Dco3d_tensor.Tensor.t -> Dco3d_tensor.Tensor.t -> float
+(** Pearson correlation of the flattened maps (0 when either side is
+    constant). *)
+
+val normalize01 : Dco3d_tensor.Tensor.t -> Dco3d_tensor.Tensor.t
+(** Affine rescale to [\[0, 1\]] (Fig. 5c compares maps "with pixel
+    values normalized to [0, 1] for fairness"). *)
+
+val histogram : bins:int -> lo:float -> hi:float -> float list -> int array
+(** Fixed-range histogram used for the Fig. 5b distribution plots;
+    values outside the range clamp into the edge bins. *)
+
+val fraction_below : float -> float list -> float
+val fraction_above : float -> float list -> float

@@ -1,0 +1,106 @@
+module T = Dco3d_tensor.Tensor
+module Nl = Dco3d_netlist.Netlist
+module Pl = Dco3d_place.Placement
+
+type kind = Two_d | Three_d | All
+
+(* Minimum bounding-box span (um): a zero-extent net still occupies one
+   wire's worth of track. *)
+let min_span = 0.10
+
+let net_weight w h = (1. /. Float.max min_span w) +. (1. /. Float.max min_span h)
+
+let accumulate_net map ~die_w ~die_h ~bbox:(x0, y0, x1, y1) ~weight =
+  if weight <> 0. then begin
+    let ny = T.dim map 0 and nx = T.dim map 1 in
+    let bw = die_w /. float_of_int nx and bh = die_h /. float_of_int ny in
+    (* give degenerate boxes the minimal span so they land somewhere *)
+    let x1 = Float.max x1 (x0 +. min_span) and y1 = Float.max y1 (y0 +. min_span) in
+    let gx0 = max 0 (min (nx - 1) (int_of_float (x0 /. bw))) in
+    let gx1 = max 0 (min (nx - 1) (int_of_float (x1 /. bw))) in
+    let gy0 = max 0 (min (ny - 1) (int_of_float (y0 /. bh))) in
+    let gy1 = max 0 (min (ny - 1) (int_of_float (y1 /. bh))) in
+    let tile_area = bw *. bh in
+    for gy = gy0 to gy1 do
+      let oy =
+        Float.min y1 (float_of_int (gy + 1) *. bh)
+        -. Float.max y0 (float_of_int gy *. bh)
+      in
+      if oy > 0. then
+        for gx = gx0 to gx1 do
+          let ox =
+            Float.min x1 (float_of_int (gx + 1) *. bw)
+            -. Float.max x0 (float_of_int gx *. bw)
+          in
+          if ox > 0. then
+            T.set2 map gy gx
+              (T.get2 map gy gx +. (weight *. ox *. oy /. tile_area))
+        done
+    done
+  end
+
+let net_selector p ~tier ~kind (net : Nl.net) =
+  let is_3d = Pl.net_is_3d p net in
+  match kind with
+  | All ->
+      (* classic 2D estimator: every net whose bbox touches this die *)
+      let _, _, t0 = Pl.endpoint_position p net.Nl.driver in
+      let on_tier =
+        t0 = tier
+        || Array.exists
+             (fun e ->
+               let _, _, t = Pl.endpoint_position p e in
+               t = tier)
+             net.Nl.sinks
+      in
+      if on_tier then Some 1.0 else None
+  | Two_d ->
+      if is_3d then None
+      else begin
+        let _, _, t0 = Pl.endpoint_position p net.Nl.driver in
+        if t0 = tier then Some 1.0 else None
+      end
+  | Three_d -> if is_3d then Some 0.5 else None
+
+let rudy_map p ~tier ~kind ~nx ~ny =
+  let fp = p.Pl.fp in
+  let die_w = fp.Dco3d_place.Floorplan.width in
+  let die_h = fp.Dco3d_place.Floorplan.height in
+  let map = T.zeros [| ny; nx |] in
+  List.iter
+    (fun (net : Nl.net) ->
+      match net_selector p ~tier ~kind net with
+      | None -> ()
+      | Some scale ->
+          let x0, y0, x1, y1 = Pl.net_bbox p net in
+          let w = x1 -. x0 and h = y1 -. y0 in
+          accumulate_net map ~die_w ~die_h ~bbox:(x0, y0, x1, y1)
+            ~weight:(scale *. net_weight w h))
+    (Nl.signal_nets p.Pl.nl);
+  map
+
+let pin_rudy_map p ~tier ~kind ~nx ~ny =
+  let fp = p.Pl.fp in
+  let die_w = fp.Dco3d_place.Floorplan.width in
+  let die_h = fp.Dco3d_place.Floorplan.height in
+  let bw = die_w /. float_of_int nx and bh = die_h /. float_of_int ny in
+  let map = T.zeros [| ny; nx |] in
+  List.iter
+    (fun (net : Nl.net) ->
+      match net_selector p ~tier ~kind net with
+      | None -> ()
+      | Some scale ->
+          let x0, y0, x1, y1 = Pl.net_bbox p net in
+          let weight = scale *. net_weight (x1 -. x0) (y1 -. y0) in
+          let add e =
+            let x, y, t = Pl.endpoint_position p e in
+            if t = tier then begin
+              let gx = max 0 (min (nx - 1) (int_of_float (x /. bw))) in
+              let gy = max 0 (min (ny - 1) (int_of_float (y /. bh))) in
+              T.set2 map gy gx (T.get2 map gy gx +. weight)
+            end
+          in
+          add net.Nl.driver;
+          Array.iter add net.Nl.sinks)
+    (Nl.signal_nets p.Pl.nl);
+  map

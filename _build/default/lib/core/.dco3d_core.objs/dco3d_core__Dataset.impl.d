@@ -1,0 +1,1 @@
+lib/core/dataset.ml: Array Dco3d_congestion Dco3d_netlist Dco3d_place Dco3d_route Dco3d_tensor Float Fun List Logs Marshal String

@@ -1,0 +1,1 @@
+lib/core/dataset.mli: Dco3d_netlist Dco3d_place Dco3d_route Dco3d_tensor

@@ -1,0 +1,1 @@
+lib/core/dco.ml: Array Dco3d_autodiff Dco3d_congestion Dco3d_graph Dco3d_netlist Dco3d_nn Dco3d_place Dco3d_tensor Lazy List Logs Losses Predictor Soft_maps Spreader

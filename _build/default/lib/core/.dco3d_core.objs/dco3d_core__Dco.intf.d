@@ -1,0 +1,1 @@
+lib/core/dco.mli: Dco3d_autodiff Dco3d_place Predictor

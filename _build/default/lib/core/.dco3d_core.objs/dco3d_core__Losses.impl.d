@@ -1,0 +1,1 @@
+lib/core/losses.ml: Array Dco3d_autodiff Dco3d_graph Dco3d_tensor

@@ -1,0 +1,1 @@
+lib/core/losses.mli: Dco3d_autodiff Dco3d_graph Dco3d_tensor

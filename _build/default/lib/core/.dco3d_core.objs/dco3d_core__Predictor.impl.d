@@ -1,0 +1,1 @@
+lib/core/predictor.ml: Array Dataset Dco3d_autodiff Dco3d_congestion Dco3d_nn Dco3d_tensor Fun List Logs Marshal String

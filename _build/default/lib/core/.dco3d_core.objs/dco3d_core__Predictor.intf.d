@@ -1,0 +1,1 @@
+lib/core/predictor.mli: Dataset Dco3d_autodiff Dco3d_nn Dco3d_tensor

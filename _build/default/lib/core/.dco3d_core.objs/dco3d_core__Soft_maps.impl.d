@@ -1,0 +1,1 @@
+lib/core/soft_maps.ml: Array Dco3d_autodiff Dco3d_netlist Dco3d_place Dco3d_tensor Float

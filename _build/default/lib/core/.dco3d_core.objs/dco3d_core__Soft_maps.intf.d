@@ -1,0 +1,1 @@
+lib/core/soft_maps.mli: Dco3d_autodiff Dco3d_place Dco3d_tensor

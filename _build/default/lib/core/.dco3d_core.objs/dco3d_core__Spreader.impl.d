@@ -1,0 +1,1 @@
+lib/core/spreader.ml: Array Dco3d_autodiff Dco3d_graph Dco3d_netlist Dco3d_place Dco3d_sta Dco3d_tensor Float List

@@ -1,0 +1,1 @@
+lib/core/spreader.mli: Dco3d_autodiff Dco3d_graph Dco3d_netlist Dco3d_place Dco3d_tensor

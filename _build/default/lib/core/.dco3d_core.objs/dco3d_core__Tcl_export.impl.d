@@ -1,0 +1,1 @@
+lib/core/tcl_export.ml: Array Buffer Dco3d_netlist Dco3d_place Fun Hashtbl List Option Printf Scanf String

@@ -1,0 +1,1 @@
+lib/core/tcl_export.mli: Dco3d_place

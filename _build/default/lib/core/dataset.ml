@@ -1,0 +1,222 @@
+module T = Dco3d_tensor.Tensor
+module Rng = Dco3d_tensor.Rng
+module Nl = Dco3d_netlist.Netlist
+module Fp = Dco3d_place.Floorplan
+module Params = Dco3d_place.Params
+module Placer = Dco3d_place.Placer
+module Router = Dco3d_route.Router
+module Fm = Dco3d_congestion.Feature_maps
+
+let log_src = Logs.Src.create "dco3d.dataset" ~doc:"dataset construction"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type sample = {
+  f_bottom : T.t;
+  f_top : T.t;
+  c_bottom : T.t;
+  c_top : T.t;
+  params : Params.t;
+  sample_seed : int;
+}
+
+type t = { design : string; nx : int; ny : int; samples : sample array }
+
+let build ?(n_samples = 24) ?(seed = 0) ~route_cfg nl fp =
+  let rng = Rng.create (seed lxor 0x0d5e7) in
+  let nx = fp.Fp.gcell_nx and ny = fp.Fp.gcell_ny in
+  let samples =
+    Array.init n_samples (fun i ->
+        let params = Params.sample rng in
+        let sample_seed = seed + (1000 * i) + 17 in
+        let p = Placer.global_place ~seed:sample_seed ~params nl fp in
+        let r = Router.route ~config:route_cfg p in
+        let f_bottom, f_top = Fm.both_dies p ~nx ~ny in
+        Log.debug (fun m ->
+            m "%s sample %d/%d: overflow %d" nl.Nl.design (i + 1) n_samples
+              r.Router.overflow_total);
+        (* Congestion labels: the tool's congestion report gives a value
+           per GCell.  Pure edge overflow is too sparse a target at our
+           scale, so the label adds a small utilization-above-60 % field
+           for trainability while keeping the (3x-weighted) overflow
+           dominant — overflow is where the pin-blockage physics lives,
+           the part a RUDY-style estimator cannot see (Fig. 5c). *)
+        let label die =
+          let raw =
+            T.map2
+              (fun util ovf -> Float.max 0. (util -. 0.6) +. (3. *. ovf))
+              r.Router.utilization.(die) r.Router.congestion.(die)
+          in
+          (* smoothing: single-GCell router noise is not a learnable
+             target, and the paper's 224x224 ground truth over a large
+             die is an effectively smooth field; two cross-kernel passes
+             approximate a 5x5 Gaussian *)
+          let blur m =
+            let h = T.dim m 0 and w = T.dim m 1 in
+            T.init [| h; w |] (fun idx ->
+                let i = idx.(0) and j = idx.(1) in
+                let acc = ref (4. *. T.get2 m i j) and k = ref 4 in
+                List.iter
+                  (fun (di, dj) ->
+                    let i' = i + di and j' = j + dj in
+                    if i' >= 0 && i' < h && j' >= 0 && j' < w then begin
+                      acc := !acc +. T.get2 m i' j';
+                      incr k
+                    end)
+                  [ (-1, 0); (1, 0); (0, -1); (0, 1) ];
+                !acc /. float_of_int !k)
+          in
+          blur (blur raw)
+        in
+        {
+          f_bottom;
+          f_top;
+          c_bottom = label 0;
+          c_top = label 1;
+          params;
+          sample_seed;
+        })
+  in
+  { design = nl.Nl.design; nx; ny; samples }
+
+let merge = function
+  | [] -> invalid_arg "Dataset.merge: empty list"
+  | first :: _ as ds ->
+      List.iter
+        (fun d ->
+          if d.nx <> first.nx || d.ny <> first.ny then
+            invalid_arg "Dataset.merge: grid mismatch")
+        ds;
+      {
+        design = String.concat "+" (List.map (fun d -> d.design) ds);
+        nx = first.nx;
+        ny = first.ny;
+        samples = Array.concat (List.map (fun d -> d.samples) ds);
+      }
+
+let split ~test_fraction ~seed d =
+  if test_fraction < 0. || test_fraction > 1. then
+    invalid_arg "Dataset.split: fraction out of range";
+  let rng = Rng.create (seed lxor 0x51337) in
+  let order = Rng.permutation rng (Array.length d.samples) in
+  let n_test =
+    int_of_float (Float.round (test_fraction *. float_of_int (Array.length d.samples)))
+  in
+  let test = Array.init n_test (fun i -> d.samples.(order.(i))) in
+  let train =
+    Array.init
+      (Array.length d.samples - n_test)
+      (fun i -> d.samples.(order.(n_test + i)))
+  in
+  ({ d with samples = train }, { d with samples = test })
+
+let map_sample f s =
+  {
+    s with
+    f_bottom = f s.f_bottom;
+    f_top = f s.f_top;
+    c_bottom = f s.c_bottom;
+    c_top = f s.c_top;
+  }
+
+let augment8 s =
+  let square = T.dim s.c_bottom 0 = T.dim s.c_bottom 1 in
+  let rotations =
+    if square then
+      [
+        Fun.id;
+        T.rot90;
+        (fun m -> T.rot90 (T.rot90 m));
+        (fun m -> T.rot90 (T.rot90 (T.rot90 m)));
+      ]
+    else [ Fun.id ]
+  in
+  let flips = [ Fun.id; T.flip_h ] in
+  List.concat_map
+    (fun rot -> List.map (fun flip m -> flip (rot m)) flips)
+    rotations
+  |> List.map (fun f -> map_sample f s)
+
+let label_scale d =
+  let values = ref [] in
+  Array.iter
+    (fun s ->
+      T.iteri_flat (fun _ v -> if v > 0. then values := v :: !values) s.c_bottom;
+      T.iteri_flat (fun _ v -> if v > 0. then values := v :: !values) s.c_top)
+    d.samples;
+  match !values with
+  | [] -> 1.
+  | vs ->
+      let a = Array.of_list vs in
+      Array.sort compare a;
+      let idx = min (Array.length a - 1) (95 * Array.length a / 100) in
+      Float.max 1e-6 a.(idx)
+
+(* ------------------------------------------------------------------ *)
+(* Persistence                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let magic = "DCO3D-DATASET-V1"
+
+(* Tensors are flattened to (shape, data) pairs so the Marshal image
+   stays independent of the Tensor module's internals. *)
+type flat_sample = {
+  x_fb : int array * float array;
+  x_ft : int array * float array;
+  x_cb : int array * float array;
+  x_ct : int array * float array;
+  x_params : Params.t;
+  x_seed : int;
+}
+
+let flatten_tensor t = (T.shape t, Array.init (T.numel t) (T.get_flat t))
+let unflatten (shape, data) = T.make shape data
+
+let save d path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc magic;
+      let flat =
+        Array.map
+          (fun s ->
+            {
+              x_fb = flatten_tensor s.f_bottom;
+              x_ft = flatten_tensor s.f_top;
+              x_cb = flatten_tensor s.c_bottom;
+              x_ct = flatten_tensor s.c_top;
+              x_params = s.params;
+              x_seed = s.sample_seed;
+            })
+          d.samples
+      in
+      Marshal.to_channel oc (d.design, d.nx, d.ny, flat) [])
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let tag = really_input_string ic (String.length magic) in
+      if tag <> magic then failwith "Dataset.load: bad file magic";
+      let design, nx, ny, (flat : flat_sample array) =
+        Marshal.from_channel ic
+      in
+      {
+        design;
+        nx;
+        ny;
+        samples =
+          Array.map
+            (fun f ->
+              {
+                f_bottom = unflatten f.x_fb;
+                f_top = unflatten f.x_ft;
+                c_bottom = unflatten f.x_cb;
+                c_top = unflatten f.x_ct;
+                params = f.x_params;
+                sample_seed = f.x_seed;
+              })
+            flat;
+      })

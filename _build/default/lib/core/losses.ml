@@ -1,0 +1,41 @@
+module T = Dco3d_tensor.Tensor
+module V = Dco3d_autodiff.Value
+module Csr = Dco3d_graph.Csr
+module Gcn = Dco3d_graph.Gcn
+
+let congestion c0 c1 =
+  let zeros v = T.zeros (V.shape v) in
+  V.scale 0.5
+    (V.add (V.rmse_frobenius c0 (zeros c0)) (V.rmse_frobenius c1 (zeros c1)))
+
+let cutsize ~adj z =
+  let n = V.numel z in
+  if Csr.nnz adj = 0 then V.scalar 0.
+  else begin
+    let z2 = V.reshape z [| n; 1 |] in
+    let az = Gcn.spmm adj z2 in
+    (* scalar building blocks *)
+    let zaz = V.dot (V.reshape z2 [| n |]) (V.reshape az [| n |]) in
+    let sum_az = V.sum az in
+    let total = T.scalar (Array.fold_left ( +. ) 0. (Csr.row_sums adj)) in
+    (* cut = 1'Az - z'Az ; deg_T = z'Az ; deg_B = total - 2 1'Az + z'Az *)
+    let cut = V.sub sum_az zaz in
+    let deg_t = zaz in
+    let deg_b = V.add (V.sub (V.const total) (V.scale 2. sum_az)) zaz in
+    let eps = 1e-6 in
+    V.add
+      (V.div cut (V.add_scalar eps deg_t))
+      (V.div cut (V.add_scalar eps deg_b))
+  end
+
+let overlap ?(target = 0.85) f_bottom f_top =
+  let pen f =
+    let d = V.slice_channels f 0 1 in
+    V.mean (V.sqr (V.relu (V.add_scalar (-.target) d)))
+  in
+  V.add (pen f_bottom) (pen f_top)
+
+let displacement ~x ~y ~x0 ~y0 =
+  let dx = V.sub x (V.const x0) and dy = V.sub y (V.const y0) in
+  let n = float_of_int (max 1 (V.numel x)) in
+  V.scale (1. /. n) (V.add (V.dot dx dx) (V.dot dy dy))

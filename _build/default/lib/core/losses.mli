@@ -1,0 +1,38 @@
+(** The four differentiable objectives of Algorithm 2 (sections
+    IV-B..IV-E). *)
+
+val congestion :
+  Dco3d_autodiff.Value.t -> Dco3d_autodiff.Value.t -> Dco3d_autodiff.Value.t
+(** Section IV-B: the congestion penalty of the two predicted maps,
+    "calculated using Eq. 4" — the mean over dies of the
+    root-mean-squared Frobenius norm of the predicted congestion
+    (target zero). *)
+
+val cutsize :
+  adj:Dco3d_graph.Csr.t -> Dco3d_autodiff.Value.t -> Dco3d_autodiff.Value.t
+(** Eq. 7 with soft tier probabilities: [cut(T,B)/deg(T) +
+    cut(T,B)/deg(B)] where, over the weighted cell-connectivity graph
+    [adj], [cut = sum_ij a_ij (z_i(1-z_j) + z_j(1-z_i)) / 2],
+    [deg(T) = sum_ij a_ij z_i z_j], [deg(B)] symmetric.  [z] is the
+    rank-1 tier-probability vector. *)
+
+val overlap :
+  ?target:float ->
+  Dco3d_autodiff.Value.t ->
+  Dco3d_autodiff.Value.t ->
+  Dco3d_autodiff.Value.t
+(** Sections IV-D (Eq. 8-10): the smoothed density penalty.  We penalize
+    the soft per-die cell-density channels above [target] (default
+    0.85): [mean (relu (density - target))^2] summed over dies.  The
+    bilinear tent kernel of the soft maps plays the role of the
+    bell-shaped potential [p_x p_y] — both are separable, piecewise
+    polynomial bumps with compact support. *)
+
+val displacement :
+  x:Dco3d_autodiff.Value.t ->
+  y:Dco3d_autodiff.Value.t ->
+  x0:Dco3d_tensor.Tensor.t ->
+  y0:Dco3d_tensor.Tensor.t ->
+  Dco3d_autodiff.Value.t
+(** Eq. 11, normalized per cell: [mean ((x - x0)^2 + (y - y0)^2)]
+    in um^2. *)

@@ -1,0 +1,140 @@
+module T = Dco3d_tensor.Tensor
+module Rng = Dco3d_tensor.Rng
+module V = Dco3d_autodiff.Value
+module Opt = Dco3d_autodiff.Optimizer
+module SiaUNet = Dco3d_nn.Siamese_unet
+module Fm = Dco3d_congestion.Feature_maps
+module Metrics = Dco3d_congestion.Metrics
+
+let log_src = Logs.Src.create "dco3d.predictor" ~doc:"Algorithm 1 training"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type t = { net : SiaUNet.t; input_hw : int; label_scale : float }
+
+type report = { train_loss : float array; test_loss : float array; epochs : int }
+
+let eq4_loss c0 c1 t0 t1 =
+  V.scale 0.5 (V.add (V.rmse_frobenius c0 t0) (V.rmse_frobenius c1 t1))
+
+(* Preprocess one sample into network-resolution tensors. *)
+let prep ~input_hw ~label_scale (s : Dataset.sample) =
+  let fmap stack =
+    Fm.resize_stack (Fm.normalize stack) input_hw input_hw
+  in
+  let lmap m =
+    T.reshape
+      (T.scale (1. /. label_scale) (T.resize_nearest m input_hw input_hw))
+      [| 1; input_hw; input_hw |]
+  in
+  (fmap s.Dataset.f_bottom, fmap s.Dataset.f_top,
+   lmap s.Dataset.c_bottom, lmap s.Dataset.c_top)
+
+let dataset_loss net ~input_hw ~label_scale (d : Dataset.t) =
+  if Array.length d.Dataset.samples = 0 then 0.
+  else begin
+    let acc = ref 0. in
+    Array.iter
+      (fun s ->
+        let f0, f1, t0, t1 = prep ~input_hw ~label_scale s in
+        let c0, c1 = SiaUNet.forward net (V.const f0) (V.const f1) in
+        acc := !acc +. T.get_flat (V.data (eq4_loss c0 c1 t0 t1)) 0)
+      d.Dataset.samples;
+    !acc /. float_of_int (Array.length d.Dataset.samples)
+  end
+
+let train ?(epochs = 12) ?(lr = 2e-3) ?(input_hw = 32) ?(base_channels = 8)
+    ?(augment = true) ?(seed = 3) ~train ~test () =
+  let rng = Rng.create (seed lxor 0x9a7) in
+  let net =
+    SiaUNet.create rng
+      { SiaUNet.in_channels = Fm.n_channels; base_channels; depth = 2 }
+  in
+  let label_scale = Dataset.label_scale train in
+  let opt = Opt.adam ~lr (SiaUNet.params net) in
+  (* pre-expand the augmented training set (the paper's 8x) *)
+  let train_samples =
+    if augment then
+      Array.of_list
+        (List.concat_map Dataset.augment8 (Array.to_list train.Dataset.samples))
+    else train.Dataset.samples
+  in
+  let prepped =
+    Array.map (prep ~input_hw ~label_scale) train_samples
+  in
+  let train_loss = Array.make epochs 0. in
+  let test_loss = Array.make epochs 0. in
+  let order = Array.init (Array.length prepped) Fun.id in
+  for epoch = 0 to epochs - 1 do
+    (* step decay keeps late epochs from bouncing around the optimum *)
+    if epoch = (2 * epochs) / 3 then Opt.set_lr opt (lr *. 0.3);
+    Rng.shuffle rng order;
+    let acc = ref 0. in
+    Array.iter
+      (fun k ->
+        let f0, f1, t0, t1 = prepped.(k) in
+        let c0, c1 = SiaUNet.forward net (V.const f0) (V.const f1) in
+        let loss = eq4_loss c0 c1 t0 t1 in
+        acc := !acc +. T.get_flat (V.data loss) 0;
+        V.backward loss;
+        Opt.step opt)
+      order;
+    train_loss.(epoch) <-
+      !acc /. float_of_int (max 1 (Array.length prepped));
+    test_loss.(epoch) <- dataset_loss net ~input_hw ~label_scale test;
+    Log.info (fun m ->
+        m "epoch %d/%d: train %.4f test %.4f" (epoch + 1) epochs
+          train_loss.(epoch) test_loss.(epoch))
+  done;
+  ({ net; input_hw; label_scale }, { train_loss; test_loss; epochs })
+
+let predict t f_bottom f_top =
+  let nx = T.dim f_bottom 2 and ny = T.dim f_bottom 1 in
+  let fmap stack =
+    Fm.resize_stack (Fm.normalize stack) t.input_hw t.input_hw
+  in
+  let c0, c1 = SiaUNet.predict t.net (fmap f_bottom) (fmap f_top) in
+  let post m =
+    (* back to GCell resolution and ground-truth units; overflow maps
+       are non-negative by definition *)
+    T.relu (T.scale t.label_scale (T.resize_nearest m ny nx))
+  in
+  (post c0, post c1)
+
+let evaluate t (d : Dataset.t) =
+  (* metrics at the network resolution H x W, as the paper evaluates at
+     its fixed 224x224 — comparing an upsampled low-resolution
+     prediction against full-resolution labels would punish detail the
+     model never saw *)
+  let at_hw m = T.resize_nearest m t.input_hw t.input_hw in
+  Array.to_list d.Dataset.samples
+  |> List.concat_map (fun (s : Dataset.sample) ->
+         let p0, p1 = predict t s.Dataset.f_bottom s.Dataset.f_top in
+         let score p truth =
+           let p = at_hw p and truth = at_hw truth in
+           (Metrics.nrmse p truth, Metrics.ssim p truth)
+         in
+         [ score p0 s.Dataset.c_bottom; score p1 s.Dataset.c_top ])
+
+let magic = "DCO3D-PREDICTOR-V1"
+
+let save t path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc magic;
+      Marshal.to_channel oc (t.input_hw, t.label_scale) []);
+  SiaUNet.save t.net (path ^ ".net")
+
+let load path =
+  let ic = open_in_bin path in
+  let input_hw, label_scale =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let tag = really_input_string ic (String.length magic) in
+        if tag <> magic then failwith "Predictor.load: bad file magic";
+        (Marshal.from_channel ic : int * float))
+  in
+  { net = SiaUNet.load (path ^ ".net"); input_hw; label_scale }

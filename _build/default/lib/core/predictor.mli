@@ -1,0 +1,57 @@
+(** The trained congestion predictor — Algorithm 1.
+
+    Wraps the Siamese UNet with the paper's data pipeline (Fig. 3):
+    per-channel feature normalization, nearest-neighbour resize of
+    features and labels to the network resolution, training against the
+    Eq.-4 loss (the sum over dies of root-mean-squared Frobenius
+    error), 8x orientation augmentation, and resize of the predictions
+    back to GCell resolution at inference. *)
+
+type t = {
+  net : Dco3d_nn.Siamese_unet.t;
+  input_hw : int;  (** network resolution (paper: 224; default: 32) *)
+  label_scale : float;  (** labels are divided by this during training *)
+}
+
+type report = {
+  train_loss : float array;  (** per-epoch mean Eq.-4 loss *)
+  test_loss : float array;
+  epochs : int;
+}
+
+val train :
+  ?epochs:int ->
+  ?lr:float ->
+  ?input_hw:int ->
+  ?base_channels:int ->
+  ?augment:bool ->
+  ?seed:int ->
+  train:Dataset.t ->
+  test:Dataset.t ->
+  unit ->
+  t * report
+(** Algorithm 1.  Defaults: [epochs = 12], [lr = 2e-3], [input_hw = 32],
+    [base_channels = 8], [augment = true].  The test set is only scored,
+    never trained on. *)
+
+val predict :
+  t -> Dco3d_tensor.Tensor.t -> Dco3d_tensor.Tensor.t ->
+  Dco3d_tensor.Tensor.t * Dco3d_tensor.Tensor.t
+(** [predict t f_bottom f_top] takes raw [7; ny; nx] GCell-resolution
+    feature stacks and returns the predicted congestion maps at the
+    same [ny; nx] resolution, in ground-truth (overflow) units. *)
+
+val evaluate :
+  t -> Dataset.t -> (float * float) list
+(** Per-die [(nrmse, ssim)] of every sample in the dataset (two entries
+    per sample: bottom then top), computed at the network resolution
+    (the paper evaluates at its fixed 224x224) — the Fig. 5b metrics. *)
+
+val eq4_loss :
+  Dco3d_autodiff.Value.t -> Dco3d_autodiff.Value.t ->
+  Dco3d_tensor.Tensor.t -> Dco3d_tensor.Tensor.t ->
+  Dco3d_autodiff.Value.t
+(** Eq. 4: [1/2 * (rmse_F(c0, t0) + rmse_F(c1, t1))]. *)
+
+val save : t -> string -> unit
+val load : string -> t

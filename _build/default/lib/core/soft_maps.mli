@@ -1,0 +1,39 @@
+(** Differentiable ("soft") feature-map generation — section IV-A and
+    the custom backward function of section IV-B.
+
+    During optimization the GNN emits continuous positions [x, y] and a
+    tier probability [z in [0,1]] per cell.  The 7 per-die feature maps
+    are rebuilt from these {e soft} quantities:
+
+    + per-net 2D contributions are weighted by [prod_p z_p] (top die)
+      or [prod_p (1 - z_p)] (bottom die), and 3D contributions by
+      [1 - prod z - prod (1-z)], exactly as in Fig. 4(b);
+    + cell/pin densities splat bilinearly (a differentiable tent
+      kernel) with the same per-die tier weights;
+    + macro blockage stays constant (DCO does not move macros).
+
+    The whole computation is exposed to the tape as one custom node
+    (the OCaml analogue of the paper's custom PyTorch backward): the
+    forward pass is plain tensor code; the hand-written backward
+    implements Eq. 6 for the RUDY terms — only the cells holding a
+    net's extreme pins receive x/y gradients, via the bounding-box
+    sub-gradient — plus the product-rule gradients for [z] and the tent
+    gradients for the density channels. *)
+
+val build :
+  placement:Dco3d_place.Placement.t ->
+  x:Dco3d_autodiff.Value.t ->
+  y:Dco3d_autodiff.Value.t ->
+  z:Dco3d_autodiff.Value.t ->
+  nx:int ->
+  ny:int ->
+  Dco3d_autodiff.Value.t * Dco3d_autodiff.Value.t
+(** [build ~placement ~x ~y ~z ~nx ~ny] returns the soft per-die
+    feature stacks [(f_bottom, f_top)], each [[7; ny; nx]] in the raw
+    units of {!Dco3d_congestion.Feature_maps}.  [x], [y], [z] are
+    rank-1 values of length [n_cells]; IO pads are fixed on the bottom
+    die; the [placement] supplies everything that does not move. *)
+
+val hard_assignment : Dco3d_tensor.Tensor.t -> int array
+(** [hard_assignment z] is the final tier per cell: top when
+    [z >= 0.5] (the paper's hard assignment). *)

@@ -1,0 +1,107 @@
+module T = Dco3d_tensor.Tensor
+module V = Dco3d_autodiff.Value
+module Nl = Dco3d_netlist.Netlist
+module Pl = Dco3d_place.Placement
+module Csr = Dco3d_graph.Csr
+module Gcn = Dco3d_graph.Gcn
+module Sta = Dco3d_sta.Sta
+
+let graph_of_netlist nl =
+  let n = Nl.n_cells nl in
+  let coo = ref [] in
+  let edge a b w =
+    coo := (a, b, w) :: (b, a, w) :: !coo
+  in
+  List.iter
+    (fun (net : Nl.net) ->
+      let cells =
+        Array.to_list (Array.append [| net.Nl.driver |] net.Nl.sinks)
+        |> List.filter_map (function Nl.Cell c -> Some c | Nl.Io _ -> None)
+      in
+      match cells with
+      | [] | [ _ ] -> ()
+      | driver :: rest as all ->
+          let deg = List.length all in
+          if deg <= 16 then begin
+            let w = 1. /. float_of_int (deg - 1) in
+            let arr = Array.of_list all in
+            for a = 0 to deg - 2 do
+              for b = a + 1 to deg - 1 do
+                if arr.(a) <> arr.(b) then edge arr.(a) arr.(b) w
+              done
+            done
+          end
+          else begin
+            let w = 2. /. float_of_int deg in
+            List.iter (fun s -> if s <> driver then edge driver s w) rest
+          end)
+    (Nl.signal_nets nl);
+  Csr.create ~n_rows:n ~n_cols:n !coo
+
+let node_features (p : Pl.t) =
+  let nl = p.Pl.nl in
+  let n = Nl.n_cells nl in
+  (* pre-route estimates: HPWL net lengths *)
+  let lengths = Array.make (Nl.n_nets nl) 0.5 in
+  List.iter
+    (fun (net : Nl.net) ->
+      let x0, y0, x1, y1 = Pl.net_bbox p net in
+      lengths.(net.Nl.net_id) <- Float.max 0.5 (x1 -. x0 +. (y1 -. y0)))
+    (Nl.signal_nets nl);
+  let net_is_3d nid = Pl.net_is_3d p nl.Nl.nets.(nid) in
+  let cfg = Sta.default_config ~clock_period_ps:500. in
+  let t = Sta.analyze cfg nl ~net_length:lengths ~net_is_3d in
+  let pw = Sta.estimate_power cfg nl ~net_length:lengths () in
+  let table2 = Sta.node_features nl t pw in
+  let fp = p.Pl.fp in
+  T.init [| n; 11 |] (fun idx ->
+      let c = idx.(0) and f = idx.(1) in
+      if f < 8 then T.get2 table2 c f
+      else if f = 8 then p.Pl.x.(c) /. fp.Dco3d_place.Floorplan.width
+      else if f = 9 then p.Pl.y.(c) /. fp.Dco3d_place.Floorplan.height
+      else float_of_int p.Pl.tier.(c))
+
+type t = {
+  layers : Gcn.t list;
+  max_move : float;
+  x0 : T.t;
+  y0 : T.t;
+  z_bias : T.t;  (** fixed logit offset toward the initial tier *)
+  mask : T.t;  (** 0 for macros, 1 for movable cells *)
+}
+
+let create rng ~adj ~n_features ?(hidden = 32) ~max_move ~placement () =
+  let nl = placement.Pl.nl in
+  let n = Nl.n_cells nl in
+  let layers = Gcn.stack rng ~adj ~dims:[ n_features; hidden; hidden; 3 ] () in
+  let x0 = T.of_array1 placement.Pl.x in
+  let y0 = T.of_array1 placement.Pl.y in
+  (* start near (not at) the incoming tier: +-1.5 gives z ~ 0.18/0.82,
+     close enough to round back to the original assignment yet leaving
+     the sigmoid un-saturated so cross-tier gradients can act *)
+  let z_bias =
+    T.init [| n |] (fun i ->
+        if placement.Pl.tier.(i.(0)) = 1 then 1.5 else -1.5)
+  in
+  let mask =
+    T.init [| n |] (fun i -> if Nl.is_macro nl i.(0) then 0. else 1.)
+  in
+  { layers; max_move; x0; y0; z_bias; mask }
+
+let forward t ~features =
+  let o = Gcn.forward_stack t.layers (V.const features) in
+  let cols = V.columns o in
+  let masked v = V.mul (V.const t.mask) v in
+  let x =
+    V.add (V.const t.x0) (V.scale t.max_move (masked (V.tanh_ cols.(0))))
+  in
+  let y =
+    V.add (V.const t.y0) (V.scale t.max_move (masked (V.tanh_ cols.(1))))
+  in
+  (* damp the raw logit so a freshly initialized GNN stays close to
+     the incoming tier assignment *)
+  let z = V.sigmoid (V.add (V.scale 0.6 (masked cols.(2))) (V.const t.z_bias)) in
+  (x, y, z)
+
+let params t = Gcn.stack_params t.layers
+let n_params t = List.fold_left (fun a p -> a + V.numel p) 0 (params t)

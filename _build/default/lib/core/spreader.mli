@@ -1,0 +1,45 @@
+(** The GNN-based 3D cell spreader (section IV-A).
+
+    Three GCN layers with weights shared across all cells predict, per
+    cell, a bounded (dx, dy) move plus a tier probability
+    [z in [0, 1]]: [x = x0 + max_move * tanh(o_x)], [y] likewise, and
+    [z = sigmoid(o_z + bias(z0))] where the fixed logit bias starts
+    every cell near its current tier, so optimization begins from the
+    incoming placement.  Macros are masked: their positions and tiers
+    never move. *)
+
+type t
+
+val graph_of_netlist : Dco3d_netlist.Netlist.t -> Dco3d_graph.Csr.t
+(** The weighted cell-connectivity graph: cliques (weight
+    [1/(deg-1)]) for nets with at most 16 pins, driver-centered stars
+    (weight [2/deg]) for larger nets; IO pins are dropped.  Symmetric,
+    un-normalized (feed to {!Dco3d_graph.Csr.symmetric_normalize} for
+    propagation, or use directly as the Eq.-7 cut graph). *)
+
+val node_features :
+  Dco3d_place.Placement.t -> Dco3d_tensor.Tensor.t
+(** The Table-II handcrafted features (worst slack, slews, powers,
+    leakage, geometry — computed by a pre-route STA over the incoming
+    placement) augmented with the normalized initial position
+    [(x0/W, y0/H, tier)], giving [[n; 11]]. *)
+
+val create :
+  Dco3d_tensor.Rng.t ->
+  adj:Dco3d_graph.Csr.t ->
+  n_features:int ->
+  ?hidden:int ->
+  max_move:float ->
+  placement:Dco3d_place.Placement.t ->
+  unit ->
+  t
+(** [adj] must already be symmetric-normalized.  [max_move] in um. *)
+
+val forward :
+  t ->
+  features:Dco3d_tensor.Tensor.t ->
+  Dco3d_autodiff.Value.t * Dco3d_autodiff.Value.t * Dco3d_autodiff.Value.t
+(** [(x, y, z)] rank-1 values of length [n_cells]. *)
+
+val params : t -> Dco3d_autodiff.Value.t list
+val n_params : t -> int

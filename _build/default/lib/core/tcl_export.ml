@@ -1,0 +1,63 @@
+module Nl = Dco3d_netlist.Netlist
+module Pl = Dco3d_place.Placement
+
+let cell_name c = Printf.sprintf "u%d" c
+
+let to_string ?only_moved_from (p : Pl.t) =
+  let buf = Buffer.create (1 lsl 14) in
+  Buffer.add_string buf "# DCO-3D cell spreading constraints\n";
+  Buffer.add_string buf
+    (Printf.sprintf "# design %s, %d cells\n" p.Pl.nl.Nl.design
+       (Nl.n_cells p.Pl.nl));
+  let moved c =
+    match only_moved_from with
+    | None -> true
+    | Some r ->
+        abs_float (p.Pl.x.(c) -. r.Pl.x.(c)) > 1e-9
+        || abs_float (p.Pl.y.(c) -. r.Pl.y.(c)) > 1e-9
+        || p.Pl.tier.(c) <> r.Pl.tier.(c)
+  in
+  for c = 0 to Nl.n_cells p.Pl.nl - 1 do
+    if moved c then begin
+      Buffer.add_string buf
+        (Printf.sprintf
+           "set_attribute -objects [get_cells %s] -name die -value %d\n"
+           (cell_name c) p.Pl.tier.(c));
+      Buffer.add_string buf
+        (Printf.sprintf
+           "set_cell_location -coordinates {%.4f %.4f} -fixed [get_cells %s]\n"
+           p.Pl.x.(c) p.Pl.y.(c) (cell_name c))
+    end
+  done;
+  Buffer.contents buf
+
+let write ?only_moved_from p path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?only_moved_from p))
+
+let parse_locations text =
+  let lines = String.split_on_char '\n' text in
+  let die = Hashtbl.create 97 in
+  let out = ref [] in
+  List.iter
+    (fun line ->
+      match
+        Scanf.sscanf_opt line
+          "set_attribute -objects [get_cells %s@] -name die -value %d"
+          (fun name v -> (name, v))
+      with
+      | Some (name, v) -> Hashtbl.replace die name v
+      | None -> (
+          match
+            Scanf.sscanf_opt line
+              "set_cell_location -coordinates {%f %f} -fixed [get_cells %s@]"
+              (fun x y name -> (x, y, name))
+          with
+          | Some (x, y, name) ->
+              let tier = Option.value ~default:0 (Hashtbl.find_opt die name) in
+              out := (name, x, y, tier) :: !out
+          | None -> ()))
+    lines;
+  List.rev !out

@@ -1,0 +1,27 @@
+(** TCL constraint export.
+
+    The paper's DCO-3D "directly generates cell spreading decisions in
+    TCL constraints for the commercial P&R tool" (section I).  This
+    module reproduces that integration contract: the optimized
+    placement is serialized as ICC2-style commands
+    ([set_cell_location -coordinates {x y} -fixed] plus a die
+    attribute), one per moved cell, so a downstream tool run can
+    consume the spreading decisions. *)
+
+val to_string :
+  ?only_moved_from:Dco3d_place.Placement.t ->
+  Dco3d_place.Placement.t ->
+  string
+(** Render the constraints.  With [only_moved_from], only cells whose
+    position or tier changed with respect to the reference placement
+    are emitted (the paper's "cell spreading decisions"). *)
+
+val write :
+  ?only_moved_from:Dco3d_place.Placement.t ->
+  Dco3d_place.Placement.t ->
+  string ->
+  unit
+
+val parse_locations : string -> (string * float * float * int) list
+(** Parse back [(cell_name, x, y, tier)] from an exported script —
+    used by tests and by the CLI round-trip. *)

@@ -1,0 +1,1 @@
+lib/cts/cts.ml: Array Dco3d_netlist Dco3d_place

@@ -1,0 +1,1 @@
+lib/cts/cts.mli: Dco3d_place

@@ -1,0 +1,94 @@
+module Nl = Dco3d_netlist.Netlist
+module Pl = Dco3d_place.Placement
+
+type result = {
+  wirelength : float;
+  n_buffers : int;
+  skew_ps : float;
+  max_latency_ps : float;
+  n_sinks : int;
+}
+
+type sink = { sx : float; sy : float; via : bool }
+
+(* per-um clock wire delay (ps) and per-buffer stage delay (ps) *)
+let wire_delay_per_um = 0.9
+let buffer_delay = 8.0
+let via_stub = 0.5
+
+let synthesize ?(max_fanout = 16) (p : Pl.t) =
+  let nl = p.Pl.nl in
+  let sinks = ref [] in
+  for c = 0 to Nl.n_cells nl - 1 do
+    if nl.Nl.masters.(c).Dco3d_netlist.Cell_lib.is_seq then
+      sinks :=
+        { sx = p.Pl.x.(c); sy = p.Pl.y.(c); via = p.Pl.tier.(c) = 1 }
+        :: !sinks
+  done;
+  let sinks = Array.of_list !sinks in
+  let n_sinks = Array.length sinks in
+  if n_sinks = 0 then
+    { wirelength = 0.; n_buffers = 0; skew_ps = 0.; max_latency_ps = 0.; n_sinks = 0 }
+  else begin
+    let wirelength = ref 0. in
+    let n_buffers = ref 0 in
+    let min_lat = ref infinity and max_lat = ref 0. in
+    (* recursively split [lo, hi) of the (mutated) sink array; returns
+       the subtree's tap point; [latency] is the delay accumulated from
+       the root to this tap *)
+    let rec build lo hi axis_x latency =
+      let count = hi - lo in
+      if count <= max_fanout then begin
+        (* leaf buffer drives these sinks directly *)
+        incr n_buffers;
+        let cx = ref 0. and cy = ref 0. in
+        for i = lo to hi - 1 do
+          cx := !cx +. sinks.(i).sx;
+          cy := !cy +. sinks.(i).sy
+        done;
+        let cx = !cx /. float_of_int count and cy = !cy /. float_of_int count in
+        for i = lo to hi - 1 do
+          let s = sinks.(i) in
+          let dist =
+            abs_float (s.sx -. cx) +. abs_float (s.sy -. cy)
+            +. if s.via then via_stub else 0.
+          in
+          wirelength := !wirelength +. dist;
+          let lat = latency +. buffer_delay +. (wire_delay_per_um *. dist) in
+          if lat < !min_lat then min_lat := lat;
+          if lat > !max_lat then max_lat := lat
+        done;
+        (cx, cy)
+      end
+      else begin
+        (* median split along the chosen axis *)
+        let slice = Array.sub sinks lo count in
+        Array.sort
+          (fun a b ->
+            if axis_x then compare a.sx b.sx else compare a.sy b.sy)
+          slice;
+        Array.blit slice 0 sinks lo count;
+        let mid = lo + (count / 2) in
+        incr n_buffers;
+        (* the tap point is the centroid of the two children's taps;
+           recurse with an estimated extra stage latency, then wire the
+           children *)
+        let lat' = latency +. buffer_delay in
+        let lx, ly = build lo mid (not axis_x) lat' in
+        let rx, ry = build mid hi (not axis_x) lat' in
+        let cx = (lx +. rx) /. 2. and cy = (ly +. ry) /. 2. in
+        let dl = abs_float (lx -. cx) +. abs_float (ly -. cy) in
+        let dr = abs_float (rx -. cx) +. abs_float (ry -. cy) in
+        wirelength := !wirelength +. dl +. dr;
+        (cx, cy)
+      end
+    in
+    let _root = build 0 n_sinks true 0. in
+    {
+      wirelength = !wirelength;
+      n_buffers = !n_buffers;
+      skew_ps = !max_lat -. !min_lat;
+      max_latency_ps = !max_lat;
+      n_sinks;
+    }
+  end

@@ -1,0 +1,21 @@
+(** Clock-tree synthesis — the Pin-3D flow's CTS stage (Fig. 1).
+
+    A recursive-geometric-matching tree: flip-flop sinks are split at
+    the median along alternating axes, a clock buffer is placed at each
+    internal node's centroid, and wiring follows Manhattan parent-child
+    connections.  Sinks on the top die add a hybrid-bond stub.  The
+    result feeds the power model (clock wire + buffer capacitance) and
+    reports skew as the spread of root-to-sink latencies. *)
+
+type result = {
+  wirelength : float;  (** total clock wire, um *)
+  n_buffers : int;  (** inserted clock buffers *)
+  skew_ps : float;  (** max - min insertion latency *)
+  max_latency_ps : float;
+  n_sinks : int;
+}
+
+val synthesize : ?max_fanout:int -> Dco3d_place.Placement.t -> result
+(** Build the tree over all flip-flop sinks of the placement.
+    [max_fanout] (default 16) bounds leaf-buffer load.  A design with
+    no flip-flops yields a zero result. *)

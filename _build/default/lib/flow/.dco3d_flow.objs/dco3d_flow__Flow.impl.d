@@ -1,0 +1,1 @@
+lib/flow/flow.ml: Array Dco3d_bayesopt Dco3d_cts Dco3d_netlist Dco3d_place Dco3d_route Dco3d_sta Format List Logs

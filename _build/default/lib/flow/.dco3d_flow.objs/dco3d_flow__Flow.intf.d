@@ -1,0 +1,1 @@
+lib/flow/flow.mli: Dco3d_netlist Dco3d_place Dco3d_route Format

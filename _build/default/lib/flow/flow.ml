@@ -1,0 +1,216 @@
+module Nl = Dco3d_netlist.Netlist
+module Cl = Dco3d_netlist.Cell_lib
+module Fp = Dco3d_place.Floorplan
+module Pl = Dco3d_place.Placement
+module Placer = Dco3d_place.Placer
+module Params = Dco3d_place.Params
+module Router = Dco3d_route.Router
+module Sta = Dco3d_sta.Sta
+module Cts = Dco3d_cts.Cts
+module Bo = Dco3d_bayesopt.Bayesopt
+
+let log_src = Logs.Src.create "dco3d.flow" ~doc:"Pin-3D flow emulation"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type context = {
+  nl : Nl.t;
+  fp : Fp.t;
+  route_cfg : Router.config;
+  clock_period_ps : float;
+  seed : int;
+}
+
+type place_stage = {
+  overflow : int;
+  ovf_gcell_pct : float;
+  ovf_h : int;
+  ovf_v : int;
+  place_hpwl : float;
+}
+
+type signoff = {
+  wns_ps : float;
+  tns_ps : float;
+  power_mw : float;
+  wirelength_um : float;
+  upsized_cells : int;
+  clock_skew_ps : float;
+}
+
+type result = {
+  flow_name : string;
+  placement : Pl.t;
+  route : Router.result;
+  place_stage : place_stage;
+  signoff : signoff;
+  params : Params.t;
+}
+
+let net_is_3d_fn (p : Pl.t) nid = Pl.net_is_3d p p.Pl.nl.Nl.nets.(nid)
+
+let make_context ?(seed = 1) ?(utilization = 0.55) ?(gcell_nx = 48)
+    ?(gcell_ny = 48) nl =
+  let fp = Fp.create ~utilization ~gcell_nx ~gcell_ny nl in
+  (* calibrate the routing fabric and the clock on the Pin-3D baseline *)
+  let base = Placer.global_place ~seed ~params:Params.default nl fp in
+  let route_cfg = Router.calibrated_config base in
+  let r = Router.route ~config:route_cfg base in
+  let clock_period_ps =
+    Sta.suggest_period nl ~net_length:r.Router.net_length
+      ~net_is_3d:(net_is_3d_fn base)
+  in
+  { nl; fp; route_cfg; clock_period_ps; seed }
+
+(* ------------------------------------------------------------------ *)
+(* Signoff ECO sizing                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let signoff_optimize ctx nl ~net_length ~net_is_3d =
+  let cfg = Sta.default_config ~clock_period_ps:ctx.clock_period_ps in
+  let upsized = ref 0 in
+  let continue_ = ref true in
+  let rounds = ref 0 in
+  (* the load each cell drives: upsizing pays off when the cell's own
+     drive resistance into that load dominates its stage delay *)
+  let drive_score c =
+    let out = nl.Nl.cell_fanout.(c) in
+    if out < 0 || nl.Nl.nets.(out).Nl.is_clock then 0.
+    else begin
+      let net = nl.Nl.nets.(out) in
+      let load =
+        (0.22 *. net_length.(out))
+        +. Array.fold_left
+             (fun acc e ->
+               match e with
+               | Nl.Cell k -> acc +. nl.Nl.masters.(k).Cl.input_cap
+               | Nl.Io _ -> acc +. 2.0)
+             0. net.Nl.sinks
+      in
+      nl.Nl.masters.(c).Cl.drive_res *. load
+    end
+  in
+  let tns_of () = (Sta.analyze cfg nl ~net_length ~net_is_3d).Sta.tns in
+  let prev_tns = ref (tns_of ()) in
+  while !continue_ && !rounds < 8 do
+    incr rounds;
+    let t = Sta.analyze cfg nl ~net_length ~net_is_3d in
+    if t.Sta.wns >= 0. then continue_ := false
+    else begin
+      (* candidates: violating cells whose stage delay is drive-limited *)
+      let victims = ref [] in
+      Array.iteri
+        (fun c slack ->
+          if slack < 0. then victims := (drive_score c, c) :: !victims)
+        t.Sta.cell_slack;
+      let victims =
+        List.sort (fun (a, _) (b, _) -> compare b a) !victims
+      in
+      let budget = max 8 (List.length victims / 4) in
+      let snapshot = Array.copy nl.Nl.masters in
+      let changed = ref 0 in
+      List.iteri
+        (fun i (_, c) ->
+          if i < budget then
+            match Cl.upsize nl.Nl.masters.(c) with
+            | Some m ->
+                nl.Nl.masters.(c) <- m;
+                incr changed
+            | None -> ())
+        victims;
+      if !changed = 0 then continue_ := false
+      else begin
+        (* accept-if-improves, like any production ECO loop *)
+        let tns = tns_of () in
+        if tns <= !prev_tns then begin
+          Array.blit snapshot 0 nl.Nl.masters 0 (Array.length snapshot);
+          continue_ := false
+        end
+        else begin
+          prev_tns := tns;
+          upsized := !upsized + !changed
+        end
+      end
+    end
+  done;
+  !upsized
+
+(* ------------------------------------------------------------------ *)
+(* Flow driver                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run_with_placement_internal ctx ~name ~params (p : Pl.t) =
+  (* placement-stage congestion evaluation (global route) *)
+  let route = Router.route ~config:ctx.route_cfg p in
+  let place_stage =
+    {
+      overflow = route.Router.overflow_total;
+      ovf_gcell_pct = route.Router.overflow_gcell_pct;
+      ovf_h = route.Router.overflow_h;
+      ovf_v = route.Router.overflow_v;
+      place_hpwl = Pl.hpwl p;
+    }
+  in
+  Log.debug (fun m ->
+      m "%s: placement-stage overflow %d (%.1f%% gcells)" name
+        place_stage.overflow place_stage.ovf_gcell_pct);
+  (* CTS *)
+  let clock = Cts.synthesize p in
+  (* signoff ECO sizing on a private copy of the netlist *)
+  let nl = Nl.copy ctx.nl in
+  let net_is_3d = net_is_3d_fn p in
+  let upsized =
+    signoff_optimize ctx nl ~net_length:route.Router.net_length ~net_is_3d
+  in
+  let cfg = Sta.default_config ~clock_period_ps:ctx.clock_period_ps in
+  let t = Sta.analyze cfg nl ~net_length:route.Router.net_length ~net_is_3d in
+  let pw =
+    Sta.estimate_power cfg nl ~net_length:route.Router.net_length
+      ~clock_wirelength:clock.Cts.wirelength
+      ~clock_buffers:clock.Cts.n_buffers ()
+  in
+  let signoff =
+    {
+      wns_ps = t.Sta.wns;
+      tns_ps = t.Sta.tns;
+      power_mw = pw.Sta.total_mw;
+      wirelength_um = route.Router.wirelength +. clock.Cts.wirelength;
+      upsized_cells = upsized;
+      clock_skew_ps = clock.Cts.skew_ps;
+    }
+  in
+  { flow_name = name; placement = p; route; place_stage; signoff; params }
+
+let run_with_params ctx ~name params =
+  let p = Placer.global_place ~seed:ctx.seed ~params ctx.nl ctx.fp in
+  run_with_placement_internal ctx ~name ~params p
+
+let run_with_placement ctx ~name p =
+  run_with_placement_internal ctx ~name ~params:Params.default p
+
+let run_pin3d ctx = run_with_params ctx ~name:"Pin3D" Params.default
+
+let run_pin3d_cong ctx =
+  run_with_params ctx ~name:"Pin3D + Cong." Params.congestion_focused
+
+let run_pin3d_bo ?(iterations = 12) ?(bo_seed = 7) ctx =
+  let bo = Bo.create ~seed:bo_seed ~dim:Params.dimensions () in
+  (* cheap objective: placement-stage routed overflow with a reduced
+     repair budget (BO probes many points) *)
+  let probe_cfg = { ctx.route_cfg with Router.max_iterations = 1 } in
+  let evaluate v =
+    let params = Params.of_vector v in
+    let p = Placer.global_place ~seed:ctx.seed ~params ctx.nl ctx.fp in
+    let r = Router.route ~config:probe_cfg p in
+    float_of_int r.Router.overflow_total
+  in
+  let best_v, best_y = Bo.minimize ~iterations ~init:4 bo evaluate in
+  Log.debug (fun m -> m "BO best probe overflow: %.0f" best_y);
+  run_with_params ctx ~name:"Pin3D + BO" (Params.of_vector best_v)
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "%-14s | ovf %6d (%5.2f%% gcells, H %6d, V %6d) | wns %8.2f ps | tns %10.1f ps | %7.2f mW | WL %10.1f um"
+    r.flow_name r.place_stage.overflow r.place_stage.ovf_gcell_pct
+    r.place_stage.ovf_h r.place_stage.ovf_v r.signoff.wns_ps r.signoff.tns_ps
+    r.signoff.power_mw r.signoff.wirelength_um

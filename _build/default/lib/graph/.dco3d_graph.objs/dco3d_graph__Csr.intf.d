@@ -1,0 +1,1 @@
+lib/graph/csr.mli: Dco3d_tensor

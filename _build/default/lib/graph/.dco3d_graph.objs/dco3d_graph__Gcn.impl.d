@@ -1,0 +1,1 @@
+lib/graph/gcn.ml: Csr Dco3d_autodiff Dco3d_nn Fun List

@@ -1,0 +1,1 @@
+lib/graph/gcn.mli: Csr Dco3d_autodiff Dco3d_tensor

@@ -1,0 +1,50 @@
+(** Compressed-sparse-row matrices over floats.
+
+    The netlist connectivity graph that drives the paper's GNN cell
+    spreader is stored in this format: for the published design sizes
+    (13K-120K cells, 14K-120K nets) dense adjacency is out of the
+    question, while CSR gives linear-time sparse-dense products. *)
+
+type t = private {
+  n_rows : int;
+  n_cols : int;
+  row_ptr : int array;  (** length [n_rows + 1] *)
+  col_idx : int array;
+  values : float array;
+}
+
+val create :
+  n_rows:int -> n_cols:int -> (int * int * float) list -> t
+(** [create ~n_rows ~n_cols coo] builds a CSR matrix from coordinate
+    triples [(row, col, value)].  Duplicate coordinates are summed.
+    @raise Invalid_argument on out-of-range indices. *)
+
+val identity : int -> t
+val nnz : t -> int
+val get : t -> int -> int -> float
+(** [get m i j] is 0. for absent entries ([O(log nnz_row)]). *)
+
+val transpose : t -> t
+
+val matvec : t -> float array -> float array
+
+val spmm : t -> Dco3d_tensor.Tensor.t -> Dco3d_tensor.Tensor.t
+(** [spmm a x] with [x : [n_cols; f]] returns [[n_rows; f]]. *)
+
+val row_sums : t -> float array
+
+val iter_row : t -> int -> (int -> float -> unit) -> unit
+(** Iterate over the stored entries of one row. *)
+
+val iter : t -> (int -> int -> float -> unit) -> unit
+(** Iterate over all stored entries as [(row, col, value)]. *)
+
+val scale_rows : t -> float array -> t
+(** [scale_rows m d] multiplies row [i] by [d.(i)]. *)
+
+val scale_cols : t -> float array -> t
+
+val symmetric_normalize : t -> t
+(** [symmetric_normalize a] returns [D^-1/2 (A + I) D^-1/2] where [D] is
+    the degree matrix of [A + I] — the GCN propagation operator of Kipf
+    & Welling used by the paper's spreader.  Requires a square input. *)

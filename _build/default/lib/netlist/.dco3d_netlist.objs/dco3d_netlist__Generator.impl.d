@@ -1,0 +1,1 @@
+lib/netlist/generator.ml: Array Cell_lib Dco3d_tensor Float Fun Hashtbl List Netlist Printf Queue String

@@ -1,0 +1,1 @@
+lib/netlist/netlist.ml: Array Cell_lib Hashtbl List Option Printf Queue

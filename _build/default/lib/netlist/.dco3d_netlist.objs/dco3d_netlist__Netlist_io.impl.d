@@ -1,0 +1,1 @@
+lib/netlist/netlist_io.ml: Array Buffer Cell_lib Fun List Netlist Printf String

@@ -1,0 +1,159 @@
+type cell_class =
+  | Inv
+  | Buf
+  | Nand2
+  | Nor2
+  | And2
+  | Or2
+  | Xor2
+  | Aoi21
+  | Oai21
+  | Mux2
+  | Dff
+  | Clkbuf
+  | Macro
+
+type master = {
+  name : string;
+  klass : cell_class;
+  drive : int;
+  width : float;
+  height : float;
+  n_inputs : int;
+  input_cap : float;
+  drive_res : float;
+  intrinsic_delay : float;
+  leakage : float;
+  internal_energy : float;
+  is_seq : bool;
+}
+
+let row_height = 0.15
+
+let class_name = function
+  | Inv -> "INV"
+  | Buf -> "BUF"
+  | Nand2 -> "NAND2"
+  | Nor2 -> "NOR2"
+  | And2 -> "AND2"
+  | Or2 -> "OR2"
+  | Xor2 -> "XOR2"
+  | Aoi21 -> "AOI21"
+  | Oai21 -> "OAI21"
+  | Mux2 -> "MUX2"
+  | Dff -> "DFF"
+  | Clkbuf -> "CLKBUF"
+  | Macro -> "MACRO"
+
+(* Per-class base characteristics at drive X1.  Larger drives scale
+   width / input_cap / leakage / internal energy up and drive_res down,
+   the standard cell-library trade-off. *)
+type base = {
+  b_class : cell_class;
+  b_width : float;
+  b_inputs : int;
+  b_cap : float;
+  b_res : float;
+  b_delay : float;
+  b_leak : float;
+  b_energy : float;
+  b_seq : bool;
+}
+
+let bases =
+  [|
+    { b_class = Inv; b_width = 0.054; b_inputs = 1; b_cap = 0.6; b_res = 6.0;
+      b_delay = 4.0; b_leak = 1.2; b_energy = 0.35; b_seq = false };
+    { b_class = Buf; b_width = 0.072; b_inputs = 1; b_cap = 0.7; b_res = 5.5;
+      b_delay = 7.0; b_leak = 1.6; b_energy = 0.5; b_seq = false };
+    { b_class = Nand2; b_width = 0.072; b_inputs = 2; b_cap = 0.7; b_res = 7.0;
+      b_delay = 5.5; b_leak = 1.8; b_energy = 0.45; b_seq = false };
+    { b_class = Nor2; b_width = 0.072; b_inputs = 2; b_cap = 0.7; b_res = 8.0;
+      b_delay = 6.0; b_leak = 1.8; b_energy = 0.45; b_seq = false };
+    { b_class = And2; b_width = 0.090; b_inputs = 2; b_cap = 0.8; b_res = 7.0;
+      b_delay = 8.5; b_leak = 2.2; b_energy = 0.6; b_seq = false };
+    { b_class = Or2; b_width = 0.090; b_inputs = 2; b_cap = 0.8; b_res = 7.5;
+      b_delay = 9.0; b_leak = 2.2; b_energy = 0.6; b_seq = false };
+    { b_class = Xor2; b_width = 0.126; b_inputs = 2; b_cap = 1.1; b_res = 8.5;
+      b_delay = 11.0; b_leak = 3.0; b_energy = 0.9; b_seq = false };
+    { b_class = Aoi21; b_width = 0.108; b_inputs = 3; b_cap = 0.9; b_res = 8.5;
+      b_delay = 8.0; b_leak = 2.6; b_energy = 0.7; b_seq = false };
+    { b_class = Oai21; b_width = 0.108; b_inputs = 3; b_cap = 0.9; b_res = 8.5;
+      b_delay = 8.0; b_leak = 2.6; b_energy = 0.7; b_seq = false };
+    { b_class = Mux2; b_width = 0.126; b_inputs = 3; b_cap = 1.0; b_res = 8.0;
+      b_delay = 10.0; b_leak = 2.8; b_energy = 0.8; b_seq = false };
+    { b_class = Dff; b_width = 0.270; b_inputs = 1; b_cap = 0.9; b_res = 7.0;
+      b_delay = 22.0; b_leak = 6.0; b_energy = 1.8; b_seq = true };
+    { b_class = Clkbuf; b_width = 0.108; b_inputs = 1; b_cap = 0.9; b_res = 4.0;
+      b_delay = 8.0; b_leak = 2.4; b_energy = 0.7; b_seq = false };
+  |]
+
+let drives = [| 1; 2; 4; 8 |]
+
+let make_master b drive =
+  let d = float_of_int drive in
+  {
+    name = Printf.sprintf "%s_X%d" (class_name b.b_class) drive;
+    klass = b.b_class;
+    drive;
+    width = b.b_width *. (1. +. (0.65 *. (d -. 1.)));
+    height = row_height;
+    n_inputs = b.b_inputs;
+    input_cap = b.b_cap *. (1. +. (0.55 *. (d -. 1.)));
+    drive_res = b.b_res /. d;
+    intrinsic_delay = b.b_delay *. (1. +. (0.05 *. (d -. 1.)));
+    leakage = b.b_leak *. d;
+    internal_energy = b.b_energy *. (1. +. (0.5 *. (d -. 1.)));
+    is_seq = b.b_seq;
+  }
+
+let all =
+  Array.concat
+    (Array.to_list
+       (Array.map (fun b -> Array.map (make_master b) drives) bases))
+
+let table = Hashtbl.create 64
+let () = Array.iter (fun m -> Hashtbl.replace table m.name m) all
+
+let find name =
+  match Hashtbl.find_opt table name with
+  | Some m -> m
+  | None -> raise Not_found
+
+let combinational = [ Inv; Buf; Nand2; Nor2; And2; Or2; Xor2; Aoi21; Oai21; Mux2 ]
+
+let master_of klass ~drive = find (Printf.sprintf "%s_X%d" (class_name klass) drive)
+
+let next_drive m delta =
+  let rec index i =
+    if i >= Array.length drives then None
+    else if drives.(i) = m.drive then Some i
+    else index (i + 1)
+  in
+  match index 0 with
+  | None -> None
+  | Some i ->
+      let j = i + delta in
+      if j < 0 || j >= Array.length drives then None
+      else Some (master_of m.klass ~drive:drives.(j))
+
+let upsize m = if m.klass = Macro then None else next_drive m 1
+let downsize m = if m.klass = Macro then None else next_drive m (-1)
+
+let macro_master ~name ~width ~height =
+  {
+    name;
+    klass = Macro;
+    drive = 1;
+    width;
+    height;
+    n_inputs = 0;
+    input_cap = 3.0;
+    drive_res = 2.0;
+    intrinsic_delay = 60.0;
+    leakage = 500.0;
+    internal_energy = 25.0;
+    is_seq = false;
+  }
+
+let area m = m.width *. m.height

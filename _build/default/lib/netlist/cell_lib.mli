@@ -1,0 +1,70 @@
+(** A small standard-cell library standing in for the paper's commercial
+    3nm PDK.
+
+    Values are invented but mutually consistent (a linear delay model
+    [d = intrinsic + drive_res * load_cap] in picoseconds with
+    capacitance in femtofarads and resistance in kilo-ohms, energies in
+    femtojoules, leakage in nanowatts, geometry in micrometres).  The
+    experiments only need the couplings the real PDK provides: bigger
+    drives are faster into large loads but cost area, input capacitance,
+    and leakage — which is what makes the signoff optimizer's sizing
+    moves meaningful. *)
+
+type cell_class =
+  | Inv
+  | Buf
+  | Nand2
+  | Nor2
+  | And2
+  | Or2
+  | Xor2
+  | Aoi21
+  | Oai21
+  | Mux2
+  | Dff
+  | Clkbuf
+  | Macro
+
+type master = {
+  name : string;  (** e.g. ["NAND2_X2"] *)
+  klass : cell_class;
+  drive : int;  (** drive strength: 1, 2, 4 or 8 *)
+  width : float;  (** um *)
+  height : float;  (** um; one row height for standard cells *)
+  n_inputs : int;  (** signal inputs (excluding clock) *)
+  input_cap : float;  (** fF per input pin *)
+  drive_res : float;  (** kOhm output resistance *)
+  intrinsic_delay : float;  (** ps *)
+  leakage : float;  (** nW *)
+  internal_energy : float;  (** fJ per output toggle *)
+  is_seq : bool;  (** true for flip-flops *)
+}
+
+val row_height : float
+(** Standard-cell row height (um). *)
+
+val all : master array
+(** Every master in the library, macros excluded. *)
+
+val find : string -> master
+(** Lookup by name. @raise Not_found for unknown masters. *)
+
+val combinational : cell_class list
+(** The classes eligible for random combinational logic. *)
+
+val master_of : cell_class -> drive:int -> master
+(** @raise Not_found if the (class, drive) pair is not in the library. *)
+
+val upsize : master -> master option
+(** Next drive strength of the same class, if any — the signoff
+    optimizer's repair move. *)
+
+val downsize : master -> master option
+(** Previous drive strength — the power-recovery move. *)
+
+val macro_master : name:string -> width:float -> height:float -> master
+(** A hard macro (RAM block etc.): placed but not sized or timed as a
+    gate. *)
+
+val area : master -> float
+(** [width * height] in um^2. *)

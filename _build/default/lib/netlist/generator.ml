@@ -1,0 +1,483 @@
+module Rng = Dco3d_tensor.Rng
+
+type profile = {
+  name : string;
+  n_cells : int;
+  n_ios : int;
+  seq_fraction : float;
+  depth : int;
+  hub_fraction : float;
+  locality : float;
+  macros : (string * float * float) list;
+}
+
+(* Published sizes from Table III; topology knobs chosen to reflect each
+   design's character. *)
+let profiles =
+  [
+    { name = "DMA"; n_cells = 13_000; n_ios = 961; seq_fraction = 0.18;
+      depth = 10; hub_fraction = 0.0020; locality = 0.55; macros = [] };
+    { name = "AES"; n_cells = 114_000; n_ios = 390; seq_fraction = 0.06;
+      depth = 16; hub_fraction = 0.0010; locality = 0.65; macros = [] };
+    { name = "ECG"; n_cells = 83_000; n_ios = 1_700; seq_fraction = 0.12;
+      depth = 14; hub_fraction = 0.0015; locality = 0.60; macros = [] };
+    { name = "LDPC"; n_cells = 39_000; n_ios = 4_100; seq_fraction = 0.08;
+      depth = 6; hub_fraction = 0.0040; locality = 0.30; macros = [] };
+    { name = "VGA"; n_cells = 52_000; n_ios = 184; seq_fraction = 0.20;
+      depth = 12; hub_fraction = 0.0010; locality = 0.70;
+      macros = [ ("VGA_LINEBUF0", 6.0, 4.0); ("VGA_LINEBUF1", 6.0, 4.0) ] };
+    { name = "Rocket"; n_cells = 120_000; n_ios = 379; seq_fraction = 0.15;
+      depth = 20; hub_fraction = 0.0015; locality = 0.60;
+      macros =
+        [ ("ROCKET_ICACHE", 8.0, 6.0); ("ROCKET_DCACHE", 8.0, 6.0);
+          ("ROCKET_ITLB", 4.0, 3.0); ("ROCKET_DTLB", 4.0, 3.0) ] };
+  ]
+
+let profile name =
+  let lower = String.lowercase_ascii name in
+  match
+    List.find_opt (fun p -> String.lowercase_ascii p.name = lower) profiles
+  with
+  | Some p -> p
+  | None -> raise Not_found
+
+(* Growable int vector — sink lists. *)
+module Vec = struct
+  type t = { mutable data : int array; mutable len : int }
+
+  let create () = { data = Array.make 4 0; len = 0 }
+
+  let push v x =
+    if v.len = Array.length v.data then begin
+      let data = Array.make (2 * v.len) 0 in
+      Array.blit v.data 0 data 0 v.len;
+      v.data <- data
+    end;
+    v.data.(v.len) <- x;
+    v.len <- v.len + 1
+
+  let to_array v = Array.sub v.data 0 v.len
+end
+
+let pick_drive rng =
+  let u = Rng.uniform rng in
+  if u < 0.60 then 1 else if u < 0.85 then 2 else if u < 0.95 then 4 else 8
+
+let generate ?(scale = 1.0) ~seed p =
+  let rng = Rng.create (seed lxor Hashtbl.hash p.name) in
+  let n_cells = max 24 (int_of_float (float_of_int p.n_cells *. scale)) in
+  let n_ios = max 8 (int_of_float (float_of_int p.n_ios *. scale)) in
+  let n_ff = max 2 (int_of_float (p.seq_fraction *. float_of_int n_cells)) in
+  let n_comb = n_cells - n_ff in
+  let n_macros = List.length p.macros in
+  let total_cells = n_cells + n_macros in
+  (* IOs: index 0 is the clock; then inputs, then outputs. *)
+  let n_in = max 2 (int_of_float (0.45 *. float_of_int (n_ios - 1))) in
+  let n_out = max 2 (n_ios - 1 - n_in) in
+  let n_ios = 1 + n_in + n_out in
+
+  (* --- masters ------------------------------------------------------ *)
+  let comb_classes = Array.of_list Cell_lib.combinational in
+  let masters =
+    Array.init total_cells (fun c ->
+        if c < n_comb then
+          Cell_lib.master_of (Rng.choose rng comb_classes) ~drive:(pick_drive rng)
+        else if c < n_cells then
+          Cell_lib.master_of Cell_lib.Dff
+            ~drive:(if Rng.uniform rng < 0.8 then 1 else 2)
+        else begin
+          (* macro contents scale with the design, so their footprint
+             scales by sqrt(scale) — keeps the macro area fraction
+             constant across test scales *)
+          let mscale = Float.max 0.1 (sqrt scale) in
+          let name, w, h = List.nth p.macros (c - n_cells) in
+          Cell_lib.macro_master ~name ~width:(w *. mscale) ~height:(h *. mscale)
+        end)
+  in
+
+  (* --- levels -------------------------------------------------------- *)
+  (* Comb cells get a level in 1..depth; level-0 drivers are primary
+     inputs, flip-flop outputs and macro outputs.  Top-level cells can
+     only be consumed by flip-flop D pins and primary outputs, so the
+     level distribution decays geometrically with a ratio chosen to keep
+     the expected top-level population under that consumer capacity —
+     otherwise shallow IO-heavy profiles (LDPC) would saturate and leave
+     dangling gates. *)
+  let level = Array.make total_cells 0 in
+  let cap = 0.6 *. float_of_int (n_ff + n_out) in
+  let top_share r =
+    if r >= 0.9999 then 1. /. float_of_int p.depth
+    else (r ** float_of_int (p.depth - 1)) *. (1. -. r) /. (1. -. (r ** float_of_int p.depth))
+  in
+  let decay =
+    if float_of_int n_comb *. top_share 1.0 <= cap then 1.0
+    else begin
+      let lo = ref 0.01 and hi = ref 1.0 in
+      for _ = 1 to 40 do
+        let mid = 0.5 *. (!lo +. !hi) in
+        if float_of_int n_comb *. top_share mid <= cap then lo := mid
+        else hi := mid
+      done;
+      !lo
+    end
+  in
+  let cum_weights = Array.make p.depth 0. in
+  let acc = ref 0. in
+  for l = 0 to p.depth - 1 do
+    acc := !acc +. (decay ** float_of_int l);
+    cum_weights.(l) <- !acc
+  done;
+  let total_weight = !acc in
+  let sample_level () =
+    let u = Rng.uniform rng *. total_weight in
+    let rec find l = if l >= p.depth - 1 || cum_weights.(l) >= u then l + 1 else find (l + 1) in
+    find 0
+  in
+  for c = 0 to n_comb - 1 do
+    level.(c) <- sample_level ()
+  done;
+
+  (* Driver universe: flat array of endpoints ordered by level then id,
+     so that a positional pick with a local window correlates with id
+     locality.  Index ranges per level are recorded in [level_offset]. *)
+  let drivers = Array.make (n_in + total_cells) (Netlist.Io 0) in
+  let driver_level = Array.make (n_in + total_cells) 0 in
+  let pos = ref 0 in
+  let add_driver e l =
+    drivers.(!pos) <- e;
+    driver_level.(!pos) <- l;
+    incr pos
+  in
+  for i = 0 to n_in - 1 do
+    add_driver (Netlist.Io (1 + i)) 0
+  done;
+  for c = n_comb to total_cells - 1 do
+    add_driver (Netlist.Cell c) 0
+  done;
+  for l = 1 to p.depth do
+    for c = 0 to n_comb - 1 do
+      if level.(c) = l then add_driver (Netlist.Cell c) l
+    done
+  done;
+  let n_drivers = !pos in
+  assert (n_drivers = n_in + total_cells);
+  (* prefix count of drivers strictly below each level *)
+  let below = Array.make (p.depth + 2) 0 in
+  for k = 0 to n_drivers - 1 do
+    let l = driver_level.(k) in
+    below.(l + 1) <- max below.(l + 1) (k + 1)
+  done;
+  for l = 1 to p.depth + 1 do
+    below.(l) <- max below.(l) below.(l - 1)
+  done;
+
+  (* hubs: a few designated high-fanout drivers (resets, enables, wide
+     broadcast buses) *)
+  let n_hubs = max 1 (int_of_float (p.hub_fraction *. float_of_int n_drivers)) in
+  let hubs = Array.init n_hubs (fun _ -> Rng.int rng (max 1 (below.(1)))) in
+
+  (* unconsumed pool with lazy deletion *)
+  let consumed = Array.make n_drivers false in
+  let sink_count = Array.make n_drivers 0 in
+  let pool = Array.init n_drivers Fun.id in
+  let pool_len = ref n_drivers in
+  Rng.shuffle rng pool;
+  let pop_unconsumed ~max_level =
+    (* try a few lazily-deleted candidates *)
+    let rec try_ k =
+      if k = 0 || !pool_len = 0 then None
+      else begin
+        let i = Rng.int rng !pool_len in
+        let d = pool.(i) in
+        if consumed.(d) then begin
+          (* lazy delete: swap-remove and retry *)
+          pool.(i) <- pool.(!pool_len - 1);
+          decr pool_len;
+          try_ k
+        end
+        else if driver_level.(d) < max_level then begin
+          pool.(i) <- pool.(!pool_len - 1);
+          decr pool_len;
+          Some d
+        end
+        else try_ (k - 1)
+      end
+    in
+    try_ 6
+  in
+  (* Like [pop_unconsumed], but returns the highest-level candidate of a
+     small sample: used for flip-flop D pins and primary outputs, the
+     only consumers that can absorb top-level logic. *)
+  let pop_unconsumed_topmost ~max_level =
+    (* scan-only sampling (no lazy deletion) so recorded indices stay
+       valid until the final swap-remove *)
+    let best = ref (-1) in
+    let best_level = ref (-1) in
+    let tries = min 12 !pool_len in
+    for _ = 1 to tries do
+      let i = Rng.int rng !pool_len in
+      let d = pool.(i) in
+      if
+        (not consumed.(d))
+        && driver_level.(d) < max_level
+        && driver_level.(d) > !best_level
+      then begin
+        best := i;
+        best_level := driver_level.(d)
+      end
+    done;
+    if !best < 0 then None
+    else begin
+      let d = pool.(!best) in
+      pool.(!best) <- pool.(!pool_len - 1);
+      decr pool_len;
+      Some d
+    end
+  in
+  let sigma = 0.02 +. (0.5 *. (1. -. p.locality)) in
+  let pick_local ~max_level ~at =
+    let limit = below.(max_level) in
+    if limit = 0 then None
+    else begin
+      let u = at +. Rng.gaussian ~sigma rng in
+      let u = Float.max 0. (Float.min 0.999999 u) in
+      Some (int_of_float (u *. float_of_int limit))
+    end
+  in
+  let pick_driver ~max_level ~at ~prefer_unconsumed =
+    let hub_pick () =
+      let d = hubs.(Rng.int rng n_hubs) in
+      if driver_level.(d) < max_level then Some d else None
+    in
+    let choice =
+      if Rng.uniform rng < 0.10 then hub_pick () else None
+    in
+    match choice with
+    | Some d -> Some d
+    | None ->
+        if prefer_unconsumed && Rng.uniform rng < 0.6 then
+          match pop_unconsumed ~max_level with
+          | Some d -> Some d
+          | None -> pick_local ~max_level ~at
+        else pick_local ~max_level ~at
+  in
+
+  (* --- wiring -------------------------------------------------------- *)
+  (* input_driver.(c) = driver index per input pin of cell c *)
+  let input_driver = Array.make total_cells [||] in
+  for c = 0 to n_comb - 1 do
+    let m = masters.(c) in
+    let at = float_of_int c /. float_of_int (max 1 n_comb) in
+    input_driver.(c) <-
+      Array.init m.Cell_lib.n_inputs (fun _ ->
+          match pick_driver ~max_level:level.(c) ~at ~prefer_unconsumed:true with
+          | Some d ->
+              consumed.(d) <- true;
+              sink_count.(d) <- sink_count.(d) + 1;
+              d
+          | None -> -1)
+  done;
+  (* flip-flop D inputs: any level is legal (the register cuts the
+     cycle); prefer the highest-level unconsumed drivers since D pins
+     are the natural consumers of end-of-cone logic *)
+  let pick_for_register () =
+    match pop_unconsumed_topmost ~max_level:(p.depth + 1) with
+    | Some d -> Some d
+    | None ->
+        pick_driver ~max_level:(p.depth + 1) ~at:(Rng.uniform rng)
+          ~prefer_unconsumed:true
+  in
+  for c = n_comb to n_cells - 1 do
+    input_driver.(c) <-
+      [|
+        (match pick_for_register () with
+        | Some d ->
+            consumed.(d) <- true;
+            sink_count.(d) <- sink_count.(d) + 1;
+            d
+        | None -> -1);
+      |]
+  done;
+  (* macro inputs: a handful of taps from anywhere *)
+  for c = n_cells to total_cells - 1 do
+    input_driver.(c) <-
+      Array.init 4 (fun _ ->
+          match
+            pick_driver ~max_level:(p.depth + 1) ~at:(Rng.uniform rng)
+              ~prefer_unconsumed:true
+          with
+          | Some d ->
+              consumed.(d) <- true;
+              sink_count.(d) <- sink_count.(d) + 1;
+              d
+          | None -> -1)
+  done;
+  (* primary outputs: same policy as registers *)
+  let po_driver =
+    Array.init n_out (fun _ ->
+        match pick_for_register () with
+        | Some d ->
+            consumed.(d) <- true;
+            sink_count.(d) <- sink_count.(d) + 1;
+            d
+        | None -> -1)
+  in
+  (* Steal pass: give every remaining sink-less driver one sink by
+     re-pointing a suitably-leveled consumer input.  Stealing from a net
+     with >= 2 sinks resolves a dangling driver outright; stealing a
+     {e singleton} sink is also allowed when the robbed driver sits at a
+     strictly lower level — that pushes the dangling driver down to
+     levels where combinational consumers are plentiful, so the cascade
+     terminates (the dangling level strictly decreases). *)
+  let dangling = Queue.create () in
+  for i = 0 to !pool_len - 1 do
+    let d = pool.(i) in
+    if not consumed.(d) then Queue.add d dangling
+  done;
+  let steal_attempts = ref 0 in
+  let max_steal_attempts = 400 * (1 + Queue.length dangling) in
+  while (not (Queue.is_empty dangling)) && !steal_attempts < max_steal_attempts do
+    let d = Queue.pop dangling in
+    let l = driver_level.(d) in
+    let resolved = ref false in
+    let attempts = ref 0 in
+    while (not !resolved) && !attempts < 200 do
+      incr attempts;
+      incr steal_attempts;
+      (* choose a consumer: a comb cell above level l, a flip-flop D
+         input, or a primary output *)
+      let roll = Rng.uniform rng in
+      let take pins pin c_level =
+        let old = pins.(pin) in
+        if
+          c_level > l && old >= 0 && old <> d
+          && (sink_count.(old) >= 2 || driver_level.(old) < l)
+        then begin
+          sink_count.(old) <- sink_count.(old) - 1;
+          pins.(pin) <- d;
+          sink_count.(d) <- sink_count.(d) + 1;
+          consumed.(d) <- true;
+          resolved := true;
+          if sink_count.(old) = 0 then begin
+            consumed.(old) <- false;
+            Queue.add old dangling
+          end
+        end
+      in
+      if roll < 0.2 && n_out > 0 then begin
+        let k = Rng.int rng n_out in
+        let old = po_driver.(k) in
+        if old >= 0 && old <> d && (sink_count.(old) >= 2 || driver_level.(old) < l)
+        then begin
+          sink_count.(old) <- sink_count.(old) - 1;
+          po_driver.(k) <- d;
+          sink_count.(d) <- sink_count.(d) + 1;
+          consumed.(d) <- true;
+          resolved := true;
+          if sink_count.(old) = 0 then begin
+            consumed.(old) <- false;
+            Queue.add old dangling
+          end
+        end
+      end
+      else if roll < 0.5 && n_ff > 0 then begin
+        let c = n_comb + Rng.int rng n_ff in
+        let pins = input_driver.(c) in
+        if Array.length pins > 0 then take pins 0 (p.depth + 1)
+      end
+      else begin
+        let c = Rng.int rng n_comb in
+        let pins = input_driver.(c) in
+        if Array.length pins > 0 then
+          take pins (Rng.int rng (Array.length pins)) level.(c)
+      end
+    done
+  done;
+
+  (* --- build nets ---------------------------------------------------- *)
+  let sink_lists = Array.init n_drivers (fun _ -> Vec.create ()) in
+  (* encode sinks: cell c -> c, primary output k -> total_cells + k *)
+  Array.iteri
+    (fun c pins ->
+      Array.iter (fun d -> if d >= 0 then Vec.push sink_lists.(d) c) pins)
+    input_driver;
+  Array.iteri
+    (fun k d -> if d >= 0 then Vec.push sink_lists.(d) (total_cells + k))
+    po_driver;
+  let net_of_driver = Array.make n_drivers (-1) in
+  let nets = ref [] in
+  let n_nets = ref 0 in
+  for d = 0 to n_drivers - 1 do
+    let sinks = Vec.to_array sink_lists.(d) in
+    if Array.length sinks > 0 then begin
+      let id = !n_nets in
+      net_of_driver.(d) <- id;
+      incr n_nets;
+      let sinks =
+        Array.map
+          (fun s ->
+            if s < total_cells then Netlist.Cell s
+            else Netlist.Io (1 + n_in + (s - total_cells)))
+          sinks
+      in
+      nets :=
+        {
+          Netlist.net_id = id;
+          net_name = Printf.sprintf "n%d" id;
+          driver = drivers.(d);
+          sinks;
+          is_clock = false;
+        }
+        :: !nets
+    end
+  done;
+  (* clock net: Io 0 -> every flip-flop *)
+  let clock_id = !n_nets in
+  incr n_nets;
+  let clock_net =
+    {
+      Netlist.net_id = clock_id;
+      net_name = "clk";
+      driver = Netlist.Io 0;
+      sinks = Array.init n_ff (fun i -> Netlist.Cell (n_comb + i));
+      is_clock = true;
+    }
+  in
+  let nets = Array.of_list (List.rev (clock_net :: !nets)) in
+
+  (* --- fanin / fanout ------------------------------------------------ *)
+  let cell_fanout = Array.make total_cells (-1) in
+  let driver_index_of_cell = Array.make total_cells (-1) in
+  for d = 0 to n_drivers - 1 do
+    match drivers.(d) with
+    | Netlist.Cell c -> driver_index_of_cell.(c) <- d
+    | Netlist.Io _ -> ()
+  done;
+  for c = 0 to total_cells - 1 do
+    let d = driver_index_of_cell.(c) in
+    if d >= 0 then cell_fanout.(c) <- net_of_driver.(d)
+  done;
+  let cell_fanin =
+    Array.init total_cells (fun c ->
+        let pins =
+          Array.to_list input_driver.(c)
+          |> List.filter_map (fun d ->
+                 if d >= 0 && net_of_driver.(d) >= 0 then Some net_of_driver.(d)
+                 else None)
+        in
+        let pins = if c >= n_comb && c < n_cells then pins @ [ clock_id ] else pins in
+        Array.of_list pins)
+  in
+
+  (* --- IOs ------------------------------------------------------------ *)
+  let ios =
+    Array.init n_ios (fun i ->
+        if i = 0 then { Netlist.io_id = 0; io_name = "clk"; dir = Netlist.In }
+        else if i <= n_in then
+          { Netlist.io_id = i; io_name = Printf.sprintf "in%d" (i - 1);
+            dir = Netlist.In }
+        else
+          { Netlist.io_id = i; io_name = Printf.sprintf "out%d" (i - 1 - n_in);
+            dir = Netlist.Out })
+  in
+  { Netlist.design = p.name; masters; nets; ios; cell_fanin; cell_fanout }

@@ -1,0 +1,38 @@
+(** Synthetic benchmark generators.
+
+    The paper evaluates on six industrial RTL designs (DMA, AES, ECG,
+    LDPC, VGA, RocketCore) synthesized in a commercial 3nm node — none
+    of which are redistributable.  These generators produce seeded
+    random netlists that match each benchmark's {e published} size
+    (#cells / #nets / #IO from Table III) and a per-design topology
+    profile (logic depth, register fraction, high-fanout nets, macros)
+    chosen to reflect the design's character: LDPC is shallow and
+    IO-heavy with wide XOR fan-in, Rocket is deep control logic with
+    RAM macros, AES is wide datapath logic, etc.
+
+    Every netlist is a valid DAG ({!Netlist.validate} passes, every
+    cell output drives at least one sink) and is a pure function of
+    [(profile, scale, seed)]. *)
+
+type profile = {
+  name : string;
+  n_cells : int;  (** standard cells, flip-flops included *)
+  n_ios : int;
+  seq_fraction : float;  (** flip-flop share of [n_cells] *)
+  depth : int;  (** combinational levels between register stages *)
+  hub_fraction : float;  (** share of drivers that become high-fanout hubs *)
+  locality : float;  (** 0 = wiring is global, 1 = strongly local in id space *)
+  macros : (string * float * float) list;  (** (name, width um, height um) *)
+}
+
+val profiles : profile list
+(** The six benchmarks of Table III, published sizes. *)
+
+val profile : string -> profile
+(** Case-insensitive lookup ("aes", "Rocket", ...).
+    @raise Not_found for unknown designs. *)
+
+val generate : ?scale:float -> seed:int -> profile -> Netlist.t
+(** Build a netlist.  [scale] multiplies cell and IO counts (default
+    [1.0], the published sizes; tests use small fractions).  The same
+    [(profile, scale, seed)] triple always yields the same netlist. *)

@@ -1,0 +1,194 @@
+type endpoint = Cell of int | Io of int
+
+type net = {
+  net_id : int;
+  net_name : string;
+  driver : endpoint;
+  sinks : endpoint array;
+  is_clock : bool;
+}
+
+type io_dir = In | Out
+
+type io = { io_id : int; io_name : string; dir : io_dir }
+
+type t = {
+  design : string;
+  masters : Cell_lib.master array;
+  nets : net array;
+  ios : io array;
+  cell_fanin : int array array;
+  cell_fanout : int array;
+}
+
+let n_cells nl = Array.length nl.masters
+let n_nets nl = Array.length nl.nets
+let n_ios nl = Array.length nl.ios
+
+let degree net = 1 + Array.length net.sinks
+
+let n_pins nl = Array.fold_left (fun acc net -> acc + degree net) 0 nl.nets
+
+let cell_area nl c = Cell_lib.area nl.masters.(c)
+
+let total_cell_area nl =
+  let acc = ref 0. in
+  for c = 0 to n_cells nl - 1 do
+    acc := !acc +. cell_area nl c
+  done;
+  !acc
+
+let signal_nets nl =
+  Array.to_list nl.nets |> List.filter (fun net -> not net.is_clock)
+
+let clock_net nl = Array.find_opt (fun net -> net.is_clock) nl.nets
+
+let is_macro nl c = nl.masters.(c).Cell_lib.klass = Cell_lib.Macro
+
+let fanout_histogram nl =
+  let tbl = Hashtbl.create 64 in
+  Array.iter
+    (fun net ->
+      if not net.is_clock then begin
+        let d = degree net in
+        Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d))
+      end)
+    nl.nets;
+  Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let copy nl =
+  {
+    nl with
+    masters = Array.copy nl.masters;
+    nets = Array.copy nl.nets;
+    ios = Array.copy nl.ios;
+    cell_fanin = Array.map Array.copy nl.cell_fanin;
+    cell_fanout = Array.copy nl.cell_fanout;
+  }
+
+let validate nl =
+  let nc = n_cells nl and nn = n_nets nl and ni = n_ios nl in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let check_endpoint e =
+    match e with
+    | Cell c -> c >= 0 && c < nc
+    | Io i -> i >= 0 && i < ni
+  in
+  let exception Bad of string in
+  try
+    if Array.length nl.cell_fanin <> nc then
+      raise (Bad "cell_fanin length mismatch");
+    if Array.length nl.cell_fanout <> nc then
+      raise (Bad "cell_fanout length mismatch");
+    Array.iteri
+      (fun i net ->
+        if net.net_id <> i then raise (Bad (Printf.sprintf "net %d id mismatch" i));
+        if not (check_endpoint net.driver) then
+          raise (Bad (Printf.sprintf "net %d driver out of range" i));
+        Array.iter
+          (fun s ->
+            if not (check_endpoint s) then
+              raise (Bad (Printf.sprintf "net %d sink out of range" i)))
+          net.sinks;
+        (match net.driver with
+        | Cell c ->
+            if nl.cell_fanout.(c) <> i then
+              raise
+                (Bad
+                   (Printf.sprintf "net %d driven by cell %d but fanout disagrees"
+                      i c))
+        | Io io ->
+            if nl.ios.(io).dir <> In then
+              raise (Bad (Printf.sprintf "net %d driven by output pad %d" i io)));
+        Array.iter
+          (fun s ->
+            match s with
+            | Io io when nl.ios.(io).dir <> Out ->
+                raise (Bad (Printf.sprintf "net %d sinks into input pad %d" i io))
+            | _ -> ())
+          net.sinks)
+      nl.nets;
+    Array.iteri
+      (fun c fanin ->
+        let m = nl.masters.(c) in
+        let limit =
+          if m.Cell_lib.is_seq then m.Cell_lib.n_inputs + 1 (* + clock *)
+          else m.Cell_lib.n_inputs
+        in
+        if m.Cell_lib.klass <> Cell_lib.Macro && Array.length fanin > limit then
+          raise
+            (Bad
+               (Printf.sprintf "cell %d (%s) has %d fanin nets > %d inputs" c
+                  m.Cell_lib.name (Array.length fanin) limit));
+        Array.iter
+          (fun nid ->
+            if nid < 0 || nid >= nn then
+              raise (Bad (Printf.sprintf "cell %d fanin net out of range" c)))
+          fanin)
+      nl.cell_fanin;
+    Ok ()
+  with Bad msg -> err "%s" msg
+
+(* Combinational levelization: Kahn's algorithm over cell->cell arcs
+   through non-clock nets, where sequential cells cut the arcs (their
+   outputs are sources, their D-inputs are sinks). *)
+let levelize nl =
+  let nc = n_cells nl in
+  let level = Array.make nc 0 in
+  let indeg = Array.make nc 0 in
+  let is_source c = nl.masters.(c).Cell_lib.is_seq || is_macro nl c in
+  (* count combinational fanin arcs of each cell *)
+  Array.iteri
+    (fun c fanin ->
+      if not (is_source c) then
+        Array.iter
+          (fun nid ->
+            let net = nl.nets.(nid) in
+            if not net.is_clock then
+              match net.driver with
+              | Cell d when not (is_source d) -> ignore d; indeg.(c) <- indeg.(c) + 1
+              | Cell _ | Io _ -> ())
+          fanin)
+    nl.cell_fanin;
+  let queue = Queue.create () in
+  for c = 0 to nc - 1 do
+    if indeg.(c) = 0 then Queue.add c queue
+  done;
+  let seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let c = Queue.pop queue in
+    incr seen;
+    let out = nl.cell_fanout.(c) in
+    if out >= 0 && not (is_source c) then begin
+      let net = nl.nets.(out) in
+      if not net.is_clock then
+        Array.iter
+          (fun s ->
+            match s with
+            | Cell k when not (is_source k) ->
+                level.(k) <- max level.(k) (level.(c) + 1);
+                indeg.(k) <- indeg.(k) - 1;
+                if indeg.(k) = 0 then Queue.add k queue
+            | Cell _ | Io _ -> ())
+          net.sinks
+    end
+  done;
+  if !seen = nc then Some level else None
+
+let logic_depth nl =
+  match levelize nl with
+  | Some levels -> Array.fold_left max 0 levels
+  | None -> invalid_arg "Netlist.logic_depth: combinational cycle"
+
+let stats nl =
+  let seq = Array.fold_left (fun a m -> if m.Cell_lib.is_seq then a + 1 else a) 0 nl.masters in
+  let macros =
+    Array.fold_left
+      (fun a m -> if m.Cell_lib.klass = Cell_lib.Macro then a + 1 else a)
+      0 nl.masters
+  in
+  Printf.sprintf
+    "%s: %d cells (%d FF, %d macro), %d nets, %d IOs, %d pins, area %.1f um^2"
+    nl.design (n_cells nl) seq macros (n_nets nl) (n_ios nl) (n_pins nl)
+    (total_cell_area nl)

@@ -1,0 +1,81 @@
+(** Gate-level netlists.
+
+    The unit of work for the whole flow: generators build these
+    ({!module:Generator}), the placer assigns coordinates to their
+    cells, the router routes their nets, the timer walks their logic
+    cones and the GNN spreads their cells.  Cells, nets, and IOs are
+    identified by dense integer ids so every downstream pass can use
+    flat arrays at the published design sizes (13K-120K cells). *)
+
+type endpoint =
+  | Cell of int  (** a cell pin (driver = the cell's output pin) *)
+  | Io of int  (** a primary input/output pad *)
+
+type net = {
+  net_id : int;
+  net_name : string;
+  driver : endpoint;
+  sinks : endpoint array;
+  is_clock : bool;  (** clock nets are routed by CTS, not the router *)
+}
+
+type io_dir = In | Out
+
+type io = { io_id : int; io_name : string; dir : io_dir }
+
+type t = {
+  design : string;
+  masters : Cell_lib.master array;
+  (** per-cell master; mutable via array update for ECO sizing *)
+  nets : net array;
+  ios : io array;
+  cell_fanin : int array array;
+  (** [cell_fanin.(c)] = ids of the nets driving cell [c]'s inputs *)
+  cell_fanout : int array;
+  (** [cell_fanout.(c)] = id of the net driven by cell [c], or -1 *)
+}
+
+val n_cells : t -> int
+val n_nets : t -> int
+val n_ios : t -> int
+
+val n_pins : t -> int
+(** Total pin count: net drivers plus sinks. *)
+
+val cell_area : t -> int -> float
+(** Footprint of one cell (um^2). *)
+
+val total_cell_area : t -> float
+
+val degree : net -> int
+(** Number of pins on the net (driver + sinks). *)
+
+val signal_nets : t -> net list
+(** All non-clock nets — the ones the router and RUDY see. *)
+
+val clock_net : t -> net option
+(** The clock net, if the design is sequential. *)
+
+val is_macro : t -> int -> bool
+
+val fanout_histogram : t -> (int * int) list
+(** [(degree, count)] pairs, ascending by degree, clock excluded. *)
+
+val copy : t -> t
+(** Deep copy (safe to resize cells in the copy). *)
+
+val validate : t -> (unit, string) result
+(** Structural sanity: endpoint ranges, driver/fanout cross-consistency,
+    fanin arities against masters, io direction consistency. *)
+
+val levelize : t -> int array option
+(** Topological level of each cell through combinational arcs (flip-flop
+    outputs and primary inputs are level 0 sources).  [None] if the
+    combinational graph has a cycle. *)
+
+val logic_depth : t -> int
+(** Maximum combinational level ([0] for an empty design).
+    @raise Invalid_argument on a cyclic netlist. *)
+
+val stats : t -> string
+(** One-line human-readable summary. *)

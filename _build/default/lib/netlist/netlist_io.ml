@@ -1,0 +1,206 @@
+let magic = "dco3d-netlist-v1"
+
+let endpoint_to_string = function
+  | Netlist.Cell c -> Printf.sprintf "c%d" c
+  | Netlist.Io i -> Printf.sprintf "p%d" i
+
+let to_string nl =
+  let buf = Buffer.create (1 lsl 16) in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf '\n';
+  Printf.bprintf buf "design %s\n" nl.Netlist.design;
+  Array.iteri
+    (fun c (m : Cell_lib.master) ->
+      if m.Cell_lib.klass = Cell_lib.Macro then
+        Printf.bprintf buf "macro %d %s %g %g\n" c m.Cell_lib.name
+          m.Cell_lib.width m.Cell_lib.height
+      else Printf.bprintf buf "cell %d %s\n" c m.Cell_lib.name)
+    nl.Netlist.masters;
+  Array.iter
+    (fun (io : Netlist.io) ->
+      Printf.bprintf buf "io %d %s %s\n" io.Netlist.io_id
+        (match io.Netlist.dir with Netlist.In -> "in" | Netlist.Out -> "out")
+        io.Netlist.io_name)
+    nl.Netlist.ios;
+  Array.iter
+    (fun (net : Netlist.net) ->
+      Printf.bprintf buf "net %d %s %s %s :" net.Netlist.net_id
+        net.Netlist.net_name
+        (if net.Netlist.is_clock then "clock" else "signal")
+        (endpoint_to_string net.Netlist.driver);
+      Array.iter
+        (fun s -> Printf.bprintf buf " %s" (endpoint_to_string s))
+        net.Netlist.sinks;
+      Buffer.add_char buf '\n')
+    nl.Netlist.nets;
+  Buffer.add_string buf "end\n";
+  Buffer.contents buf
+
+let write nl path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string nl))
+
+exception Parse_error of int * string
+
+let parse_endpoint lineno s =
+  if String.length s < 2 then raise (Parse_error (lineno, "bad endpoint " ^ s));
+  let num () =
+    match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+    | Some n -> n
+    | None -> raise (Parse_error (lineno, "bad endpoint " ^ s))
+  in
+  match s.[0] with
+  | 'c' -> Netlist.Cell (num ())
+  | 'p' -> Netlist.Io (num ())
+  | _ -> raise (Parse_error (lineno, "bad endpoint " ^ s))
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let design = ref "" in
+  let cells = ref [] (* (id, master) in reverse *) in
+  let ios = ref [] in
+  let nets = ref [] in
+  let ended = ref false in
+  try
+    List.iteri
+      (fun i line ->
+        let lineno = i + 1 in
+        let line = String.trim line in
+        if line = "" || !ended then ()
+        else if lineno = 1 then begin
+          if line <> magic then raise (Parse_error (1, "bad magic"))
+        end
+        else
+          match String.split_on_char ' ' line with
+          | [ "design"; name ] -> design := name
+          | [ "cell"; id; master ] ->
+              let id =
+                match int_of_string_opt id with
+                | Some v -> v
+                | None -> raise (Parse_error (lineno, "bad cell id"))
+              in
+              let m =
+                try Cell_lib.find master
+                with Not_found ->
+                  raise (Parse_error (lineno, "unknown master " ^ master))
+              in
+              cells := (id, m) :: !cells
+          | [ "macro"; id; name; w; h ] ->
+              let id =
+                match int_of_string_opt id with
+                | Some v -> v
+                | None -> raise (Parse_error (lineno, "bad macro id"))
+              in
+              let fl s =
+                match float_of_string_opt s with
+                | Some v -> v
+                | None -> raise (Parse_error (lineno, "bad macro size"))
+              in
+              cells :=
+                (id, Cell_lib.macro_master ~name ~width:(fl w) ~height:(fl h))
+                :: !cells
+          | [ "io"; id; dir; name ] ->
+              let id =
+                match int_of_string_opt id with
+                | Some v -> v
+                | None -> raise (Parse_error (lineno, "bad io id"))
+              in
+              let dir =
+                match dir with
+                | "in" -> Netlist.In
+                | "out" -> Netlist.Out
+                | _ -> raise (Parse_error (lineno, "bad io dir"))
+              in
+              ios := { Netlist.io_id = id; io_name = name; dir } :: !ios
+          | "net" :: id :: name :: kind :: driver :: ":" :: sinks ->
+              let id =
+                match int_of_string_opt id with
+                | Some v -> v
+                | None -> raise (Parse_error (lineno, "bad net id"))
+              in
+              let is_clock =
+                match kind with
+                | "clock" -> true
+                | "signal" -> false
+                | _ -> raise (Parse_error (lineno, "bad net kind"))
+              in
+              nets :=
+                {
+                  Netlist.net_id = id;
+                  net_name = name;
+                  driver = parse_endpoint lineno driver;
+                  sinks =
+                    Array.of_list (List.map (parse_endpoint lineno) sinks);
+                  is_clock;
+                }
+                :: !nets
+          | [ "end" ] -> ended := true
+          | _ -> raise (Parse_error (lineno, "unrecognized line: " ^ line)))
+      lines;
+    if not !ended then raise (Parse_error (0, "missing 'end'"));
+    let cells = List.rev !cells in
+    let n_cells = List.length cells in
+    let masters = Array.make (max 1 n_cells) (Cell_lib.find "INV_X1") in
+    List.iter
+      (fun (id, m) ->
+        if id < 0 || id >= n_cells then
+          raise (Parse_error (0, "cell ids must be dense from 0"));
+        masters.(id) <- m)
+      cells;
+    let masters = if n_cells = 0 then [||] else masters in
+    let ios =
+      List.rev !ios |> Array.of_list
+      |> fun a ->
+      Array.sort (fun x y -> compare x.Netlist.io_id y.Netlist.io_id) a;
+      a
+    in
+    let nets =
+      List.rev !nets |> Array.of_list
+      |> fun a ->
+      Array.sort (fun x y -> compare x.Netlist.net_id y.Netlist.net_id) a;
+      a
+    in
+    (* reconstruct fanin / fanout *)
+    let fanin = Array.make n_cells [] in
+    let fanout = Array.make n_cells (-1) in
+    Array.iter
+      (fun (net : Netlist.net) ->
+        (match net.Netlist.driver with
+        | Netlist.Cell c ->
+            if c >= n_cells then raise (Parse_error (0, "driver out of range"));
+            fanout.(c) <- net.Netlist.net_id
+        | Netlist.Io _ -> ());
+        Array.iter
+          (fun s ->
+            match s with
+            | Netlist.Cell c ->
+                if c >= n_cells then raise (Parse_error (0, "sink out of range"));
+                fanin.(c) <- net.Netlist.net_id :: fanin.(c)
+            | Netlist.Io _ -> ())
+          net.Netlist.sinks)
+      nets;
+    let nl =
+      {
+        Netlist.design = !design;
+        masters;
+        nets;
+        ios;
+        cell_fanin = Array.map (fun l -> Array.of_list (List.rev l)) fanin;
+        cell_fanout = fanout;
+      }
+    in
+    (match Netlist.validate nl with
+    | Ok () -> Ok nl
+    | Error e -> Error ("invalid netlist: " ^ e))
+  with Parse_error (lineno, msg) ->
+    Error (Printf.sprintf "line %d: %s" lineno msg)
+
+let read path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      of_string (really_input_string ic n))

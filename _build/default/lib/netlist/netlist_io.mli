@@ -1,0 +1,28 @@
+(** Plain-text netlist interchange format.
+
+    A minimal structural format (one element per line) so generated
+    benchmarks can be dumped, inspected, diffed, and reloaded by the
+    CLI without rerunning a generator:
+
+    {v
+    dco3d-netlist-v1
+    design AES
+    cell 0 NAND2_X1
+    macro 114000 RAM0 8.0 6.0
+    io 0 in clk
+    net 0 n0 signal c0 : c4 c9 p391
+    net 1 clk clock p0 : c113999
+    end
+    v}
+
+    Endpoints are [c<cell-id>] or [p<io-id>].  Fan-in/fan-out tables are
+    reconstructed from the net list on load, so the format is
+    self-contained. *)
+
+val to_string : Netlist.t -> string
+val write : Netlist.t -> string -> unit
+
+val of_string : string -> (Netlist.t, string) result
+(** Parse; returns [Error msg] with a line number on malformed input. *)
+
+val read : string -> (Netlist.t, string) result

@@ -1,0 +1,1 @@
+lib/nn/layer.ml: Dco3d_autodiff Dco3d_tensor List Option

@@ -1,0 +1,1 @@
+lib/nn/layer.mli: Dco3d_autodiff Dco3d_tensor

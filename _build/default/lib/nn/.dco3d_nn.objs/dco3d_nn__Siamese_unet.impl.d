@@ -1,0 +1,1 @@
+lib/nn/siamese_unet.ml: Array Dco3d_autodiff Dco3d_tensor Fun Layer List Marshal String

@@ -1,0 +1,1 @@
+lib/nn/siamese_unet.mli: Dco3d_autodiff Dco3d_tensor

@@ -1,0 +1,178 @@
+module T = Dco3d_tensor.Tensor
+module V = Dco3d_autodiff.Value
+
+type config = { in_channels : int; base_channels : int; depth : int }
+
+let default_config = { in_channels = 7; base_channels = 8; depth = 2 }
+
+(* One resolution level of the encoder/decoder. *)
+type level = {
+  enc : Layer.t;  (** double conv at this resolution *)
+  up : Layer.t;  (** transposed conv from the level below *)
+  dec : Layer.t;  (** double conv after skip concatenation *)
+}
+
+type t = {
+  cfg : config;
+  levels : level array;  (** index 0 = full resolution *)
+  bottleneck : Layer.t;
+  comm_self : Layer.t;  (** pointwise conv on the die's own bottleneck *)
+  comm_cross : Layer.t;  (** pointwise conv on the other die's bottleneck *)
+  head : Layer.t;  (** 1x1 conv to a single congestion channel *)
+}
+
+let double_conv rng ~in_channels ~out_channels =
+  Layer.seq
+    [
+      Layer.conv2d rng ~pad:1 ~in_channels ~out_channels ~ksize:3 ();
+      Layer.leaky_relu 0.1;
+      Layer.conv2d rng ~pad:1 ~in_channels:out_channels ~out_channels ~ksize:3 ();
+      Layer.leaky_relu 0.1;
+    ]
+
+let create rng cfg =
+  if cfg.depth < 1 || cfg.depth > 2 then
+    invalid_arg "Siamese_unet.create: depth must be 1 or 2";
+  let base = cfg.base_channels in
+  let ch level = base * (1 lsl level) in
+  let levels =
+    Array.init cfg.depth (fun l ->
+        let cin = if l = 0 then cfg.in_channels else ch (l - 1) in
+        let c = ch l in
+        {
+          enc = double_conv rng ~in_channels:cin ~out_channels:c;
+          up =
+            Layer.conv2d_transpose rng ~stride:2 ~in_channels:(ch (l + 1))
+              ~out_channels:c ~ksize:2 ();
+          dec = double_conv rng ~in_channels:(2 * c) ~out_channels:c;
+        })
+  in
+  let cb = ch cfg.depth in
+  let bottleneck = double_conv rng ~in_channels:(ch (cfg.depth - 1)) ~out_channels:cb in
+  (* The communication layer merges the two bottlenecks through
+     pointwise convolutions.  Writing it as [out_d = act (self b_d +
+     cross b_other)] with the same (self, cross) weights for both dies
+     keeps the architecture exactly equivariant under die exchange —
+     the interchangeability the Siamese design is built for. *)
+  let comm_self = Layer.pointwise rng ~in_channels:cb ~out_channels:cb () in
+  let comm_cross = Layer.pointwise rng ~in_channels:cb ~out_channels:cb () in
+  let head = Layer.pointwise rng ~in_channels:base ~out_channels:1 () in
+  { cfg; levels; bottleneck; comm_self; comm_cross; head }
+
+(* Encoder for one die: returns skip activations (one per level) and the
+   bottleneck activation. *)
+let encode net x =
+  let skips = Array.make (Array.length net.levels) x in
+  let cur = ref x in
+  Array.iteri
+    (fun l level ->
+      let a = level.enc.Layer.forward !cur in
+      skips.(l) <- a;
+      cur := V.maxpool2 a)
+    net.levels;
+  (skips, net.bottleneck.Layer.forward !cur)
+
+(* Decoder for one die given its (possibly communicated) bottleneck. *)
+let decode net skips bottom =
+  let cur = ref bottom in
+  for l = Array.length net.levels - 1 downto 0 do
+    let level = net.levels.(l) in
+    let up = level.up.Layer.forward !cur in
+    let cat = V.concat_channels [ up; skips.(l) ] in
+    cur := level.dec.Layer.forward cat
+  done;
+  net.head.Layer.forward !cur
+
+let forward net f0 f1 =
+  let skips0, b0 = encode net f0 in
+  let skips1, b1 = encode net f1 in
+  (* Communication layer (Fig. 3b): mix the two bottlenecks through
+     shared pointwise convolutions and hand each decoder a view of both
+     dies. *)
+  let communicate own other =
+    V.leaky_relu 0.1
+      (V.add
+         (net.comm_self.Layer.forward own)
+         (net.comm_cross.Layer.forward other))
+  in
+  let b0' = communicate b0 b1 in
+  let b1' = communicate b1 b0 in
+  (decode net skips0 b0', decode net skips1 b1')
+
+let predict net f0 f1 =
+  let c0, c1 = forward net (V.const f0) (V.const f1) in
+  let to_map v =
+    let d = V.data v in
+    T.reshape (T.copy d) [| T.dim d 1; T.dim d 2 |]
+  in
+  (to_map c0, to_map c1)
+
+let all_layers net =
+  List.concat
+    [
+      Array.to_list net.levels
+      |> List.concat_map (fun l -> [ l.enc; l.up; l.dec ]);
+      [ net.bottleneck; net.comm_self; net.comm_cross; net.head ];
+    ]
+
+let params net = List.concat_map (fun l -> l.Layer.params) (all_layers net)
+let num_params net = List.fold_left (fun acc p -> acc + V.numel p) 0 (params net)
+let config net = net.cfg
+
+let state net = List.map (fun p -> T.copy (V.data p)) (params net)
+
+let load_state net snapshot =
+  let ps = params net in
+  if List.length snapshot <> List.length ps then
+    invalid_arg "Siamese_unet.load_state: parameter count mismatch";
+  List.iter2
+    (fun p s ->
+      let d = V.data p in
+      if not (T.same_shape d s) then
+        invalid_arg "Siamese_unet.load_state: shape mismatch";
+      for i = 0 to T.numel d - 1 do
+        T.set_flat d i (T.get_flat s i)
+      done)
+    ps snapshot
+
+(* Persistence: a tagged Marshal image of the config plus raw
+   (shape, data) pairs.  The file is only ever read back by [load], so
+   the representation can stay internal. *)
+type snapshot = {
+  s_cfg : config;
+  s_weights : (int array * float array) list;
+}
+
+let magic = "DCO3D-SIAUNET-V1"
+
+let save net path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc magic;
+      let snap =
+        {
+          s_cfg = net.cfg;
+          s_weights =
+            List.map
+              (fun p ->
+                let d = V.data p in
+                (T.shape d, Array.init (T.numel d) (T.get_flat d)))
+              (params net);
+        }
+      in
+      Marshal.to_channel oc snap [])
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let tag = really_input_string ic (String.length magic) in
+      if tag <> magic then failwith "Siamese_unet.load: bad file magic";
+      let snap : snapshot = Marshal.from_channel ic in
+      let net = create (Dco3d_tensor.Rng.create 0) snap.s_cfg in
+      load_state net
+        (List.map (fun (shape, data) -> T.make shape data) snap.s_weights);
+      net)

@@ -1,0 +1,59 @@
+(** The paper's 3D congestion predictor: a Siamese UNet (Fig. 3).
+
+    Both dies of the face-to-face 3D IC are processed by the {e same}
+    encoder and decoder (shared weights — the dies are interchangeable),
+    while a pointwise-convolution {e communication layer} at the
+    bottleneck merges the two encoder outputs and hands each die's
+    decoder a view of the other die.  We realize the merge as shared
+    self/cross 1x1 convolutions ([out_d = act (self b_d + cross
+    b_other)]), which keeps the whole network exactly equivariant under
+    die exchange — swapping the inputs swaps the predictions.
+
+    The network is an images-to-images model: it maps the per-die
+    feature stacks [F0, F1 : [c_in; h; w]] to predicted post-route
+    congestion maps [C0, C1 : [1; h; w]] (paper: [c_in = 7],
+    [h = w = 224]; here the resolution is configurable — see DESIGN.md,
+    "Scale parameters"). *)
+
+type t
+
+type config = {
+  in_channels : int;  (** feature channels per die (paper: 7) *)
+  base_channels : int;  (** encoder width at full resolution *)
+  depth : int;  (** number of 2x downsamplings (1 or 2 supported) *)
+}
+
+val default_config : config
+(** [{ in_channels = 7; base_channels = 8; depth = 2 }]. *)
+
+val create : Dco3d_tensor.Rng.t -> config -> t
+
+val forward :
+  t ->
+  Dco3d_autodiff.Value.t ->
+  Dco3d_autodiff.Value.t ->
+  Dco3d_autodiff.Value.t * Dco3d_autodiff.Value.t
+(** [forward net f0 f1] predicts the two congestion maps.  Spatial
+    dimensions must be divisible by [2^depth].  Differentiable in both
+    the network parameters and the inputs (the latter is what Algorithm
+    2 exploits: gradients flow from the congestion loss through the
+    frozen network back into the feature maps). *)
+
+val predict :
+  t -> Dco3d_tensor.Tensor.t -> Dco3d_tensor.Tensor.t ->
+  Dco3d_tensor.Tensor.t * Dco3d_tensor.Tensor.t
+(** Inference on plain tensors; returns rank-2 [[h; w]] maps. *)
+
+val params : t -> Dco3d_autodiff.Value.t list
+val num_params : t -> int
+val config : t -> config
+
+val state : t -> Dco3d_tensor.Tensor.t list
+val load_state : t -> Dco3d_tensor.Tensor.t list -> unit
+
+val save : t -> string -> unit
+(** Persist configuration and weights to a file. *)
+
+val load : string -> t
+(** Restore a network written by {!save}.
+    @raise Failure on a malformed file. *)

@@ -1,0 +1,1 @@
+lib/place/floorplan.ml: Dco3d_netlist Float

@@ -1,0 +1,1 @@
+lib/place/floorplan.mli: Dco3d_netlist

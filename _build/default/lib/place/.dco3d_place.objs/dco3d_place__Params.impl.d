@@ -1,0 +1,1 @@
+lib/place/params.ml: Array Dco3d_tensor Float Format List Printf

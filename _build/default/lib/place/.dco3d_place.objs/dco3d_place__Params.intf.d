@@ -1,0 +1,1 @@
+lib/place/params.mli: Dco3d_tensor Format

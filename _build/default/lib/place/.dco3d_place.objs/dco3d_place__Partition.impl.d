@@ -1,0 +1,1 @@
+lib/place/partition.ml: Array Dco3d_netlist Dco3d_tensor Fun List

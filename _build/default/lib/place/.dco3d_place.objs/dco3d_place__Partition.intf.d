@@ -1,0 +1,1 @@
+lib/place/partition.mli: Dco3d_netlist

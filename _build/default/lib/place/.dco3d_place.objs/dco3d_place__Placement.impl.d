@@ -1,0 +1,1 @@
+lib/place/placement.ml: Array Dco3d_netlist Dco3d_tensor Float Floorplan List

@@ -1,0 +1,1 @@
+lib/place/placement.mli: Dco3d_netlist Dco3d_tensor Floorplan

@@ -1,0 +1,1 @@
+lib/place/placer.ml: Array Dco3d_netlist Dco3d_tensor Float Floorplan Fun Hashtbl List Option Params Partition Placement Printf

@@ -1,0 +1,1 @@
+lib/place/placer.mli: Dco3d_netlist Floorplan Params Placement

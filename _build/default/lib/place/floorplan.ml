@@ -1,0 +1,53 @@
+module Nl = Dco3d_netlist.Netlist
+module Cl = Dco3d_netlist.Cell_lib
+
+type t = {
+  width : float;
+  height : float;
+  gcell_nx : int;
+  gcell_ny : int;
+  n_rows : int;
+}
+
+let n_tiers = 2
+
+let create ?(utilization = 0.55) ?(gcell_nx = 48) ?(gcell_ny = 48) nl =
+  if utilization <= 0. || utilization > 1. then
+    invalid_arg "Floorplan.create: utilization must be in (0, 1]";
+  let area = Nl.total_cell_area nl in
+  (* two dies share the outline *)
+  let die_area = area /. (2. *. utilization) in
+  let side = Float.max (4. *. Cl.row_height) (sqrt die_area) in
+  (* snap height to an integral number of rows *)
+  let n_rows = max 4 (int_of_float (Float.round (side /. Cl.row_height))) in
+  let height = float_of_int n_rows *. Cl.row_height in
+  let width = die_area /. height in
+  { width; height; gcell_nx; gcell_ny; n_rows }
+
+let gcell_w fp = fp.width /. float_of_int fp.gcell_nx
+let gcell_h fp = fp.height /. float_of_int fp.gcell_ny
+
+let clamp lo hi v = max lo (min hi v)
+
+let gcell_of fp x y =
+  let gx = int_of_float (x /. gcell_w fp) in
+  let gy = int_of_float (y /. gcell_h fp) in
+  (clamp 0 (fp.gcell_nx - 1) gx, clamp 0 (fp.gcell_ny - 1) gy)
+
+let gcell_center fp gx gy =
+  ((float_of_int gx +. 0.5) *. gcell_w fp, (float_of_int gy +. 0.5) *. gcell_h fp)
+
+let row_y _fp r = (float_of_int r +. 0.5) *. Cl.row_height
+
+let row_of fp y =
+  clamp 0 (fp.n_rows - 1) (int_of_float (Float.round ((y /. Cl.row_height) -. 0.5)))
+
+let io_position fp ~n_ios i =
+  if n_ios <= 0 then invalid_arg "Floorplan.io_position: no IOs";
+  let perimeter = 2. *. (fp.width +. fp.height) in
+  let s = float_of_int (i mod n_ios) /. float_of_int n_ios *. perimeter in
+  if s < fp.width then (s, 0.)
+  else if s < fp.width +. fp.height then (fp.width, s -. fp.width)
+  else if s < (2. *. fp.width) +. fp.height then
+    ((2. *. fp.width) +. fp.height -. s, fp.height)
+  else (0., perimeter -. s)

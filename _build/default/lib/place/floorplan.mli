@@ -1,0 +1,42 @@
+(** Die geometry for a two-tier face-to-face 3D IC.
+
+    Both dies share the same outline (they are hybrid-bonded face to
+    face at a 1 um bump pitch, per the paper's section V).  IO pads sit
+    on the bottom die's periphery; the GCell grid used by the router and
+    the feature maps is anchored here. *)
+
+type t = {
+  width : float;  (** die width, um *)
+  height : float;  (** die height, um *)
+  gcell_nx : int;  (** GCell columns *)
+  gcell_ny : int;  (** GCell rows *)
+  n_rows : int;  (** standard-cell rows per die *)
+}
+
+val n_tiers : int
+(** Always 2 (top die and bottom die). *)
+
+val create :
+  ?utilization:float -> ?gcell_nx:int -> ?gcell_ny:int -> Dco3d_netlist.Netlist.t -> t
+(** Size a square outline so that total cell area fills [utilization]
+    (default 0.55) of the two dies combined, with an integral number of
+    standard-cell rows.  Default GCell grid: 48 x 48. *)
+
+val gcell_w : t -> float
+val gcell_h : t -> float
+
+val gcell_of : t -> float -> float -> int * int
+(** [gcell_of fp x y] is the (column, row) of the GCell containing the
+    point, clamped to the grid. *)
+
+val gcell_center : t -> int -> int -> float * float
+
+val row_y : t -> int -> float
+(** Center y of a standard-cell row. *)
+
+val row_of : t -> float -> int
+(** Nearest row index for a y coordinate (clamped). *)
+
+val io_position : t -> n_ios:int -> int -> float * float
+(** Deterministic pad position for IO [i]: pads are spread uniformly
+    around the die periphery in id order. *)

@@ -1,0 +1,155 @@
+module Rng = Dco3d_tensor.Rng
+
+type t = {
+  pin_density_aware : bool;
+  target_routing_density : float;
+  adv_node_cong_max_util : float;
+  congestion_driven_max_util : float;
+  cong_restruct_effort : int;
+  cong_restruct_iterations : int;
+  enhanced_low_power_effort : int;
+  low_power_placement : bool;
+  max_density : float;
+  displacement_threshold : int;
+  two_pass : bool;
+  global_route_based : bool;
+  enable_ccd : bool;
+  initial_place_effort : int;
+  final_place_effort : int;
+  enable_irap : bool;
+}
+
+(* The Pin-3D baseline is a tuned production flow, so its defaults sit
+   near this placer's own optimum (high placement efforts, two-pass
+   initial placement); the congestion-specific knobs stay off. *)
+let default =
+  {
+    pin_density_aware = false;
+    target_routing_density = 0.85;
+    adv_node_cong_max_util = 0.85;
+    congestion_driven_max_util = 0.85;
+    cong_restruct_effort = 0;
+    cong_restruct_iterations = 0;
+    enhanced_low_power_effort = 0;
+    low_power_placement = false;
+    max_density = 0.80;
+    displacement_threshold = 5;
+    two_pass = true;
+    global_route_based = false;
+    enable_ccd = false;
+    initial_place_effort = 2;
+    final_place_effort = 2;
+    enable_irap = false;
+  }
+
+let congestion_focused =
+  {
+    default with
+    pin_density_aware = true;
+    target_routing_density = 0.60;
+    adv_node_cong_max_util = 0.60;
+    congestion_driven_max_util = 0.60;
+    cong_restruct_effort = 4;
+    cong_restruct_iterations = 10;
+    max_density = 0.75;
+    two_pass = true;
+    global_route_based = true;
+    initial_place_effort = 2;
+    final_place_effort = 2;
+    enable_irap = true;
+  }
+
+let sample rng =
+  {
+    pin_density_aware = Rng.bool rng;
+    target_routing_density = Rng.uniform rng;
+    adv_node_cong_max_util = Rng.uniform rng;
+    congestion_driven_max_util = Rng.uniform rng;
+    cong_restruct_effort = Rng.int rng 5;
+    cong_restruct_iterations = Rng.int rng 11;
+    enhanced_low_power_effort = Rng.int rng 5;
+    low_power_placement = Rng.bool rng;
+    max_density = Rng.uniform rng;
+    displacement_threshold = Rng.int rng 11;
+    two_pass = Rng.bool rng;
+    global_route_based = Rng.bool rng;
+    enable_ccd = Rng.bool rng;
+    initial_place_effort = Rng.int rng 3;
+    final_place_effort = Rng.int rng 3;
+    enable_irap = Rng.bool rng;
+  }
+
+let dimensions = 16
+
+let to_vector p =
+  let b v = if v then 1. else 0. in
+  let e v range = float_of_int v /. float_of_int range in
+  [|
+    b p.pin_density_aware;
+    p.target_routing_density;
+    p.adv_node_cong_max_util;
+    p.congestion_driven_max_util;
+    e p.cong_restruct_effort 4;
+    e p.cong_restruct_iterations 10;
+    e p.enhanced_low_power_effort 4;
+    b p.low_power_placement;
+    p.max_density;
+    e p.displacement_threshold 10;
+    b p.two_pass;
+    b p.global_route_based;
+    b p.enable_ccd;
+    e p.initial_place_effort 2;
+    e p.final_place_effort 2;
+    b p.enable_irap;
+  |]
+
+let of_vector v =
+  if Array.length v <> dimensions then
+    invalid_arg "Params.of_vector: expected 16 values";
+  let clamp x = Float.max 0. (Float.min 1. x) in
+  let b x = clamp x >= 0.5 in
+  let e x range = int_of_float (Float.round (clamp x *. float_of_int range)) in
+  {
+    pin_density_aware = b v.(0);
+    target_routing_density = clamp v.(1);
+    adv_node_cong_max_util = clamp v.(2);
+    congestion_driven_max_util = clamp v.(3);
+    cong_restruct_effort = e v.(4) 4;
+    cong_restruct_iterations = e v.(5) 10;
+    enhanced_low_power_effort = e v.(6) 4;
+    low_power_placement = b v.(7);
+    max_density = clamp v.(8);
+    displacement_threshold = e v.(9) 10;
+    two_pass = b v.(10);
+    global_route_based = b v.(11);
+    enable_ccd = b v.(12);
+    initial_place_effort = e v.(13) 2;
+    final_place_effort = e v.(14) 2;
+    enable_irap = b v.(15);
+  }
+
+let to_assoc p =
+  let b v = if v then "true" else "false" in
+  [
+    ("coarse.pin_density_aware", b p.pin_density_aware);
+    ("coarse.target_routing_density", Printf.sprintf "%.3f" p.target_routing_density);
+    ("coarse.adv_node_cong_max_util", Printf.sprintf "%.3f" p.adv_node_cong_max_util);
+    ("coarse.congestion_driven_max_util", Printf.sprintf "%.3f" p.congestion_driven_max_util);
+    ("coarse.cong_restruct_effort", string_of_int p.cong_restruct_effort);
+    ("coarse.cong_restruct_iterations", string_of_int p.cong_restruct_iterations);
+    ("coarse.enhanced_low_power_effort", string_of_int p.enhanced_low_power_effort);
+    ("coarse.low_power_placement", b p.low_power_placement);
+    ("coarse.max_density", Printf.sprintf "%.3f" p.max_density);
+    ("legalize.displacement_threshold", string_of_int p.displacement_threshold);
+    ("initial_place.two_pass", b p.two_pass);
+    ("initial_drc.global_route_based", b p.global_route_based);
+    ("flow.enable_ccd", b p.enable_ccd);
+    ("initial_place.effort", string_of_int p.initial_place_effort);
+    ("final_place.effort", string_of_int p.final_place_effort);
+    ("flow.enable_irap", b p.enable_irap);
+  ]
+
+let pp ppf p =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun (k, v) -> Format.fprintf ppf "%s = %s@," k v) (to_assoc p);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,52 @@
+(** The 16 placement parameters of Table I.
+
+    These are the ICC2 knobs the paper samples to build its training
+    dataset (section III-A) and the search space of the Pin-3D+BO
+    baseline.  Our placer interprets each knob with the same intent as
+    the tool: density targets bound spreading, congestion knobs trade
+    wirelength for congestion relief, efforts buy iterations. *)
+
+type t = {
+  pin_density_aware : bool;  (** coarse.pin_density_aware *)
+  target_routing_density : float;  (** coarse.target_routing_density, [0,1] *)
+  adv_node_cong_max_util : float;  (** coarse.adv_node_cong_max_util, [0,1] *)
+  congestion_driven_max_util : float;  (** coarse.congestion_driven_max_util *)
+  cong_restruct_effort : int;  (** coarse.cong_restruct_effort, 0-4 *)
+  cong_restruct_iterations : int;  (** coarse.cong_restruct_iterations, 0-10 *)
+  enhanced_low_power_effort : int;  (** coarse.enhanced_low_power_effort, 0-4 *)
+  low_power_placement : bool;  (** coarse.low_power_placement *)
+  max_density : float;  (** coarse.max_density, [0,1] *)
+  displacement_threshold : int;  (** legalize.displacement_threshold, 0-10 *)
+  two_pass : bool;  (** initial_place.two_pass *)
+  global_route_based : bool;  (** initial_drc.global_route_based *)
+  enable_ccd : bool;  (** flow.enable_ccd *)
+  initial_place_effort : int;  (** initial_place.effort, 0-2 *)
+  final_place_effort : int;  (** final_place.effort, 0-2 *)
+  enable_irap : bool;  (** flow.enable_irap *)
+}
+
+val default : t
+(** The Pin-3D baseline settings. *)
+
+val congestion_focused : t
+(** The "Pin-3D + Cong." variant: ICC2 congestion-driven placement at
+    the highest effort (section V-B). *)
+
+val sample : Dco3d_tensor.Rng.t -> t
+(** Uniform sample over Table I's ranges — dataset construction. *)
+
+val dimensions : int
+(** Number of knobs (16) — the BO search-space dimensionality. *)
+
+val to_vector : t -> float array
+(** Encode into [\[0,1\]^16] for the Bayesian optimizer. *)
+
+val of_vector : float array -> t
+(** Decode; values are clamped into range.
+    @raise Invalid_argument on wrong length. *)
+
+val to_assoc : t -> (string * string) list
+(** [(icc2-knob-name, value)] pairs, Table I naming — used by reports
+    and the TCL exporter. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,109 @@
+module Nl = Dco3d_netlist.Netlist
+module Rng = Dco3d_tensor.Rng
+
+let side_of tier = function
+  | Nl.Cell c -> tier.(c)
+  | Nl.Io _ -> 0 (* pads live on the bottom die *)
+
+let cut_of nl tier =
+  List.fold_left
+    (fun acc (net : Nl.net) ->
+      let s0 = side_of tier net.Nl.driver in
+      if Array.exists (fun e -> side_of tier e <> s0) net.Nl.sinks then acc + 1
+      else acc)
+    0 (Nl.signal_nets nl)
+
+let balance_of nl tier =
+  let a = [| 0.; 0. |] in
+  for c = 0 to Nl.n_cells nl - 1 do
+    a.(tier.(c)) <- a.(tier.(c)) +. Nl.cell_area nl c
+  done;
+  let total = a.(0) +. a.(1) in
+  if total <= 0. then 0. else abs_float (a.(0) -. a.(1)) /. total
+
+let bipartition ?(passes = 8) ?(balance_tol = 0.03) ~seed nl =
+  let n = Nl.n_cells nl in
+  let rng = Rng.create seed in
+  let tier = Array.make n 0 in
+  let area = Array.init n (Nl.cell_area nl) in
+  let total_area = Array.fold_left ( +. ) 0. area in
+  (* Initial assignment: id-interleaved halves balanced by area.  The
+     generators wire locally in id space, so contiguous id ranges are
+     also logically clustered — splitting at the running-area midpoint
+     is a strong start. *)
+  let side_area = [| 0.; 0. |] in
+  let running = ref 0. in
+  for c = 0 to n - 1 do
+    let s = if !running < total_area /. 2. then 0 else 1 in
+    tier.(c) <- s;
+    running := !running +. area.(c);
+    side_area.(s) <- side_area.(s) +. area.(c)
+  done;
+  (* signal nets only, with per-net side pin counts *)
+  let nets = Array.of_list (Nl.signal_nets nl) in
+  let counts = Array.map (fun _ -> [| 0; 0 |]) nets in
+  (* per-cell incident signal-net indices *)
+  let incident = Array.make n [] in
+  Array.iteri
+    (fun k (net : Nl.net) ->
+      let bump e =
+        counts.(k).(side_of tier e) <- counts.(k).(side_of tier e) + 1;
+        match e with
+        | Nl.Cell c -> incident.(c) <- k :: incident.(c)
+        | Nl.Io _ -> ()
+      in
+      bump net.Nl.driver;
+      Array.iter bump net.Nl.sinks)
+    nets;
+  let incident = Array.map Array.of_list incident in
+  let gain c =
+    let s = tier.(c) in
+    let o = 1 - s in
+    Array.fold_left
+      (fun g k ->
+        let cs = counts.(k).(s) and co = counts.(k).(o) in
+        if cs = 1 && co > 0 then g + 1 else if co = 0 then g - 1 else g)
+      0 incident.(c)
+  in
+  let imbalance_after c =
+    let s = tier.(c) in
+    let a0 = side_area.(0) and a1 = side_area.(1) in
+    let a0', a1' =
+      if s = 0 then (a0 -. area.(c), a1 +. area.(c))
+      else (a0 +. area.(c), a1 -. area.(c))
+    in
+    abs_float (a0' -. a1') /. total_area
+  in
+  let move c =
+    let s = tier.(c) in
+    let o = 1 - s in
+    Array.iter
+      (fun k ->
+        counts.(k).(s) <- counts.(k).(s) - 1;
+        counts.(k).(o) <- counts.(k).(o) + 1)
+      incident.(c);
+    side_area.(s) <- side_area.(s) -. area.(c);
+    side_area.(o) <- side_area.(o) +. area.(c);
+    tier.(c) <- o
+  in
+  let order = Array.init n Fun.id in
+  let continue_ = ref true in
+  let pass = ref 0 in
+  while !continue_ && !pass < passes do
+    incr pass;
+    Rng.shuffle rng order;
+    let moved = ref 0 in
+    Array.iter
+      (fun c ->
+        let g = gain c in
+        let imb = imbalance_after c in
+        let imb_now = abs_float (side_area.(0) -. side_area.(1)) /. total_area in
+        if (g > 0 && imb <= balance_tol) || (g >= 0 && imb < imb_now -. 1e-12)
+        then begin
+          move c;
+          incr moved
+        end)
+      order;
+    if !moved = 0 then continue_ := false
+  done;
+  tier

@@ -1,0 +1,25 @@
+(** Area-balanced min-cut tier bipartitioning.
+
+    Pseudo-3D flows assign z-coordinates through tier assignment
+    (section II-A); this module provides the initial assignment that
+    the Pin-3D emulation uses and that DCO-3D's differentiable spreader
+    then refines.  The heuristic is Fiduccia-Mattheyses-style
+    positive-gain sweeps over the netlist hypergraph with an area
+    balance constraint. *)
+
+val bipartition :
+  ?passes:int ->
+  ?balance_tol:float ->
+  seed:int ->
+  Dco3d_netlist.Netlist.t ->
+  int array
+(** [bipartition ~seed nl] returns a tier (0/1) per cell.  Defaults:
+    [passes = 8], [balance_tol = 0.03] (maximum area imbalance
+    fraction). *)
+
+val cut_of : Dco3d_netlist.Netlist.t -> int array -> int
+(** Number of signal nets with pins on both tiers (IO pads count as
+    tier 0). *)
+
+val balance_of : Dco3d_netlist.Netlist.t -> int array -> float
+(** Area imbalance fraction in [\[0, 1\]]. *)

@@ -1,0 +1,1 @@
+lib/route/router.ml: Array Dco3d_netlist Dco3d_place Dco3d_tensor Float Fun Hashtbl List Steiner

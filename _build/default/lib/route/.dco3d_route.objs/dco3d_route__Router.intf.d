@@ -1,0 +1,1 @@
+lib/route/router.mli: Dco3d_place Dco3d_tensor

@@ -1,0 +1,1 @@
+lib/route/steiner.mli:

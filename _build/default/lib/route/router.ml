@@ -1,0 +1,753 @@
+module T = Dco3d_tensor.Tensor
+module Nl = Dco3d_netlist.Netlist
+module Pl = Dco3d_place.Placement
+module Fp = Dco3d_place.Floorplan
+
+type config = {
+  cap_h : int;
+  cap_v : int;
+  cap_via : int;
+  max_iterations : int;
+  history_weight : float;
+  overflow_penalty : float;
+  pin_blockage : float;
+  (** fraction of tracks lost to pin access in a fully pin-saturated
+      GCell — the sub-10nm effect that makes cell spreading relieve
+      congestion *)
+  pin_saturation : float;  (** pins per um^2 that count as saturated *)
+}
+
+let default_config fp =
+  (* Track counts from GCell geometry at a 3nm-like signal-routing
+     pitch (~30 nm) over a stack with three horizontal and two vertical
+     signal layers; the H-richer stack is what skews overflow toward V,
+     as in most of Table III. *)
+  let pitch = 0.025 in
+  let tracks span layers =
+    max 2 (int_of_float (span /. pitch)) * layers
+  in
+  {
+    cap_h = tracks (Fp.gcell_h fp) 3;
+    cap_v = tracks (Fp.gcell_w fp) 2;
+    cap_via = max 4 (int_of_float (Fp.gcell_w fp *. Fp.gcell_h fp /. 0.25));
+    max_iterations = 3;
+    history_weight = 0.4;
+    overflow_penalty = 3.0;
+    pin_blockage = 0.75;
+    pin_saturation = 45.0;
+  }
+
+(* Per-GCell pin densities (pins / um^2), per tier. *)
+let pin_density_bins (p : Pl.t) =
+  let fp = p.Pl.fp in
+  let nx = fp.Fp.gcell_nx and ny = fp.Fp.gcell_ny in
+  let bw = Fp.gcell_w fp and bh = Fp.gcell_h fp in
+  let bins = Array.init 2 (fun _ -> Array.make_matrix ny nx 0.) in
+  let add e =
+    let x, y, tier = Pl.endpoint_position p e in
+    let gx = max 0 (min (nx - 1) (int_of_float (x /. bw))) in
+    let gy = max 0 (min (ny - 1) (int_of_float (y /. bh))) in
+    bins.(tier).(gy).(gx) <- bins.(tier).(gy).(gx) +. 1.
+  in
+  List.iter
+    (fun (net : Nl.net) ->
+      add net.Nl.driver;
+      Array.iter add net.Nl.sinks)
+    (Nl.signal_nets p.Pl.nl);
+  let area = bw *. bh in
+  Array.iter
+    (fun tier_bins ->
+      Array.iter
+        (fun row ->
+          Array.iteri (fun i v -> row.(i) <- v /. area) row)
+        tier_bins)
+    bins;
+  bins
+
+let calibrated_config ?(target_util_h = 0.52) ?(target_util_v = 0.66) p =
+  let fp = p.Pl.fp in
+  let base = default_config fp in
+  let gw = Fp.gcell_w fp and gh = Fp.gcell_h fp in
+  let demand_h = ref 0. and demand_v = ref 0. in
+  List.iter
+    (fun net ->
+      let x0, y0, x1, y1 = Pl.net_bbox p net in
+      demand_h := !demand_h +. ((x1 -. x0) /. gw);
+      demand_v := !demand_v +. ((y1 -. y0) /. gh))
+    (Nl.signal_nets p.Pl.nl);
+  let nx = fp.Fp.gcell_nx and ny = fp.Fp.gcell_ny in
+  let n_h = float_of_int (2 * ny * (nx - 1)) in
+  let n_v = float_of_int (2 * (ny - 1) * nx) in
+  (* pin-blockage saturation relative to this design's own mean pin
+     density, so only genuinely dense clusters lose tracks; then
+     compensate the nominal capacities for the average derating so the
+     target utilizations still hold on average *)
+  let bins = pin_density_bins p in
+  let mean_density =
+    let acc = ref 0. and k = ref 0 in
+    Array.iter
+      (Array.iter (Array.iter (fun v -> acc := !acc +. v; incr k)))
+      bins;
+    if !k = 0 then 1. else !acc /. float_of_int !k
+  in
+  let pin_saturation = Float.max 1e-6 (1.8 *. mean_density) in
+  let mean_derate =
+    let acc = ref 0. and k = ref 0 in
+    Array.iter
+      (Array.iter
+         (Array.iter (fun v ->
+              acc :=
+                !acc
+                +. Float.max 0.15
+                     (1. -. (base.pin_blockage *. (v /. pin_saturation)));
+              incr k)))
+      bins;
+    if !k = 0 then 1. else !acc /. float_of_int !k
+  in
+  (* hybrid-bond capacity: each die-crossing net lands ~1-2 bonds; size
+     the per-GCell bond count so average via utilization sits near the
+     H target *)
+  let n_3d =
+    List.fold_left
+      (fun acc net -> if Pl.net_is_3d p net then acc + 1 else acc)
+      0 (Nl.signal_nets p.Pl.nl)
+  in
+  let n_bins = float_of_int (fp.Fp.gcell_nx * fp.Fp.gcell_ny) in
+  {
+    base with
+    pin_saturation;
+    cap_h =
+      max 4
+        (int_of_float
+           (Float.round (!demand_h /. n_h /. target_util_h /. mean_derate)));
+    cap_v =
+      max 4
+        (int_of_float
+           (Float.round (!demand_v /. n_v /. target_util_v /. mean_derate)));
+    cap_via =
+      max 4
+        (int_of_float
+           (Float.round (1.5 *. float_of_int n_3d /. n_bins /. target_util_h)));
+  }
+
+type result = {
+  overflow_total : int;
+  overflow_h : int;
+  overflow_v : int;
+  overflow_via : int;
+  overflow_gcell_pct : float;
+  wirelength : float;
+  congestion : T.t array;
+  utilization : T.t array;
+  net_length : float array;
+  iterations_run : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Binary min-heap for A*                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Heap = struct
+  type t = {
+    mutable keys : float array;
+    mutable vals : int array;
+    mutable len : int;
+  }
+
+  let create () = { keys = Array.make 256 0.; vals = Array.make 256 0; len = 0 }
+  let clear h = h.len <- 0
+  let is_empty h = h.len = 0
+
+  let push h k v =
+    if h.len = Array.length h.keys then begin
+      let keys = Array.make (2 * h.len) 0. and vals = Array.make (2 * h.len) 0 in
+      Array.blit h.keys 0 keys 0 h.len;
+      Array.blit h.vals 0 vals 0 h.len;
+      h.keys <- keys;
+      h.vals <- vals
+    end;
+    let i = ref h.len in
+    h.len <- h.len + 1;
+    h.keys.(!i) <- k;
+    h.vals.(!i) <- v;
+    let continue_ = ref true in
+    while !continue_ && !i > 0 do
+      let parent = (!i - 1) / 2 in
+      if h.keys.(parent) > h.keys.(!i) then begin
+        let tk = h.keys.(parent) and tv = h.vals.(parent) in
+        h.keys.(parent) <- h.keys.(!i);
+        h.vals.(parent) <- h.vals.(!i);
+        h.keys.(!i) <- tk;
+        h.vals.(!i) <- tv;
+        i := parent
+      end
+      else continue_ := false
+    done
+
+  let pop h =
+    let k = h.keys.(0) and v = h.vals.(0) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.keys.(0) <- h.keys.(h.len);
+      h.vals.(0) <- h.vals.(h.len);
+      let i = ref 0 in
+      let continue_ = ref true in
+      while !continue_ do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.len && h.keys.(l) < h.keys.(!smallest) then smallest := l;
+        if r < h.len && h.keys.(r) < h.keys.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tk = h.keys.(!smallest) and tv = h.vals.(!smallest) in
+          h.keys.(!smallest) <- h.keys.(!i);
+          h.vals.(!smallest) <- h.vals.(!i);
+          h.keys.(!i) <- tk;
+          h.vals.(!i) <- tv;
+          i := !smallest
+        end
+        else continue_ := false
+      done
+    end;
+    (k, v)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Routing state                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type state = {
+  cfg : config;
+  nx : int;
+  ny : int;
+  gw : float;  (** GCell width, um *)
+  gh : float;
+  n_h : int;  (** H edges per tier *)
+  n_v : int;
+  n_edges : int;
+  cap : int array;
+  demand : int array;
+  history : float array;
+  base_cost : float array;  (** routing cost units *)
+  phys_len : float array;  (** physical length, um *)
+}
+
+let make_state cfg fp (p : Pl.t) =
+  let pin_density = pin_density_bins p in
+  let derate tier gy gx =
+    let d = pin_density.(tier).(gy).(gx) /. cfg.pin_saturation in
+    (* unbounded up to an 85 % track loss: packing far beyond the
+       saturation knee keeps getting more expensive, as pin access does
+       in reality *)
+    Float.max 0.15 (1. -. (cfg.pin_blockage *. d))
+  in
+  let nx = fp.Fp.gcell_nx and ny = fp.Fp.gcell_ny in
+  let n_h = ny * (nx - 1) in
+  let n_v = (ny - 1) * nx in
+  let n_via = ny * nx in
+  let n_edges = (2 * n_h) + (2 * n_v) + n_via in
+  let cap = Array.make n_edges 0 in
+  let base_cost = Array.make n_edges 1. in
+  let phys_len = Array.make n_edges 0. in
+  let gw = Fp.gcell_w fp and gh = Fp.gcell_h fp in
+  (* H edges: derated by the two bins they connect *)
+  for tier = 0 to 1 do
+    for gy = 0 to ny - 1 do
+      for gx = 0 to nx - 2 do
+        let e = (((tier * ny) + gy) * (nx - 1)) + gx in
+        let f = 0.5 *. (derate tier gy gx +. derate tier gy (gx + 1)) in
+        cap.(e) <- max 2 (int_of_float (Float.round (float_of_int cfg.cap_h *. f)));
+        base_cost.(e) <- 1.0;
+        phys_len.(e) <- gw
+      done
+    done
+  done;
+  for tier = 0 to 1 do
+    for gy = 0 to ny - 2 do
+      for gx = 0 to nx - 1 do
+        let e = (2 * n_h) + (((tier * (ny - 1)) + gy) * nx) + gx in
+        let f = 0.5 *. (derate tier gy gx +. derate tier (gy + 1) gx) in
+        cap.(e) <- max 2 (int_of_float (Float.round (float_of_int cfg.cap_v *. f)));
+        base_cost.(e) <- 1.0;
+        phys_len.(e) <- gh
+      done
+    done
+  done;
+  for k = 0 to n_via - 1 do
+    let e = (2 * n_h) + (2 * n_v) + k in
+    cap.(e) <- cfg.cap_via;
+    base_cost.(e) <- 0.4;
+    phys_len.(e) <- 0.5 (* hybrid-bond stub *)
+  done;
+  {
+    cfg; nx; ny; gw; gh; n_h; n_v; n_edges; cap;
+    demand = Array.make n_edges 0;
+    history = Array.make n_edges 0.;
+    base_cost; phys_len;
+  }
+
+let h_edge st tier gy gx = (((tier * st.ny) + gy) * (st.nx - 1)) + gx
+let v_edge st tier gy gx = (2 * st.n_h) + (((tier * (st.ny - 1)) + gy) * st.nx) + gx
+let via_edge st gy gx = (2 * st.n_h) + (2 * st.n_v) + (gy * st.nx) + gx
+
+let node_of st tier gy gx = (((tier * st.ny) + gy) * st.nx) + gx
+let tier_of_node st n = n / (st.ny * st.nx)
+let gy_of_node st n = n mod (st.ny * st.nx) / st.nx
+let gx_of_node st n = n mod st.nx
+
+(* Edges already used by the net being routed are marked with the
+   current generation in [net_mark]: reuse is free because demand is
+   per-net. *)
+type net_marks = { mark : int array; mutable gen : int }
+
+let make_marks st = { mark = Array.make st.n_edges (-1); gen = 0 }
+
+(* Congestion-aware edge cost. *)
+let edge_cost st marks e =
+  if marks.mark.(e) = marks.gen then 0.001
+  else begin
+    let over = st.demand.(e) + 1 - st.cap.(e) in
+    st.base_cost.(e)
+    *. (1. +. st.history.(e))
+    +. (if over > 0 then st.cfg.overflow_penalty *. float_of_int over else 0.)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Pattern routing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* straight horizontal run on a tier: edges between x0 and x1 at gy *)
+let h_run st tier gy x0 x1 acc =
+  let lo = min x0 x1 and hi = max x0 x1 in
+  let edges = ref acc in
+  for gx = lo to hi - 1 do
+    edges := h_edge st tier gy gx :: !edges
+  done;
+  !edges
+
+let v_run st tier gx y0 y1 acc =
+  let lo = min y0 y1 and hi = max y0 y1 in
+  let edges = ref acc in
+  for gy = lo to hi - 1 do
+    edges := v_edge st tier gy gx :: !edges
+  done;
+  !edges
+
+(* Cost of a straight run, evaluated without materializing the path. *)
+let h_run_cost st marks tier gy x0 x1 =
+  let lo = min x0 x1 and hi = max x0 x1 in
+  let acc = ref 0. in
+  for gx = lo to hi - 1 do
+    acc := !acc +. edge_cost st marks (h_edge st tier gy gx)
+  done;
+  !acc
+
+let v_run_cost st marks tier gx y0 y1 =
+  let lo = min y0 y1 and hi = max y0 y1 in
+  let acc = ref 0. in
+  for gy = lo to hi - 1 do
+    acc := !acc +. edge_cost st marks (v_edge st tier gy gx)
+  done;
+  !acc
+
+(* A monotone same-tier candidate is fully described by its bend
+   coordinate: horizontal-first through (xm, -) or vertical-first
+   through (-, ym).  We score both Ls and two Zs and remember only the
+   winner's descriptor. *)
+type bend = H_first of int (* xm *) | V_first of int (* ym *)
+
+let best_same_tier st marks tier (x0, y0) (x1, y1) =
+  let score_h xm =
+    h_run_cost st marks tier y0 x0 xm
+    +. v_run_cost st marks tier xm y0 y1
+    +. h_run_cost st marks tier y1 xm x1
+  in
+  let score_v ym =
+    v_run_cost st marks tier x0 y0 ym
+    +. h_run_cost st marks tier ym x0 x1
+    +. v_run_cost st marks tier x1 ym y1
+  in
+  let best = ref (score_h x1, H_first x1) in
+  let try_ cost bend = if cost < fst !best then best := (cost, bend) in
+  try_ (score_h x0) (H_first x0);
+  try_ (score_v y0) (V_first y0);
+  try_ (score_v y1) (V_first y1);
+  if abs (x1 - x0) >= 2 then begin
+    let xm = (x0 + x1) / 2 in
+    try_ (score_h xm) (H_first xm)
+  end;
+  if abs (y1 - y0) >= 2 then begin
+    let ym = (y0 + y1) / 2 in
+    try_ (score_v ym) (V_first ym)
+  end;
+  !best
+
+let materialize_same_tier st tier (x0, y0) (x1, y1) bend acc =
+  match bend with
+  | H_first xm ->
+      h_run st tier y0 x0 xm
+        (v_run st tier xm y0 y1 (h_run st tier y1 xm x1 acc))
+  | V_first ym ->
+      v_run st tier x0 y0 ym
+        (h_run st tier ym x0 x1 (v_run st tier x1 ym y1 acc))
+
+let pattern_route st marks src dst =
+  let t0 = tier_of_node st src and t1 = tier_of_node st dst in
+  let p0 = (gx_of_node st src, gy_of_node st src) in
+  let p1 = (gx_of_node st dst, gy_of_node st dst) in
+  if t0 = t1 then begin
+    let _, bend = best_same_tier st marks t0 p0 p1 in
+    materialize_same_tier st t0 p0 p1 bend []
+  end
+  else begin
+    (* via at source, destination, or midpoint: score each composite,
+       materialize only the winner *)
+    let x0, y0 = p0 and x1, y1 = p1 in
+    let score (vx, vy) =
+      let c0, b0 = best_same_tier st marks t0 p0 (vx, vy) in
+      let c1, b1 = best_same_tier st marks t1 (vx, vy) p1 in
+      (c0 +. edge_cost st marks (via_edge st vy vx) +. c1, b0, b1)
+    in
+    let vias = [ (x0, y0); (x1, y1); ((x0 + x1) / 2, (y0 + y1) / 2) ] in
+    let best = ref None in
+    List.iter
+      (fun v ->
+        let c, b0, b1 = score v in
+        match !best with
+        | Some (bc, _, _, _) when bc <= c -> ()
+        | _ -> best := Some (c, v, b0, b1))
+      vias;
+    match !best with
+    | None -> []
+    | Some (_, (vx, vy), b0, b1) ->
+        materialize_same_tier st t0 p0 (vx, vy) b0
+          (via_edge st vy vx
+          :: materialize_same_tier st t1 (vx, vy) p1 b1 [])
+  end
+
+(* ------------------------------------------------------------------ *)
+(* A* maze routing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type astar = {
+  heap : Heap.t;
+  gscore : float array;
+  stamp : int array;
+  closed : int array;  (** generation-stamped closed set *)
+  parent_node : int array;
+  parent_edge : int array;
+  mutable generation : int;
+}
+
+let make_astar st =
+  let n = 2 * st.ny * st.nx in
+  {
+    heap = Heap.create ();
+    gscore = Array.make n infinity;
+    stamp = Array.make n (-1);
+    closed = Array.make n (-1);
+    parent_node = Array.make n (-1);
+    parent_edge = Array.make n (-1);
+    generation = 0;
+  }
+
+let astar_route st az marks src dst =
+  az.generation <- az.generation + 1;
+  let gen = az.generation in
+  Heap.clear az.heap;
+  let dx1 = gx_of_node st dst and dy1 = gy_of_node st dst in
+  let sx = gx_of_node st src and sy = gy_of_node st src in
+  (* restrict the search to the pair's bounding box plus a detour
+     margin — the standard global-router window, which caps expansion
+     cost on large grids *)
+  let margin = 2 + (max st.nx st.ny / 6) in
+  let wx0 = max 0 (min sx dx1 - margin) and wx1 = min (st.nx - 1) (max sx dx1 + margin) in
+  let wy0 = max 0 (min sy dy1 - margin) and wy1 = min (st.ny - 1) (max sy dy1 + margin) in
+  let in_window n =
+    let gx = gx_of_node st n and gy = gy_of_node st n in
+    gx >= wx0 && gx <= wx1 && gy >= wy0 && gy <= wy1
+  in
+  (* mildly weighted heuristic: faster, near-optimal *)
+  let heuristic n =
+    1.15
+    *. float_of_int (abs (gx_of_node st n - dx1) + abs (gy_of_node st n - dy1))
+  in
+  let visit n g pn pe =
+    if in_window n && (az.stamp.(n) <> gen || g < az.gscore.(n)) then begin
+      az.stamp.(n) <- gen;
+      az.gscore.(n) <- g;
+      az.parent_node.(n) <- pn;
+      az.parent_edge.(n) <- pe;
+      Heap.push az.heap (g +. heuristic n) n
+    end
+  in
+  visit src 0. (-1) (-1);
+  let found = ref false in
+  while (not !found) && not (Heap.is_empty az.heap) do
+    let _, n = Heap.pop az.heap in
+    if n = dst then found := true
+    else if az.closed.(n) <> gen then begin
+      az.closed.(n) <- gen;
+      let g = az.gscore.(n) in
+      let t = tier_of_node st n and gy = gy_of_node st n and gx = gx_of_node st n in
+      let try_edge e n' = visit n' (g +. edge_cost st marks e) n e in
+      if gx > 0 then try_edge (h_edge st t gy (gx - 1)) (node_of st t gy (gx - 1));
+      if gx < st.nx - 1 then try_edge (h_edge st t gy gx) (node_of st t gy (gx + 1));
+      if gy > 0 then try_edge (v_edge st t (gy - 1) gx) (node_of st t (gy - 1) gx);
+      if gy < st.ny - 1 then try_edge (v_edge st t gy gx) (node_of st t (gy + 1) gx);
+      try_edge (via_edge st gy gx) (node_of st (1 - t) gy gx)
+    end
+  done;
+  if not !found then None
+  else begin
+    (* walk parents back to the source *)
+    let edges = ref [] in
+    let n = ref dst in
+    while !n <> src do
+      edges := az.parent_edge.(!n) :: !edges;
+      n := az.parent_node.(!n)
+    done;
+    Some !edges
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Net decomposition and full routing                                  *)
+(* ------------------------------------------------------------------ *)
+
+let net_nodes st (p : Pl.t) (net : Nl.net) =
+  let fp = p.Pl.fp in
+  let node_of_endpoint e =
+    let x, y, tier = Pl.endpoint_position p e in
+    let gx, gy = Fp.gcell_of fp x y in
+    node_of st tier gy gx
+  in
+  let tbl = Hashtbl.create 8 in
+  let add e =
+    let n = node_of_endpoint e in
+    if not (Hashtbl.mem tbl n) then Hashtbl.add tbl n ()
+  in
+  add net.Nl.driver;
+  Array.iter add net.Nl.sinks;
+  Hashtbl.fold (fun n () acc -> n :: acc) tbl []
+  |> List.sort compare
+
+(* Prim order: connect each pin GCell to the closest already-connected
+   pin GCell (cheap Steiner approximation). *)
+let prim_pairs st nodes =
+  match nodes with
+  | [] | [ _ ] -> []
+  | first :: rest ->
+      (* classic O(k^2) Prim: cache each remaining pin's nearest
+         already-connected node and relax after every addition *)
+      let dist a b =
+        abs (gx_of_node st a - gx_of_node st b)
+        + abs (gy_of_node st a - gy_of_node st b)
+        + abs (tier_of_node st a - tier_of_node st b)
+      in
+      let remaining = Array.of_list rest in
+      let k = Array.length remaining in
+      let best_dist = Array.map (dist first) remaining in
+      let best_from = Array.make k first in
+      let len = ref k in
+      let pairs = ref [] in
+      while !len > 0 do
+        let bi = ref 0 in
+        for i = 1 to !len - 1 do
+          if best_dist.(i) < best_dist.(!bi) then bi := i
+        done;
+        let r = remaining.(!bi) in
+        pairs := (best_from.(!bi), r) :: !pairs;
+        remaining.(!bi) <- remaining.(!len - 1);
+        best_dist.(!bi) <- best_dist.(!len - 1);
+        best_from.(!bi) <- best_from.(!len - 1);
+        decr len;
+        for i = 0 to !len - 1 do
+          let d = dist r remaining.(i) in
+          if d < best_dist.(i) then begin
+            best_dist.(i) <- d;
+            best_from.(i) <- r
+          end
+        done
+      done;
+      List.rev !pairs
+
+let commit st marks acc path =
+  List.iter
+    (fun e ->
+      if marks.mark.(e) <> marks.gen then begin
+        marks.mark.(e) <- marks.gen;
+        st.demand.(e) <- st.demand.(e) + 1;
+        acc := e :: !acc
+      end)
+    path
+
+let rip_up st edges =
+  List.iter (fun e -> st.demand.(e) <- st.demand.(e) - 1) edges
+
+(* Two-pin decomposition of a net's pin GCells.  Same-tier nets with a
+   handful of pins get a rectilinear Steiner topology (shorter trees);
+   cross-tier and large nets fall back to Prim order. *)
+let decompose st nodes =
+  match nodes with
+  | [] | [ _ ] -> []
+  | first :: rest ->
+      let tier0 = tier_of_node st first in
+      let same_tier = List.for_all (fun n -> tier_of_node st n = tier0) rest in
+      let k = List.length nodes in
+      if same_tier && k >= 3 && k <= 10 then begin
+        let pins =
+          List.map
+            (fun n -> { Steiner.x = gx_of_node st n; y = gy_of_node st n })
+            nodes
+        in
+        List.map
+          (fun (a, b) ->
+            (node_of st tier0 a.Steiner.y a.Steiner.x,
+             node_of st tier0 b.Steiner.y b.Steiner.x))
+          (Steiner.build pins)
+      end
+      else prim_pairs st nodes
+
+(* Route one net; returns the committed edge list. *)
+let route_net st az marks ~maze (p : Pl.t) net =
+  marks.gen <- marks.gen + 1;
+  let nodes = net_nodes st p net in
+  let pairs = decompose st nodes in
+  let acc = ref [] in
+  List.iter
+    (fun (a, b) ->
+      let path =
+        if maze then
+          match astar_route st az marks a b with
+          | Some path -> path
+          | None -> pattern_route st marks a b
+        else pattern_route st marks a b
+      in
+      commit st marks acc path)
+    pairs;
+  !acc
+
+let overflow_of st e = max 0 (st.demand.(e) - st.cap.(e))
+
+let route ?config (p : Pl.t) =
+  let fp = p.Pl.fp in
+  let cfg = match config with Some c -> c | None -> default_config fp in
+  let st = make_state cfg fp p in
+  let az = make_astar st in
+  let nets = Array.of_list (Nl.signal_nets p.Pl.nl) in
+  (* small nets first: they have the least routing freedom *)
+  let order = Array.init (Array.length nets) Fun.id in
+  let half_perim k =
+    let x0, y0, x1, y1 = Pl.net_bbox p nets.(k) in
+    x1 -. x0 +. (y1 -. y0)
+  in
+  Array.sort (fun a b -> compare (half_perim a) (half_perim b)) order;
+  let marks = make_marks st in
+  let net_edges = Array.map (fun _ -> []) nets in
+  Array.iter
+    (fun k -> net_edges.(k) <- route_net st az marks ~maze:false p nets.(k))
+    order;
+  (* negotiated-congestion repair *)
+  let iterations_run = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !iterations_run < cfg.max_iterations do
+    incr iterations_run;
+    (* bump history on overflowed edges *)
+    let any_overflow = ref false in
+    for e = 0 to st.n_edges - 1 do
+      let ov = overflow_of st e in
+      if ov > 0 then begin
+        any_overflow := true;
+        st.history.(e) <- st.history.(e) +. (cfg.history_weight *. float_of_int ov)
+      end
+    done;
+    if not !any_overflow then continue_ := false
+    else begin
+      (* rip up and reroute every net crossing an overflowed edge *)
+      let victims = ref [] in
+      Array.iteri
+        (fun k edges ->
+          if List.exists (fun e -> overflow_of st e > 0) edges then
+            victims := k :: !victims)
+        net_edges;
+      List.iter
+        (fun k ->
+          rip_up st net_edges.(k);
+          net_edges.(k) <- route_net st az marks ~maze:true p nets.(k))
+        !victims
+    end
+  done;
+  (* ---------------- results ---------------- *)
+  let overflow_h = ref 0 and overflow_v = ref 0 and overflow_via = ref 0 in
+  for e = 0 to st.n_edges - 1 do
+    let ov = overflow_of st e in
+    if ov > 0 then
+      if e < 2 * st.n_h then overflow_h := !overflow_h + ov
+      else if e < (2 * st.n_h) + (2 * st.n_v) then overflow_v := !overflow_v + ov
+      else overflow_via := !overflow_via + ov
+  done;
+  let congestion =
+    Array.init 2 (fun tier ->
+        let m = T.zeros [| st.ny; st.nx |] in
+        (* attribute each edge's overflow to its low-side GCell *)
+        for gy = 0 to st.ny - 1 do
+          for gx = 0 to st.nx - 2 do
+            let ov = overflow_of st (h_edge st tier gy gx) in
+            if ov > 0 then T.set2 m gy gx (T.get2 m gy gx +. float_of_int ov)
+          done
+        done;
+        for gy = 0 to st.ny - 2 do
+          for gx = 0 to st.nx - 1 do
+            let ov = overflow_of st (v_edge st tier gy gx) in
+            if ov > 0 then T.set2 m gy gx (T.get2 m gy gx +. float_of_int ov)
+          done
+        done;
+        m)
+  in
+  let utilization =
+    Array.init 2 (fun tier ->
+        let m = T.zeros [| st.ny; st.nx |] in
+        for gy = 0 to st.ny - 1 do
+          for gx = 0 to st.nx - 1 do
+            let u = ref 0. and k = ref 0 in
+            let edge e =
+              u := !u +. (float_of_int st.demand.(e) /. float_of_int (max 1 st.cap.(e)));
+              incr k
+            in
+            if gx < st.nx - 1 then edge (h_edge st tier gy gx);
+            if gx > 0 then edge (h_edge st tier gy (gx - 1));
+            if gy < st.ny - 1 then edge (v_edge st tier gy gx);
+            if gy > 0 then edge (v_edge st tier (gy - 1) gx);
+            T.set2 m gy gx (!u /. float_of_int (max 1 !k))
+          done
+        done;
+        m)
+  in
+  let overflow_cells = ref 0 in
+  for tier = 0 to 1 do
+    T.iteri_flat
+      (fun _ v -> if v > 0. then incr overflow_cells)
+      congestion.(tier)
+  done;
+  let total_cells = 2 * st.nx * st.ny in
+  let net_length = Array.make (Nl.n_nets p.Pl.nl) 0. in
+  let wirelength = ref 0. in
+  Array.iteri
+    (fun k edges ->
+      let len = List.fold_left (fun acc e -> acc +. st.phys_len.(e)) 0. edges in
+      (* single-GCell nets still have a local stub *)
+      let len = if len = 0. then 0.5 *. (st.gw +. st.gh) else len in
+      net_length.(nets.(k).Nl.net_id) <- len;
+      wirelength := !wirelength +. len)
+    net_edges;
+  {
+    overflow_total = !overflow_h + !overflow_v + !overflow_via;
+    overflow_h = !overflow_h;
+    overflow_v = !overflow_v;
+    overflow_via = !overflow_via;
+    overflow_gcell_pct = 100. *. float_of_int !overflow_cells /. float_of_int total_cells;
+    wirelength = !wirelength;
+    congestion;
+    utilization;
+    net_length;
+    iterations_run = !iterations_run;
+  }

@@ -1,0 +1,62 @@
+(** Two-tier global router — the stand-in for ICC2's global routing
+    that produces the paper's ground-truth congestion labels and the
+    Table-III routing columns.
+
+    Model: each die is an [nx x ny] GCell grid with horizontal and
+    vertical edge capacities (the metal stack is H-richer than V, which
+    reproduces the paper's V-dominated overflow); hybrid-bond via edges
+    connect the dies at every GCell.  Nets are decomposed into two-pin
+    connections (Prim order over pin GCells), first routed with
+    congestion-aware L/Z pattern routing, then repaired by
+    negotiated-congestion rip-up-and-reroute (PathFinder-style history
+    costs) with A* maze routing.
+
+    Clock nets are excluded (CTS owns them). *)
+
+type config = {
+  cap_h : int;  (** horizontal tracks per GCell boundary *)
+  cap_v : int;  (** vertical tracks per GCell boundary *)
+  cap_via : int;  (** hybrid bonds per GCell *)
+  max_iterations : int;  (** rip-up-and-reroute rounds *)
+  history_weight : float;  (** PathFinder history increment *)
+  overflow_penalty : float;  (** cost multiplier per unit of overuse *)
+  pin_blockage : float;
+  (** fraction of tracks lost to pin access in a fully pin-saturated
+      GCell.  This is the dominant sub-10nm congestion mechanism: dense
+      cell/pin clusters consume routing resources locally, which is
+      precisely why cell spreading (2D or 3D) relieves congestion. *)
+  pin_saturation : float;  (** pin density (pins/um^2) treated as saturated *)
+}
+
+val default_config : Dco3d_place.Floorplan.t -> config
+(** Capacities derived from GCell geometry at a 3nm-like track pitch. *)
+
+val calibrated_config :
+  ?target_util_h:float -> ?target_util_v:float -> Dco3d_place.Placement.t ->
+  config
+(** Capacities provisioned for the design's own demand, the way a real
+    backend sizes die and metal stack for routability: the average
+    HPWL-based demand per edge is divided by a target utilization
+    (defaults: H 0.62, V 0.78 — the V-poorer stack drives the paper's
+    V-dominated overflow).  Call this once on the {e baseline}
+    placement of a design and reuse the config for every flow variant,
+    so comparisons share one routing fabric. *)
+
+type result = {
+  overflow_total : int;  (** sum of (demand - capacity)+ over all edges *)
+  overflow_h : int;
+  overflow_v : int;
+  overflow_via : int;
+  overflow_gcell_pct : float;  (** percentage of GCells with any overflow *)
+  wirelength : float;  (** routed wirelength, um (via stubs included) *)
+  congestion : Dco3d_tensor.Tensor.t array;
+  (** per-tier [ny; nx] overflow maps — the training labels *)
+  utilization : Dco3d_tensor.Tensor.t array;
+  (** per-tier [ny; nx] demand/capacity maps (Fig. 6 visuals) *)
+  net_length : float array;
+  (** routed length per net id, um; 0 for unrouted/clock nets *)
+  iterations_run : int;
+}
+
+val route : ?config:config -> Dco3d_place.Placement.t -> result
+(** Route all signal nets of a placement.  Deterministic. *)

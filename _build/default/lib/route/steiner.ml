@@ -1,0 +1,102 @@
+type point = { x : int; y : int }
+type edge = point * point
+
+let dist a b = abs (a.x - b.x) + abs (a.y - b.y)
+
+(* Manhattan-closest point on the bounding box spanned by a
+   rectilinear tree edge.  Tree edges are abstract "L-connections":
+   any point inside the edge's bounding box can be reached from both
+   endpoints without extra wire, so snapping the query into the box is
+   the legal Steiner candidate. *)
+let closest_point_on_segment q ((a, b) : edge) =
+  let lo_x = min a.x b.x and hi_x = max a.x b.x in
+  let lo_y = min a.y b.y and hi_y = max a.y b.y in
+  { x = max lo_x (min hi_x q.x); y = max lo_y (min hi_y q.y) }
+
+let length edges =
+  List.fold_left (fun acc (a, b) -> acc + dist a b) 0 edges
+
+let dedup pins =
+  List.sort_uniq (fun a b -> compare (a.x, a.y) (b.x, b.y)) pins
+
+let spanning_length pins =
+  match dedup pins with
+  | [] | [ _ ] -> 0
+  | first :: rest ->
+      let rest = Array.of_list rest in
+      let n = Array.length rest in
+      let best = Array.map (dist first) rest in
+      let used = Array.make n false in
+      let total = ref 0 in
+      for _ = 1 to n do
+        (* nearest unused pin *)
+        let bi = ref (-1) in
+        for i = 0 to n - 1 do
+          if (not used.(i)) && (!bi < 0 || best.(i) < best.(!bi)) then bi := i
+        done;
+        used.(!bi) <- true;
+        total := !total + best.(!bi);
+        for i = 0 to n - 1 do
+          if not used.(i) then
+            best.(i) <- min best.(i) (dist rest.(!bi) rest.(i))
+        done
+      done;
+      !total
+
+let build pins =
+  match dedup pins with
+  | [] | [ _ ] -> []
+  | first :: rest ->
+      (* Sequential RSMT: attach each remaining pin (nearest first) to
+         the closest point of the current tree, splitting the host edge
+         at a fresh Steiner point when the attachment lands strictly
+         inside it. *)
+      let edges = ref [] in
+      let tree_pts = ref [ first ] in
+      let remaining = ref rest in
+      while !remaining <> [] do
+        (* the pin closest to the current tree (over edges and points) *)
+        let best = ref None in
+        List.iter
+          (fun pin ->
+            (* closest attachment for this pin *)
+            let attach = ref (List.hd !tree_pts) in
+            let d = ref (dist pin !attach) in
+            List.iter
+              (fun pt ->
+                let dd = dist pin pt in
+                if dd < !d then begin
+                  d := dd;
+                  attach := pt
+                end)
+              !tree_pts;
+            let host = ref None in
+            List.iter
+              (fun e ->
+                let cp = closest_point_on_segment pin e in
+                let dd = dist pin cp in
+                if dd < !d then begin
+                  d := dd;
+                  attach := cp;
+                  host := Some e
+                end)
+              !edges;
+            match !best with
+            | Some (bd, _, _, _) when bd <= !d -> ()
+            | _ -> best := Some (!d, pin, !attach, !host))
+          !remaining;
+        match !best with
+        | None -> remaining := []
+        | Some (_, pin, attach, host) ->
+            remaining := List.filter (fun p -> p <> pin) !remaining;
+            (* split the host edge at the Steiner point if needed *)
+            (match host with
+            | Some ((a, b) as e) when attach <> a && attach <> b ->
+                edges := List.filter (fun e' -> e' <> e) !edges;
+                edges := (a, attach) :: (attach, b) :: !edges;
+                tree_pts := attach :: !tree_pts
+            | Some _ | None -> ());
+            if attach <> pin then edges := (attach, pin) :: !edges;
+            tree_pts := pin :: !tree_pts
+      done;
+      !edges

@@ -1,0 +1,31 @@
+(** Rectilinear Steiner minimal-tree approximation.
+
+    The router decomposes each net into two-pin connections; a plain
+    Prim spanning tree over the pins wastes wirelength that a Steiner
+    topology saves (up to 33 % in theory, a few percent typically).
+    This module implements the classic sequential ("Prim-based") RSMT
+    heuristic: pins are inserted one at a time at the closest point of
+    the current tree, creating L-bend Steiner points on demand.
+
+    Points are integer GCell coordinates; distances are Manhattan. *)
+
+type point = { x : int; y : int }
+
+type edge = point * point
+(** Tree edges; endpoints are pins or Steiner points. *)
+
+val closest_point_on_segment : point -> edge -> point
+(** The Manhattan-closest point to the query on the (rectilinear
+    bounding box of the) segment — the candidate Steiner point. *)
+
+val build : point list -> edge list
+(** [build pins] returns a connected rectilinear tree spanning the
+    pins.  [n-1 <= edges <= 2(n-1)]; duplicates among the input pins
+    are merged.  The empty and singleton cases return []. *)
+
+val length : edge list -> int
+(** Total Manhattan length of the tree. *)
+
+val spanning_length : point list -> int
+(** Length of the plain Prim spanning tree over the pins (the baseline
+    the Steiner construction must never exceed). *)

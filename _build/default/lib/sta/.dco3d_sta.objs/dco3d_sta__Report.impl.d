@@ -1,0 +1,1 @@
+lib/sta/report.ml: Array Buffer Dco3d_netlist Float List Printf Sta String

@@ -1,0 +1,1 @@
+lib/sta/sta.ml: Array Dco3d_netlist Dco3d_tensor Float Fun

@@ -1,0 +1,1 @@
+lib/sta/sta.mli: Dco3d_netlist Dco3d_tensor

@@ -1,0 +1,55 @@
+module Nl = Dco3d_netlist.Netlist
+module Cl = Dco3d_netlist.Cell_lib
+
+let timing_summary (t : Sta.timing) =
+  Printf.sprintf
+    "WNS: %.2f ps\nTNS: %.1f ps\nviolating endpoints: %d (critical delay %.1f ps)"
+    t.Sta.wns t.Sta.tns t.Sta.n_violations t.Sta.critical_delay
+
+let critical_path_report nl (t : Sta.timing) =
+  let path = Sta.critical_path nl t in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "critical path (%d stages):\n" (List.length path));
+  Buffer.add_string buf
+    (Printf.sprintf "  %-4s %-10s %-12s %12s %12s\n" "#" "cell" "master"
+       "arrival(ps)" "slack(ps)");
+  List.iteri
+    (fun i c ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-4d u%-9d %-12s %12.1f %12.1f\n" i c
+           nl.Nl.masters.(c).Cl.name t.Sta.cell_arrival.(c)
+           t.Sta.cell_slack.(c)))
+    path;
+  Buffer.contents buf
+
+let histogram ?(bins = 10) (t : Sta.timing) =
+  let slacks = t.Sta.cell_slack in
+  let n = Array.length slacks in
+  if n = 0 then "(empty design)\n"
+  else begin
+    let lo = Array.fold_left Float.min infinity slacks in
+    let hi = Array.fold_left Float.max neg_infinity slacks in
+    let span = Float.max 1e-9 (hi -. lo) in
+    let counts = Array.make bins 0 in
+    Array.iter
+      (fun s ->
+        let b =
+          max 0 (min (bins - 1) (int_of_float ((s -. lo) /. span *. float_of_int bins)))
+        in
+        counts.(b) <- counts.(b) + 1)
+      slacks;
+    let peak = Array.fold_left max 1 counts in
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf "slack histogram (cells):\n";
+    Array.iteri
+      (fun b c ->
+        let from = lo +. (span *. float_of_int b /. float_of_int bins) in
+        let upto = lo +. (span *. float_of_int (b + 1) /. float_of_int bins) in
+        let width = c * 40 / peak in
+        Buffer.add_string buf
+          (Printf.sprintf "  [%8.1f, %8.1f) %6d %s\n" from upto c
+             (String.make width '#')))
+      counts;
+    Buffer.contents buf
+  end

@@ -1,0 +1,24 @@
+(** Human-readable timing reports — the [report_timing] of this
+    substrate.
+
+    Renders the critical path stage by stage (cell, master, per-stage
+    delay contribution, cumulative arrival) plus the endpoint summary
+    (WNS / TNS / violation count), in the style every signoff engineer
+    reads daily.  Used by the CLI and handy when debugging why a flow
+    variant lost timing. *)
+
+val timing_summary : Sta.timing -> string
+(** Three-line WNS / TNS / violations summary. *)
+
+val critical_path_report :
+  Dco3d_netlist.Netlist.t -> Sta.timing -> string
+(** The worst path, one stage per line:
+    {v
+    #   cell      master     arrival(ps)  slack(ps)
+    0   u4521     DFF_X1          22.0      -55.2
+    ...
+    v} *)
+
+val histogram : ?bins:int -> Sta.timing -> string
+(** Slack histogram over cells (ASCII bars) — where the design's
+    timing mass sits. *)

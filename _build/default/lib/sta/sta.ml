@@ -1,0 +1,396 @@
+module T = Dco3d_tensor.Tensor
+module Nl = Dco3d_netlist.Netlist
+module Cl = Dco3d_netlist.Cell_lib
+
+type config = {
+  clock_period_ps : float;
+  wire_res : float;
+  wire_cap : float;
+  via_delay_ps : float;
+  setup_ps : float;
+  clk_to_q_ps : float;
+  voltage : float;
+  pi_activity : float;
+}
+
+let default_config ~clock_period_ps =
+  {
+    clock_period_ps;
+    wire_res = 0.8;  (* kOhm / um: thin 3nm wires are resistive *)
+    wire_cap = 0.22;  (* fF / um *)
+    via_delay_ps = 2.5;
+    setup_ps = 8.0;
+    clk_to_q_ps = 22.0;
+    voltage = 0.7;
+    pi_activity = 0.18;
+  }
+
+type timing = {
+  wns : float;
+  tns : float;
+  n_violations : int;
+  critical_delay : float;
+  cell_slack : float array;
+  cell_in_slew : float array;
+  cell_out_slew : float array;
+  cell_arrival : float array;
+}
+
+(* pin capacitance seen by a net: sum over its sink pins *)
+let sink_cap nl (net : Nl.net) =
+  Array.fold_left
+    (fun acc e ->
+      match e with
+      | Nl.Cell c -> acc +. nl.Nl.masters.(c).Cl.input_cap
+      | Nl.Io _ -> acc +. 2.0 (* pad cap *))
+    0. net.Nl.sinks
+
+let net_load cfg nl ~net_length (net : Nl.net) =
+  let l = net_length.(net.Nl.net_id) in
+  (cfg.wire_cap *. l) +. sink_cap nl net
+
+(* High-fanout nets are implicitly buffered (every signoff flow does
+   this): the driver sees at most [buffered_load_cap] of capacitance,
+   and the tree contributes a logarithmic stage delay instead of the
+   raw RC of the full load. *)
+let buffered_load_cap = 24.0
+let buffer_stage_ps = 9.0
+
+let net_delay cfg nl ~net_length ~net_is_3d (net : Nl.net) r_drv =
+  let l = net_length.(net.Nl.net_id) in
+  let c_wire = cfg.wire_cap *. l in
+  let r_wire = cfg.wire_res *. l in
+  let c_total = c_wire +. sink_cap nl net in
+  let fanout = Array.length net.Nl.sinks in
+  let tree_delay =
+    if c_total > buffered_load_cap then
+      buffer_stage_ps
+      *. Float.max 1. (log (c_total /. buffered_load_cap) /. log 2.)
+    else 0.
+  in
+  (r_drv *. Float.min c_total buffered_load_cap)
+  +. tree_delay
+  +. (0.5 *. r_wire *. Float.min c_wire buffered_load_cap
+      *. (1. +. (0.1 *. log (1. +. float_of_int fanout))))
+  +. if net_is_3d net.Nl.net_id then cfg.via_delay_ps else 0.
+
+let topo_cells nl =
+  match Nl.levelize nl with
+  | None -> invalid_arg "Sta.analyze: combinational cycle"
+  | Some levels ->
+      let order = Array.init (Nl.n_cells nl) Fun.id in
+      Array.sort (fun a b -> compare levels.(a) levels.(b)) order;
+      order
+
+let analyze cfg nl ~net_length ~net_is_3d =
+  let n = Nl.n_cells nl in
+  let nn = Nl.n_nets nl in
+  let order = topo_cells nl in
+  let cell_arrival = Array.make n 0. in
+  let cell_out_slew = Array.make n 0. in
+  let cell_in_slew = Array.make n 0. in
+  (* arrival time and slew at every net's sink pins *)
+  let net_arrival = Array.make nn 0. in
+  let net_slew = Array.make nn 0. in
+  let is_source c = nl.Nl.masters.(c).Cl.is_seq || Nl.is_macro nl c in
+  (* forward propagation in level order *)
+  Array.iter
+    (fun c ->
+      let m = nl.Nl.masters.(c) in
+      let in_arrival = ref 0. and in_slew = ref 0. in
+      if not (is_source c) then
+        Array.iter
+          (fun nid ->
+            if not nl.Nl.nets.(nid).Nl.is_clock then begin
+              if net_arrival.(nid) > !in_arrival then
+                in_arrival := net_arrival.(nid);
+              if net_slew.(nid) > !in_slew then in_slew := net_slew.(nid)
+            end)
+          nl.Nl.cell_fanin.(c);
+      cell_in_slew.(c) <- !in_slew;
+      let launch =
+        if is_source c then cfg.clk_to_q_ps
+        else !in_arrival +. m.Cl.intrinsic_delay +. (0.1 *. !in_slew)
+      in
+      cell_arrival.(c) <- launch;
+      let out = nl.Nl.cell_fanout.(c) in
+      if out >= 0 && not nl.Nl.nets.(out).Nl.is_clock then begin
+        let net = nl.Nl.nets.(out) in
+        let d = net_delay cfg nl ~net_length ~net_is_3d net m.Cl.drive_res in
+        net_arrival.(out) <- launch +. d;
+        let slew =
+          2.2 *. m.Cl.drive_res
+          *. Float.min buffered_load_cap (net_load cfg nl ~net_length net)
+        in
+        net_slew.(out) <- slew;
+        cell_out_slew.(c) <- slew
+      end)
+    order;
+  (* primary-input nets launch at t = 0 with a pad drive *)
+  Array.iter
+    (fun (net : Nl.net) ->
+      match net.Nl.driver with
+      | Nl.Io _ when not net.Nl.is_clock ->
+          let r_pad = 1.0 in
+          net_arrival.(net.Nl.net_id) <-
+            net_delay cfg nl ~net_length ~net_is_3d net r_pad;
+          net_slew.(net.Nl.net_id) <-
+            2.2 *. r_pad
+            *. Float.min buffered_load_cap (net_load cfg nl ~net_length net)
+      | Nl.Io _ | Nl.Cell _ -> ())
+    nl.Nl.nets;
+  (* endpoint slacks: flip-flop / macro data pins and primary outputs *)
+  let wns = ref 0. and tns = ref 0. and n_violations = ref 0 in
+  let critical = ref 0. in
+  let endpoint_slacks = Array.make nn infinity in
+  let record_endpoint arrival =
+    let slack = cfg.clock_period_ps -. cfg.setup_ps -. arrival in
+    if arrival > !critical then critical := arrival;
+    if slack < 0. then begin
+      incr n_violations;
+      tns := !tns +. slack;
+      if slack < !wns then wns := slack
+    end;
+    slack
+  in
+  Array.iteri
+    (fun nid (net : Nl.net) ->
+      if not net.Nl.is_clock then begin
+        let arr = net_arrival.(nid) in
+        let has_endpoint =
+          Array.exists
+            (fun e ->
+              match e with
+              | Nl.Cell c -> is_source c
+              | Nl.Io i -> nl.Nl.ios.(i).Nl.dir = Nl.Out)
+            net.Nl.sinks
+        in
+        if has_endpoint then
+          endpoint_slacks.(nid) <- record_endpoint arr
+      end)
+    nl.Nl.nets;
+  (* per-cell worst slack: backward propagation of required times *)
+  let cell_slack = Array.make n infinity in
+  let net_required = Array.make nn infinity in
+  Array.iteri
+    (fun nid s -> if s < infinity then net_required.(nid) <- net_arrival.(nid) +. s)
+    endpoint_slacks;
+  (* reverse level order *)
+  let rev = Array.copy order in
+  let len = Array.length rev in
+  for i = 0 to (len / 2) - 1 do
+    let t = rev.(i) in
+    rev.(i) <- rev.(len - 1 - i);
+    rev.(len - 1 - i) <- t
+  done;
+  Array.iter
+    (fun c ->
+      let out = nl.Nl.cell_fanout.(c) in
+      let req_out =
+        if out >= 0 && not nl.Nl.nets.(out).Nl.is_clock then net_required.(out)
+        else infinity
+      in
+      (* slack through this cell *)
+      let slack =
+        if req_out = infinity then infinity
+        else begin
+          (* time of signal at this cell's output net sinks *)
+          let arr = if out >= 0 then cell_arrival.(c) else 0. in
+          req_out
+          -. arr
+          -.
+          match out >= 0 with
+          | true ->
+              let m = nl.Nl.masters.(c) in
+              net_delay cfg nl ~net_length ~net_is_3d nl.Nl.nets.(out)
+                m.Cl.drive_res
+          | false -> 0.
+        end
+      in
+      cell_slack.(c) <- slack;
+      (* propagate required into fanin nets *)
+      if (not (is_source c)) && slack < infinity then begin
+        let m = nl.Nl.masters.(c) in
+        Array.iter
+          (fun nid ->
+            if not nl.Nl.nets.(nid).Nl.is_clock then begin
+              let req_in = cell_arrival.(c) +. slack -. m.Cl.intrinsic_delay in
+              if req_in < net_required.(nid) then net_required.(nid) <- req_in
+            end)
+          nl.Nl.cell_fanin.(c)
+      end)
+    rev;
+  (* slack defaults for cells off any constrained path *)
+  for c = 0 to n - 1 do
+    if cell_slack.(c) = infinity then
+      cell_slack.(c) <- cfg.clock_period_ps
+  done;
+  {
+    wns = !wns;
+    tns = !tns;
+    n_violations = !n_violations;
+    critical_delay = !critical;
+    cell_slack;
+    cell_in_slew;
+    cell_out_slew;
+    cell_arrival;
+  }
+
+let critical_path nl (t : timing) =
+  let n = Nl.n_cells nl in
+  if n = 0 then []
+  else begin
+    let is_source c = nl.Nl.masters.(c).Cl.is_seq || Nl.is_macro nl c in
+    (* latest-arriving cell *)
+    let endpoint = ref 0 in
+    for c = 1 to n - 1 do
+      if t.cell_arrival.(c) > t.cell_arrival.(!endpoint) then endpoint := c
+    done;
+    let rec walk c acc guard =
+      let acc = c :: acc in
+      if is_source c || guard <= 0 then acc
+      else begin
+        (* the fanin driver with the latest arrival dominates the stage *)
+        let best = ref None in
+        Array.iter
+          (fun nid ->
+            let net = nl.Nl.nets.(nid) in
+            if not net.Nl.is_clock then
+              match net.Nl.driver with
+              | Nl.Cell d -> (
+                  match !best with
+                  | Some b when t.cell_arrival.(b) >= t.cell_arrival.(d) -> ()
+                  | _ -> best := Some d)
+              | Nl.Io _ -> ())
+          nl.Nl.cell_fanin.(c);
+        match !best with
+        | Some d -> walk d acc (guard - 1)
+        | None -> acc
+      end
+    in
+    walk !endpoint [] (n + 1)
+  end
+
+let suggest_period nl ~net_length ~net_is_3d =
+  let cfg = default_config ~clock_period_ps:1e9 in
+  let t = analyze cfg nl ~net_length ~net_is_3d in
+  (* tighter than critical: signoff starts with violations to fix *)
+  0.72 *. (t.critical_delay +. cfg.setup_ps)
+
+type power = {
+  switching_mw : float;
+  internal_mw : float;
+  leakage_mw : float;
+  clock_mw : float;
+  total_mw : float;
+  net_switch_mw : float array;
+  cell_internal_mw : float array;
+  activity : float array;
+}
+
+let estimate_power cfg nl ~net_length ?(clock_wirelength = 0.)
+    ?(clock_buffers = 0) () =
+  let n = Nl.n_cells nl in
+  let nn = Nl.n_nets nl in
+  let freq_ghz = 1000. /. cfg.clock_period_ps in
+  let v2 = cfg.voltage *. cfg.voltage in
+  let order = topo_cells nl in
+  let activity = Array.make nn 0. in
+  let is_source c = nl.Nl.masters.(c).Cl.is_seq || Nl.is_macro nl c in
+  (* primary inputs toggle at pi_activity *)
+  Array.iter
+    (fun (net : Nl.net) ->
+      match net.Nl.driver with
+      | Nl.Io _ when not net.Nl.is_clock ->
+          activity.(net.Nl.net_id) <- cfg.pi_activity
+      | Nl.Io _ | Nl.Cell _ -> ())
+    nl.Nl.nets;
+  Array.iter
+    (fun c ->
+      let out = nl.Nl.cell_fanout.(c) in
+      if out >= 0 && not nl.Nl.nets.(out).Nl.is_clock then
+        if is_source c then activity.(out) <- 0.20
+        else begin
+          (* logic attenuates toggling *)
+          let fanin = nl.Nl.cell_fanin.(c) in
+          let acc = ref 0. and k = ref 0 in
+          Array.iter
+            (fun nid ->
+              if not nl.Nl.nets.(nid).Nl.is_clock then begin
+                acc := !acc +. activity.(nid);
+                incr k
+              end)
+            fanin;
+          let avg = if !k = 0 then cfg.pi_activity else !acc /. float_of_int !k in
+          activity.(out) <- 0.85 *. avg
+        end)
+    order;
+  let net_switch_mw = Array.make nn 0. in
+  let switching = ref 0. in
+  Array.iteri
+    (fun nid (net : Nl.net) ->
+      if not net.Nl.is_clock then begin
+        let c_total =
+          (cfg.wire_cap *. net_length.(nid)) +. sink_cap nl net
+        in
+        (* fF * V^2 * GHz = uW *)
+        let p_uw = 0.5 *. activity.(nid) *. c_total *. v2 *. freq_ghz in
+        net_switch_mw.(nid) <- p_uw /. 1000.;
+        switching := !switching +. (p_uw /. 1000.)
+      end)
+    nl.Nl.nets;
+  let cell_internal_mw = Array.make n 0. in
+  let internal_ = ref 0. and leakage = ref 0. in
+  for c = 0 to n - 1 do
+    let m = nl.Nl.masters.(c) in
+    let out = nl.Nl.cell_fanout.(c) in
+    let a =
+      if out >= 0 && not nl.Nl.nets.(out).Nl.is_clock then activity.(out)
+      else if m.Cl.is_seq then 0.20
+      else 0.05
+    in
+    let p_uw = a *. m.Cl.internal_energy *. freq_ghz in
+    cell_internal_mw.(c) <- p_uw /. 1000.;
+    internal_ := !internal_ +. (p_uw /. 1000.);
+    leakage := !leakage +. (m.Cl.leakage /. 1e6)
+    (* nW -> mW *)
+  done;
+  (* clock network: full-swing toggling every cycle (activity 1) *)
+  let n_ff =
+    Array.fold_left (fun a m -> if m.Cl.is_seq then a + 1 else a) 0 nl.Nl.masters
+  in
+  let clk_cap =
+    (cfg.wire_cap *. clock_wirelength)
+    +. (float_of_int n_ff *. 0.9)
+    +. (float_of_int clock_buffers *. 1.2)
+  in
+  let clock_mw = 0.5 *. 2.0 *. clk_cap *. v2 *. freq_ghz /. 1000. in
+  {
+    switching_mw = !switching;
+    internal_mw = !internal_;
+    leakage_mw = !leakage;
+    clock_mw;
+    total_mw = !switching +. !internal_ +. !leakage +. clock_mw;
+    net_switch_mw;
+    cell_internal_mw;
+    activity;
+  }
+
+let node_features nl (t : timing) (p : power) =
+  let n = Nl.n_cells nl in
+  T.init [| n; 8 |] (fun idx ->
+      let c = idx.(0) in
+      let m = nl.Nl.masters.(c) in
+      let out = nl.Nl.cell_fanout.(c) in
+      match idx.(1) with
+      | 0 ->
+          (* worst slack, scaled; clamp the off-path +period default *)
+          Float.max (-5.) (Float.min 5. (t.cell_slack.(c) /. 100.))
+      | 1 -> Float.min 5. (t.cell_out_slew.(c) /. 50.)
+      | 2 -> Float.min 5. (t.cell_in_slew.(c) /. 50.)
+      | 3 -> if out >= 0 then p.net_switch_mw.(out) *. 1e3 else 0.
+      | 4 -> p.cell_internal_mw.(c) *. 1e3
+      | 5 -> m.Cl.leakage /. 10.
+      | 6 -> m.Cl.width /. 0.3
+      | 7 -> m.Cl.height /. 0.3
+      | _ -> assert false)

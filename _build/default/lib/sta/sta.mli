@@ -1,0 +1,93 @@
+(** Static timing analysis and power estimation — the signoff
+    evaluation substrate behind Table III's WNS / TNS / power columns
+    and the Table-II GNN node features.
+
+    Delay model (linear, self-consistent with {!Dco3d_netlist.Cell_lib}
+    units — ps, fF, kOhm, um):
+    + cell delay = intrinsic;
+    + net delay (driver output to every sink) =
+      [r_drv * (c_wire + sum of sink pin caps) + 0.5 * r_wire * c_wire],
+      with wire parasitics proportional to the net's {e routed} length —
+      this is the coupling that makes congestion-induced detours
+      degrade timing, the mechanism behind the paper's end-of-flow
+      TNS/power improvements;
+    + 3D nets add a hybrid-bond via delay.
+
+    Arrival times propagate over the levelized combinational graph from
+    primary inputs and flip-flop outputs; endpoints are flip-flop /
+    macro data pins and primary outputs.  Power combines
+    activity-propagated switching (wire + pin caps), per-toggle internal
+    energy, and leakage. *)
+
+type config = {
+  clock_period_ps : float;
+  wire_res : float;  (** kOhm per um *)
+  wire_cap : float;  (** fF per um *)
+  via_delay_ps : float;  (** extra delay for a 3D net *)
+  setup_ps : float;
+  clk_to_q_ps : float;
+  voltage : float;  (** V *)
+  pi_activity : float;  (** toggle rate of primary inputs *)
+}
+
+val default_config : clock_period_ps:float -> config
+
+type timing = {
+  wns : float;  (** worst negative slack, ps (0 when all paths meet) *)
+  tns : float;  (** total negative slack, ps (sum over endpoints, <= 0) *)
+  n_violations : int;  (** endpoints with negative slack *)
+  critical_delay : float;  (** longest register-to-register delay, ps *)
+  cell_slack : float array;  (** worst slack through each cell *)
+  cell_in_slew : float array;  (** worst input transition per cell, ps *)
+  cell_out_slew : float array;  (** output transition per cell, ps *)
+  cell_arrival : float array;  (** output arrival time per cell, ps *)
+}
+
+val analyze :
+  config -> Dco3d_netlist.Netlist.t ->
+  net_length:float array ->
+  net_is_3d:(int -> bool) ->
+  timing
+(** [net_length] maps net id to routed (or estimated) length in um;
+    [net_is_3d] tells whether the net crosses dies. *)
+
+val suggest_period :
+  Dco3d_netlist.Netlist.t ->
+  net_length:float array ->
+  net_is_3d:(int -> bool) ->
+  float
+(** A clock period slightly tighter than the critical delay of the
+    given implementation, so signoff starts with realistic negative
+    slack (as every design in Table III has). *)
+
+val critical_path : Dco3d_netlist.Netlist.t -> timing -> int list
+(** Cell ids along the critical path, launch point first: starting from
+    the cell with the latest output arrival, walk backward through the
+    latest-arriving fanin at each stage until a clocked source or a
+    primary input is reached. *)
+
+type power = {
+  switching_mw : float;  (** net wire + pin cap switching *)
+  internal_mw : float;
+  leakage_mw : float;
+  clock_mw : float;  (** clock-tree wire + buffer power, from CTS *)
+  total_mw : float;
+  net_switch_mw : float array;  (** per-net switching, for Table II *)
+  cell_internal_mw : float array;
+  activity : float array;  (** toggle rate per net *)
+}
+
+val estimate_power :
+  config -> Dco3d_netlist.Netlist.t ->
+  net_length:float array ->
+  ?clock_wirelength:float ->
+  ?clock_buffers:int ->
+  unit ->
+  power
+
+val node_features :
+  Dco3d_netlist.Netlist.t -> timing -> power -> Dco3d_tensor.Tensor.t
+(** The 8 handcrafted GNN node features of Table II, one row per cell:
+    worst slack, worst output slew, worst input slew, driven-net
+    switching power, internal power, leakage, width, height — scaled to
+    O(1) for training. *)

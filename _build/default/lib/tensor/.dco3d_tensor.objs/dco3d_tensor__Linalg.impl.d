@@ -1,0 +1,1 @@
+lib/tensor/linalg.ml: Array Float Tensor

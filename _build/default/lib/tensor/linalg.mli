@@ -1,0 +1,34 @@
+(** Small dense / matrix-free linear algebra.
+
+    Used by the quadratic placer (conjugate gradient on the star-model
+    Laplacian) and by the Gaussian-process regressor behind the
+    Pin-3D+BO baseline (Cholesky factorization of the kernel matrix). *)
+
+val cholesky : Tensor.t -> Tensor.t
+(** [cholesky a] returns the lower-triangular [l] with [l l^T = a] for a
+    symmetric positive-definite rank-2 tensor.
+    @raise Failure if [a] is not positive definite. *)
+
+val solve_lower : Tensor.t -> Tensor.t -> Tensor.t
+(** [solve_lower l b] solves [l x = b] by forward substitution
+    ([l] lower-triangular, [b] rank 1). *)
+
+val solve_upper : Tensor.t -> Tensor.t -> Tensor.t
+(** [solve_upper u b] solves [u x = b] by back substitution
+    ([u] upper-triangular, [b] rank 1). *)
+
+val cholesky_solve : Tensor.t -> Tensor.t -> Tensor.t
+(** [cholesky_solve l b] solves [a x = b] given [l = cholesky a]. *)
+
+val conjugate_gradient :
+  ?max_iter:int ->
+  ?tol:float ->
+  (float array -> float array) ->
+  float array ->
+  float array ->
+  float array
+(** [conjugate_gradient matvec b x0] solves the SPD system
+    [a x = b] where [a] is only available as a matrix-vector product.
+    Returns the (possibly early-stopped) iterate.  [x0] is the starting
+    point and is not mutated.  Defaults: [max_iter = 200],
+    [tol = 1e-8] on the residual norm relative to [||b||]. *)

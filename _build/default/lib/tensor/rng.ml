@@ -1,0 +1,69 @@
+(* SplitMix64: fast, high-quality, splittable. Reference: Steele,
+   Lea & Flood, "Fast splittable pseudorandom number generators",
+   OOPSLA 2014. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t = { state = bits64 t }
+
+let copy t = { state = t.state }
+
+(* Top 53 bits give a uniform float in [0, 1). *)
+let uniform t =
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. 0x1p-53
+
+let float t x = uniform t *. x
+
+let range t lo hi = lo +. (uniform t *. (hi -. lo))
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection-free for our purposes: modulo bias is negligible for
+     n << 2^62 and determinism is what we actually need.  Keep only 62
+     low bits so the value stays non-negative in OCaml's 63-bit int. *)
+  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  v mod n
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let gaussian ?(mu = 0.) ?(sigma = 1.) t =
+  (* Box-Muller; we regenerate rather than caching the second deviate to
+     keep the stream layout simple and splittable. *)
+  let rec draw () =
+    let u1 = uniform t in
+    if u1 <= 1e-300 then draw () else u1
+  in
+  let u1 = draw () and u2 = uniform t in
+  let r = sqrt (-2. *. log u1) in
+  mu +. (sigma *. r *. cos (2. *. Float.pi *. u2))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int t (Array.length a))
+
+let permutation t n =
+  let a = Array.init n (fun i -> i) in
+  shuffle t a;
+  a

@@ -1,0 +1,51 @@
+(** Deterministic pseudo-random number generation.
+
+    All stochastic components of the reproduction (netlist generators,
+    placement-parameter sampling, weight initialization, data
+    augmentation, Bayesian-optimization proposals) draw from this module
+    so that every experiment is reproducible from a single integer
+    seed.  The generator is SplitMix64, which is trivially splittable:
+    independent substreams are derived with {!split} so that changing
+    the number of draws in one subsystem does not perturb another. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator from an integer seed. *)
+
+val split : t -> t
+(** [split t] derives an independent generator; [t] advances once. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state without advancing [t]. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)]. Requires [n > 0]. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [\[0, x)]. *)
+
+val uniform : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val range : t -> float -> float -> float
+(** [range t lo hi] is uniform in [\[lo, hi)]. *)
+
+val bool : t -> bool
+(** Fair coin flip. *)
+
+val gaussian : ?mu:float -> ?sigma:float -> t -> float
+(** Normal deviate via Box-Muller ([mu = 0.], [sigma = 1.] by default). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniformly random element. Requires a non-empty array. *)
+
+val permutation : t -> int -> int array
+(** [permutation t n] is a uniformly random permutation of [0..n-1]. *)

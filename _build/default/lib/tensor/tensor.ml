@@ -1,0 +1,637 @@
+type t = { shape : int array; data : float array }
+
+let numel_of_shape shape = Array.fold_left ( * ) 1 shape
+
+let make shape data =
+  let n = numel_of_shape shape in
+  if Array.length data <> n then
+    invalid_arg
+      (Printf.sprintf "Tensor.make: shape implies %d elements, got %d" n
+         (Array.length data));
+  Array.iter
+    (fun d -> if d < 0 then invalid_arg "Tensor.make: negative dimension")
+    shape;
+  { shape; data }
+
+let zeros shape = make shape (Array.make (numel_of_shape shape) 0.)
+let ones shape = make shape (Array.make (numel_of_shape shape) 1.)
+let full shape v = make shape (Array.make (numel_of_shape shape) v)
+let scalar v = make [||] [| v |]
+let of_array1 a = make [| Array.length a |] (Array.copy a)
+
+let of_array2 rows =
+  let m = Array.length rows in
+  if m = 0 then make [| 0; 0 |] [||]
+  else begin
+    let n = Array.length rows.(0) in
+    Array.iter
+      (fun r ->
+        if Array.length r <> n then
+          invalid_arg "Tensor.of_array2: ragged rows")
+      rows;
+    let data = Array.make (m * n) 0. in
+    for i = 0 to m - 1 do
+      Array.blit rows.(i) 0 data (i * n) n
+    done;
+    make [| m; n |] data
+  end
+
+let shape t = Array.copy t.shape
+let numel t = Array.length t.data
+let rank t = Array.length t.shape
+let dim t i = t.shape.(i)
+let copy t = { shape = Array.copy t.shape; data = Array.copy t.data }
+let same_shape a b = a.shape = b.shape
+
+let reshape t shape =
+  let n = numel_of_shape shape in
+  if n <> Array.length t.data then
+    invalid_arg "Tensor.reshape: element count mismatch";
+  { shape; data = t.data }
+
+(* Row-major flat offset of a multi-index. *)
+let offset t idx =
+  let r = Array.length t.shape in
+  if Array.length idx <> r then invalid_arg "Tensor: index rank mismatch";
+  let off = ref 0 in
+  for k = 0 to r - 1 do
+    let i = idx.(k) in
+    if i < 0 || i >= t.shape.(k) then invalid_arg "Tensor: index out of bounds";
+    off := (!off * t.shape.(k)) + i
+  done;
+  !off
+
+let init shape f =
+  let n = numel_of_shape shape in
+  let r = Array.length shape in
+  let idx = Array.make r 0 in
+  let data =
+    Array.init n (fun _ ->
+        let v = f idx in
+        (* advance the multi-index (row-major). *)
+        let k = ref (r - 1) in
+        let carry = ref true in
+        while !carry && !k >= 0 do
+          idx.(!k) <- idx.(!k) + 1;
+          if idx.(!k) >= shape.(!k) then begin
+            idx.(!k) <- 0;
+            decr k
+          end
+          else carry := false
+        done;
+        v)
+  in
+  make shape data
+
+let get t idx = t.data.(offset t idx)
+let set t idx v = t.data.(offset t idx) <- v
+let get_flat t i = t.data.(i)
+let set_flat t i v = t.data.(i) <- v
+
+let get2 t i j = t.data.((i * t.shape.(1)) + j)
+let set2 t i j v = t.data.((i * t.shape.(1)) + j) <- v
+
+let get3 t c i j =
+  let h = t.shape.(1) and w = t.shape.(2) in
+  t.data.((((c * h) + i) * w) + j)
+
+let set3 t c i j v =
+  let h = t.shape.(1) and w = t.shape.(2) in
+  t.data.((((c * h) + i) * w) + j) <- v
+
+let rand_uniform rng ?(lo = 0.) ?(hi = 1.) shape =
+  let n = numel_of_shape shape in
+  make shape (Array.init n (fun _ -> Rng.range rng lo hi))
+
+let randn rng ?(mu = 0.) ?(sigma = 1.) shape =
+  let n = numel_of_shape shape in
+  make shape (Array.init n (fun _ -> Rng.gaussian ~mu ~sigma rng))
+
+let kaiming rng ~fan_in shape =
+  if fan_in <= 0 then invalid_arg "Tensor.kaiming: fan_in must be positive";
+  randn rng ~sigma:(sqrt (2. /. float_of_int fan_in)) shape
+
+let map f t = { shape = t.shape; data = Array.map f t.data }
+
+let map2 f a b =
+  if not (same_shape a b) then invalid_arg "Tensor.map2: shape mismatch";
+  let n = Array.length a.data in
+  let data = Array.make n 0. in
+  for i = 0 to n - 1 do
+    Array.unsafe_set data i
+      (f (Array.unsafe_get a.data i) (Array.unsafe_get b.data i))
+  done;
+  { shape = a.shape; data }
+
+let iteri_flat f t = Array.iteri f t.data
+
+let add a b = map2 ( +. ) a b
+let sub a b = map2 ( -. ) a b
+let mul a b = map2 ( *. ) a b
+let div a b = map2 ( /. ) a b
+let neg t = map (fun x -> -.x) t
+let scale s t = map (fun x -> s *. x) t
+let add_scalar s t = map (fun x -> s +. x) t
+let relu t = map (fun x -> if x > 0. then x else 0.) t
+let sigmoid t = map (fun x -> 1. /. (1. +. exp (-.x))) t
+let tanh_ t = map tanh t
+let exp_ t = map exp t
+let log_ t = map log t
+let sqrt_ t = map sqrt t
+let sqr t = map (fun x -> x *. x) t
+
+let clip ~lo ~hi t =
+  map (fun x -> if x < lo then lo else if x > hi then hi else x) t
+
+let axpy ~alpha x y =
+  if not (same_shape x y) then invalid_arg "Tensor.axpy: shape mismatch";
+  let n = Array.length x.data in
+  for i = 0 to n - 1 do
+    Array.unsafe_set y.data i
+      (Array.unsafe_get y.data i +. (alpha *. Array.unsafe_get x.data i))
+  done
+
+let fill t v = Array.fill t.data 0 (Array.length t.data) v
+
+let sum t = Array.fold_left ( +. ) 0. t.data
+
+let mean t =
+  let n = Array.length t.data in
+  if n = 0 then 0. else sum t /. float_of_int n
+
+let max_elt t = Array.fold_left Float.max neg_infinity t.data
+let min_elt t = Array.fold_left Float.min infinity t.data
+let fold f acc t = Array.fold_left f acc t.data
+
+let dot a b =
+  if not (same_shape a b) then invalid_arg "Tensor.dot: shape mismatch";
+  let acc = ref 0. in
+  for i = 0 to Array.length a.data - 1 do
+    acc := !acc +. (Array.unsafe_get a.data i *. Array.unsafe_get b.data i)
+  done;
+  !acc
+
+let frobenius t = sqrt (dot t t)
+
+let matmul a b =
+  if rank a <> 2 || rank b <> 2 then invalid_arg "Tensor.matmul: rank-2 only";
+  let m = a.shape.(0) and k = a.shape.(1) in
+  let k' = b.shape.(0) and n = b.shape.(1) in
+  if k <> k' then invalid_arg "Tensor.matmul: inner dimension mismatch";
+  let out = Array.make (m * n) 0. in
+  let ad = a.data and bd = b.data in
+  for i = 0 to m - 1 do
+    let arow = i * k in
+    for p = 0 to k - 1 do
+      let av = Array.unsafe_get ad (arow + p) in
+      if av <> 0. then begin
+        let brow = p * n and orow = i * n in
+        for j = 0 to n - 1 do
+          Array.unsafe_set out (orow + j)
+            (Array.unsafe_get out (orow + j)
+            +. (av *. Array.unsafe_get bd (brow + j)))
+        done
+      end
+    done
+  done;
+  make [| m; n |] out
+
+let transpose2 t =
+  if rank t <> 2 then invalid_arg "Tensor.transpose2: rank-2 only";
+  let m = t.shape.(0) and n = t.shape.(1) in
+  let out = Array.make (m * n) 0. in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      Array.unsafe_set out ((j * m) + i) (Array.unsafe_get t.data ((i * n) + j))
+    done
+  done;
+  make [| n; m |] out
+
+let matvec a x =
+  if rank a <> 2 || rank x <> 1 then invalid_arg "Tensor.matvec: bad ranks";
+  let m = a.shape.(0) and k = a.shape.(1) in
+  if x.shape.(0) <> k then invalid_arg "Tensor.matvec: dimension mismatch";
+  let out = Array.make m 0. in
+  for i = 0 to m - 1 do
+    let row = i * k in
+    let acc = ref 0. in
+    for j = 0 to k - 1 do
+      acc :=
+        !acc +. (Array.unsafe_get a.data (row + j) *. Array.unsafe_get x.data j)
+    done;
+    out.(i) <- !acc
+  done;
+  make [| m |] out
+
+(* ------------------------------------------------------------------ *)
+(* Convolution kernels.                                                *)
+(* ------------------------------------------------------------------ *)
+
+let check_rank3 name t =
+  if rank t <> 3 then invalid_arg (name ^ ": expected a rank-3 tensor")
+
+let conv2d ?(stride = 1) ?(pad = 0) x ~weight ~bias =
+  check_rank3 "Tensor.conv2d" x;
+  if rank weight <> 4 then invalid_arg "Tensor.conv2d: weight must be rank 4";
+  let ci = x.shape.(0) and h = x.shape.(1) and w = x.shape.(2) in
+  let co = weight.shape.(0) in
+  if weight.shape.(1) <> ci then
+    invalid_arg "Tensor.conv2d: channel mismatch between input and weight";
+  let kh = weight.shape.(2) and kw = weight.shape.(3) in
+  let oh = ((h + (2 * pad) - kh) / stride) + 1 in
+  let ow = ((w + (2 * pad) - kw) / stride) + 1 in
+  if oh <= 0 || ow <= 0 then invalid_arg "Tensor.conv2d: empty output";
+  let out = Array.make (co * oh * ow) 0. in
+  let xd = x.data and wd = weight.data in
+  for o = 0 to co - 1 do
+    let wbase_o = o * ci * kh * kw in
+    let obase_o = o * oh * ow in
+    for c = 0 to ci - 1 do
+      let wbase = wbase_o + (c * kh * kw) in
+      let xbase = c * h * w in
+      for ky = 0 to kh - 1 do
+        for kx = 0 to kw - 1 do
+          let wv = Array.unsafe_get wd (wbase + (ky * kw) + kx) in
+          if wv <> 0. then
+            for oy = 0 to oh - 1 do
+              let iy = (oy * stride) + ky - pad in
+              if iy >= 0 && iy < h then begin
+                let orow = obase_o + (oy * ow) in
+                let xrow = xbase + (iy * w) in
+                for ox = 0 to ow - 1 do
+                  let ix = (ox * stride) + kx - pad in
+                  if ix >= 0 && ix < w then
+                    Array.unsafe_set out (orow + ox)
+                      (Array.unsafe_get out (orow + ox)
+                      +. (wv *. Array.unsafe_get xd (xrow + ix)))
+                done
+              end
+            done
+        done
+      done
+    done;
+    (match bias with
+    | Some b ->
+        let bv = b.data.(o) in
+        for i = 0 to (oh * ow) - 1 do
+          Array.unsafe_set out (obase_o + i)
+            (Array.unsafe_get out (obase_o + i) +. bv)
+        done
+    | None -> ())
+  done;
+  make [| co; oh; ow |] out
+
+let conv2d_backward_input ?(stride = 1) ?(pad = 0) ~input_shape ~weight gout =
+  check_rank3 "Tensor.conv2d_backward_input" gout;
+  let ci = input_shape.(0) and h = input_shape.(1) and w = input_shape.(2) in
+  let co = weight.shape.(0) in
+  let kh = weight.shape.(2) and kw = weight.shape.(3) in
+  let oh = gout.shape.(1) and ow = gout.shape.(2) in
+  let gin = Array.make (ci * h * w) 0. in
+  let gd = gout.data and wd = weight.data in
+  for o = 0 to co - 1 do
+    let wbase_o = o * ci * kh * kw in
+    let gbase_o = o * oh * ow in
+    for c = 0 to ci - 1 do
+      let wbase = wbase_o + (c * kh * kw) in
+      let ibase = c * h * w in
+      for ky = 0 to kh - 1 do
+        for kx = 0 to kw - 1 do
+          let wv = Array.unsafe_get wd (wbase + (ky * kw) + kx) in
+          if wv <> 0. then
+            for oy = 0 to oh - 1 do
+              let iy = (oy * stride) + ky - pad in
+              if iy >= 0 && iy < h then begin
+                let grow = gbase_o + (oy * ow) in
+                let irow = ibase + (iy * w) in
+                for ox = 0 to ow - 1 do
+                  let ix = (ox * stride) + kx - pad in
+                  if ix >= 0 && ix < w then
+                    Array.unsafe_set gin (irow + ix)
+                      (Array.unsafe_get gin (irow + ix)
+                      +. (wv *. Array.unsafe_get gd (grow + ox)))
+                done
+              end
+            done
+        done
+      done
+    done
+  done;
+  make input_shape gin
+
+let conv2d_backward_weight ?(stride = 1) ?(pad = 0) ~input ~weight_shape gout =
+  check_rank3 "Tensor.conv2d_backward_weight" gout;
+  let ci = input.shape.(0) and h = input.shape.(1) and w = input.shape.(2) in
+  let co = weight_shape.(0) in
+  let kh = weight_shape.(2) and kw = weight_shape.(3) in
+  let oh = gout.shape.(1) and ow = gout.shape.(2) in
+  let gw = Array.make (co * ci * kh * kw) 0. in
+  let gd = gout.data and xd = input.data in
+  for o = 0 to co - 1 do
+    let gbase_o = o * oh * ow in
+    let wbase_o = o * ci * kh * kw in
+    for c = 0 to ci - 1 do
+      let xbase = c * h * w in
+      let wbase = wbase_o + (c * kh * kw) in
+      for ky = 0 to kh - 1 do
+        for kx = 0 to kw - 1 do
+          let acc = ref 0. in
+          for oy = 0 to oh - 1 do
+            let iy = (oy * stride) + ky - pad in
+            if iy >= 0 && iy < h then begin
+              let grow = gbase_o + (oy * ow) in
+              let xrow = xbase + (iy * w) in
+              for ox = 0 to ow - 1 do
+                let ix = (ox * stride) + kx - pad in
+                if ix >= 0 && ix < w then
+                  acc :=
+                    !acc
+                    +. Array.unsafe_get gd (grow + ox)
+                       *. Array.unsafe_get xd (xrow + ix)
+              done
+            end
+          done;
+          gw.(wbase + (ky * kw) + kx) <- !acc
+        done
+      done
+    done
+  done;
+  make weight_shape gw
+
+let conv2d_transpose ?(stride = 1) ?(pad = 0) x ~weight ~bias =
+  check_rank3 "Tensor.conv2d_transpose" x;
+  if rank weight <> 4 then
+    invalid_arg "Tensor.conv2d_transpose: weight must be rank 4";
+  let ci = x.shape.(0) and h = x.shape.(1) and w = x.shape.(2) in
+  if weight.shape.(0) <> ci then
+    invalid_arg "Tensor.conv2d_transpose: channel mismatch";
+  let co = weight.shape.(1) in
+  let kh = weight.shape.(2) and kw = weight.shape.(3) in
+  let oh = ((h - 1) * stride) - (2 * pad) + kh in
+  let ow = ((w - 1) * stride) - (2 * pad) + kw in
+  if oh <= 0 || ow <= 0 then invalid_arg "Tensor.conv2d_transpose: empty output";
+  let out = Array.make (co * oh * ow) 0. in
+  let xd = x.data and wd = weight.data in
+  for c = 0 to ci - 1 do
+    let xbase = c * h * w in
+    let wbase_c = c * co * kh * kw in
+    for o = 0 to co - 1 do
+      let obase = o * oh * ow in
+      let wbase = wbase_c + (o * kh * kw) in
+      for iy = 0 to h - 1 do
+        let xrow = xbase + (iy * w) in
+        for ix = 0 to w - 1 do
+          let xv = Array.unsafe_get xd (xrow + ix) in
+          if xv <> 0. then
+            for ky = 0 to kh - 1 do
+              let oy = (iy * stride) + ky - pad in
+              if oy >= 0 && oy < oh then begin
+                let orow = obase + (oy * ow) in
+                let wrow = wbase + (ky * kw) in
+                for kx = 0 to kw - 1 do
+                  let ox = (ix * stride) + kx - pad in
+                  if ox >= 0 && ox < ow then
+                    Array.unsafe_set out (orow + ox)
+                      (Array.unsafe_get out (orow + ox)
+                      +. (xv *. Array.unsafe_get wd (wrow + kx)))
+                done
+              end
+            done
+        done
+      done
+    done
+  done;
+  (match bias with
+  | Some b ->
+      for o = 0 to co - 1 do
+        let bv = b.data.(o) in
+        let obase = o * oh * ow in
+        for i = 0 to (oh * ow) - 1 do
+          Array.unsafe_set out (obase + i)
+            (Array.unsafe_get out (obase + i) +. bv)
+        done
+      done
+  | None -> ());
+  make [| co; oh; ow |] out
+
+let maxpool2 x =
+  check_rank3 "Tensor.maxpool2" x;
+  let c = x.shape.(0) and h = x.shape.(1) and w = x.shape.(2) in
+  if h mod 2 <> 0 || w mod 2 <> 0 then
+    invalid_arg "Tensor.maxpool2: spatial dimensions must be even";
+  let oh = h / 2 and ow = w / 2 in
+  let out = Array.make (c * oh * ow) 0. in
+  let arg = Array.make (c * oh * ow) 0 in
+  for ch = 0 to c - 1 do
+    let xbase = ch * h * w in
+    let obase = ch * oh * ow in
+    for oy = 0 to oh - 1 do
+      for ox = 0 to ow - 1 do
+        let i0 = xbase + (2 * oy * w) + (2 * ox) in
+        let candidates = [| i0; i0 + 1; i0 + w; i0 + w + 1 |] in
+        let best = ref candidates.(0) in
+        let bestv = ref x.data.(candidates.(0)) in
+        for k = 1 to 3 do
+          let i = candidates.(k) in
+          if x.data.(i) > !bestv then begin
+            best := i;
+            bestv := x.data.(i)
+          end
+        done;
+        out.(obase + (oy * ow) + ox) <- !bestv;
+        arg.(obase + (oy * ow) + ox) <- !best
+      done
+    done
+  done;
+  (make [| c; oh; ow |] out, arg)
+
+let maxpool2_backward ~input_shape argmax gout =
+  let gin = Array.make (numel_of_shape input_shape) 0. in
+  Array.iteri (fun i src -> gin.(src) <- gin.(src) +. gout.data.(i)) argmax;
+  make input_shape gin
+
+let avgpool2 x =
+  check_rank3 "Tensor.avgpool2" x;
+  let c = x.shape.(0) and h = x.shape.(1) and w = x.shape.(2) in
+  if h mod 2 <> 0 || w mod 2 <> 0 then
+    invalid_arg "Tensor.avgpool2: spatial dimensions must be even";
+  let oh = h / 2 and ow = w / 2 in
+  let out = Array.make (c * oh * ow) 0. in
+  for ch = 0 to c - 1 do
+    let xbase = ch * h * w in
+    let obase = ch * oh * ow in
+    for oy = 0 to oh - 1 do
+      for ox = 0 to ow - 1 do
+        let i0 = xbase + (2 * oy * w) + (2 * ox) in
+        out.(obase + (oy * ow) + ox) <-
+          0.25
+          *. (x.data.(i0) +. x.data.(i0 + 1) +. x.data.(i0 + w)
+             +. x.data.(i0 + w + 1))
+      done
+    done
+  done;
+  make [| c; oh; ow |] out
+
+let upsample_nearest2 x =
+  check_rank3 "Tensor.upsample_nearest2" x;
+  let c = x.shape.(0) and h = x.shape.(1) and w = x.shape.(2) in
+  let oh = 2 * h and ow = 2 * w in
+  let out = Array.make (c * oh * ow) 0. in
+  for ch = 0 to c - 1 do
+    let xbase = ch * h * w in
+    let obase = ch * oh * ow in
+    for oy = 0 to oh - 1 do
+      let iy = oy / 2 in
+      for ox = 0 to ow - 1 do
+        out.(obase + (oy * ow) + ox) <- x.data.(xbase + (iy * w) + (ox / 2))
+      done
+    done
+  done;
+  make [| c; oh; ow |] out
+
+(* ------------------------------------------------------------------ *)
+(* Map utilities.                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let resize_nearest m oh ow =
+  if rank m <> 2 then invalid_arg "Tensor.resize_nearest: rank-2 only";
+  if oh <= 0 || ow <= 0 then invalid_arg "Tensor.resize_nearest: empty target";
+  let h = m.shape.(0) and w = m.shape.(1) in
+  let out = Array.make (oh * ow) 0. in
+  for oy = 0 to oh - 1 do
+    let iy = min (h - 1) (oy * h / oh) in
+    for ox = 0 to ow - 1 do
+      let ix = min (w - 1) (ox * w / ow) in
+      out.((oy * ow) + ox) <- m.data.((iy * w) + ix)
+    done
+  done;
+  make [| oh; ow |] out
+
+let as_rank3 t =
+  match rank t with
+  | 3 -> t
+  | 2 -> reshape t [| 1; t.shape.(0); t.shape.(1) |]
+  | _ -> invalid_arg "Tensor: expected a rank-2 or rank-3 tensor"
+
+let concat_channels ts =
+  match List.map as_rank3 ts with
+  | [] -> invalid_arg "Tensor.concat_channels: empty list"
+  | first :: _ as ts ->
+      let h = first.shape.(1) and w = first.shape.(2) in
+      List.iter
+        (fun t ->
+          if t.shape.(1) <> h || t.shape.(2) <> w then
+            invalid_arg "Tensor.concat_channels: spatial mismatch")
+        ts;
+      let c = List.fold_left (fun acc t -> acc + t.shape.(0)) 0 ts in
+      let out = Array.make (c * h * w) 0. in
+      let pos = ref 0 in
+      List.iter
+        (fun t ->
+          Array.blit t.data 0 out !pos (Array.length t.data);
+          pos := !pos + Array.length t.data)
+        ts;
+      make [| c; h; w |] out
+
+let slice_channels t lo n =
+  let t = as_rank3 t in
+  let c = t.shape.(0) and h = t.shape.(1) and w = t.shape.(2) in
+  if lo < 0 || n < 0 || lo + n > c then
+    invalid_arg "Tensor.slice_channels: out of range";
+  let out = Array.make (n * h * w) 0. in
+  Array.blit t.data (lo * h * w) out 0 (n * h * w);
+  make [| n; h; w |] out
+
+let channel t c =
+  let s = slice_channels t c 1 in
+  reshape s [| s.shape.(1); s.shape.(2) |]
+
+let pad2d t p =
+  if p < 0 then invalid_arg "Tensor.pad2d: negative padding";
+  let t3 = as_rank3 t in
+  let c = t3.shape.(0) and h = t3.shape.(1) and w = t3.shape.(2) in
+  let oh = h + (2 * p) and ow = w + (2 * p) in
+  let out = Array.make (c * oh * ow) 0. in
+  for ch = 0 to c - 1 do
+    for i = 0 to h - 1 do
+      Array.blit t3.data ((ch * h * w) + (i * w)) out
+        ((ch * oh * ow) + ((i + p) * ow) + p)
+        w
+    done
+  done;
+  let res = make [| c; oh; ow |] out in
+  if rank t = 2 then reshape res [| oh; ow |] else res
+
+let rot90_2 m =
+  let h = m.shape.(0) and w = m.shape.(1) in
+  (* counter-clockwise: out[w-1-j][i] = in[i][j] -> out has shape [w; h] *)
+  let out = Array.make (w * h) 0. in
+  for i = 0 to h - 1 do
+    for j = 0 to w - 1 do
+      out.(((w - 1 - j) * h) + i) <- m.data.((i * w) + j)
+    done
+  done;
+  make [| w; h |] out
+
+let rot90 t =
+  match rank t with
+  | 2 -> rot90_2 t
+  | 3 ->
+      let c = t.shape.(0) in
+      concat_channels (List.init c (fun ch -> rot90_2 (channel t ch)))
+  | _ -> invalid_arg "Tensor.rot90: rank-2 or rank-3 only"
+
+let flip_last_axis t =
+  let r = rank t in
+  let w = t.shape.(r - 1) in
+  let rows = Array.length t.data / w in
+  let out = Array.make (Array.length t.data) 0. in
+  for i = 0 to rows - 1 do
+    for j = 0 to w - 1 do
+      out.((i * w) + (w - 1 - j)) <- t.data.((i * w) + j)
+    done
+  done;
+  make (Array.copy t.shape) out
+
+let flip_h t =
+  match rank t with
+  | 2 | 3 -> flip_last_axis t
+  | _ -> invalid_arg "Tensor.flip_h: rank-2 or rank-3 only"
+
+let flip_v t =
+  let flip2 m =
+    let h = m.shape.(0) and w = m.shape.(1) in
+    let out = Array.make (h * w) 0. in
+    for i = 0 to h - 1 do
+      Array.blit m.data (i * w) out ((h - 1 - i) * w) w
+    done;
+    make [| h; w |] out
+  in
+  match rank t with
+  | 2 -> flip2 t
+  | 3 ->
+      let c = t.shape.(0) in
+      concat_channels (List.init c (fun ch -> flip2 (channel t ch)))
+  | _ -> invalid_arg "Tensor.flip_v: rank-2 or rank-3 only"
+
+let approx_equal ?(eps = 1e-9) a b =
+  same_shape a b
+  &&
+  let ok = ref true in
+  for i = 0 to Array.length a.data - 1 do
+    if abs_float (a.data.(i) -. b.data.(i)) > eps then ok := false
+  done;
+  !ok
+
+let pp ppf t =
+  let shape_s =
+    t.shape |> Array.to_list |> List.map string_of_int |> String.concat "x"
+  in
+  let n = Array.length t.data in
+  let preview = Array.sub t.data 0 (min n 8) in
+  Format.fprintf ppf "tensor[%s](%a%s)" shape_s
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf v -> Format.fprintf ppf "%.4g" v))
+    (Array.to_list preview)
+    (if n > 8 then ", ..." else "")

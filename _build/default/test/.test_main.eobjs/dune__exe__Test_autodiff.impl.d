@@ -1,0 +1,1 @@
+test/test_autodiff.ml: Alcotest Array Dco3d_autodiff Dco3d_tensor QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_bayesopt.ml: Alcotest Array Dco3d_bayesopt Printf QCheck QCheck_alcotest

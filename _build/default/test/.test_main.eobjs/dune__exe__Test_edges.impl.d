@@ -1,0 +1,1 @@
+test/test_edges.ml: Alcotest Dco3d_autodiff Dco3d_graph Dco3d_netlist Dco3d_place Dco3d_sta Dco3d_tensor Float Printf String

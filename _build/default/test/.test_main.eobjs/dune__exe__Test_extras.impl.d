@@ -1,0 +1,1 @@
+test/test_extras.ml: Alcotest Array Dco3d_congestion Dco3d_core Dco3d_netlist Dco3d_place Dco3d_route Dco3d_sta Dco3d_tensor Filename Fun Lazy List String Sys

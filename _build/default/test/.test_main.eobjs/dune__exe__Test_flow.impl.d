@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Dco3d_flow Dco3d_netlist Dco3d_place Dco3d_route Dco3d_sta Float Lazy Printf

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Dco3d_autodiff Dco3d_graph Dco3d_tensor List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Dco3d_netlist Dco3d_tensor List Option Printf QCheck QCheck_alcotest String

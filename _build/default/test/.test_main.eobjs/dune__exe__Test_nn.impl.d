@@ -1,0 +1,1 @@
+test/test_nn.ml: Alcotest Dco3d_autodiff Dco3d_nn Dco3d_tensor Filename Fun List Printf Sys

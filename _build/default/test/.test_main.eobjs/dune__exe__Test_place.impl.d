@@ -1,0 +1,1 @@
+test/test_place.ml: Alcotest Array Dco3d_netlist Dco3d_place Dco3d_tensor Float List Printf QCheck QCheck_alcotest

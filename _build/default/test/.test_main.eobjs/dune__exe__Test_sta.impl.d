@@ -1,0 +1,1 @@
+test/test_sta.ml: Alcotest Array Dco3d_cts Dco3d_netlist Dco3d_place Dco3d_sta Dco3d_tensor Float List Printf

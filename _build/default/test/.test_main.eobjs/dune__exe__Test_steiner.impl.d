@@ -1,0 +1,1 @@
+test/test_steiner.ml: Alcotest Array Dco3d_route Dco3d_tensor Fun Hashtbl List Printf QCheck QCheck_alcotest

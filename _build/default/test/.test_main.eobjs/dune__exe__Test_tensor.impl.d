@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Dco3d_tensor Fun QCheck QCheck_alcotest

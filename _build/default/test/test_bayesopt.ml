@@ -1,0 +1,95 @@
+(* Tests for the Gaussian-process Bayesian optimizer behind the
+   Pin-3D+BO baseline. *)
+
+module Bo = Dco3d_bayesopt.Bayesopt
+
+let test_posterior_interpolates () =
+  (* with tiny noise the GP must (nearly) interpolate its data *)
+  let bo = Bo.create ~noise:1e-6 ~dim:1 () in
+  Bo.observe bo [| 0.2 |] 1.0;
+  Bo.observe bo [| 0.8 |] (-1.0);
+  let m1, s1 = Bo.posterior bo [| 0.2 |] in
+  Alcotest.(check (float 1e-2)) "mean at datum" 1.0 m1;
+  Alcotest.(check bool) "low variance at datum" true (s1 < 0.1);
+  let _, s_far = Bo.posterior bo [| 0.5 |] in
+  Alcotest.(check bool) "more uncertain away from data" true (s_far > s1)
+
+let test_posterior_requires_data () =
+  let bo = Bo.create ~dim:2 () in
+  Alcotest.check_raises "no data" (Invalid_argument "Bayesopt: no observations")
+    (fun () -> ignore (Bo.posterior bo [| 0.5; 0.5 |]))
+
+let test_best_tracks_minimum () =
+  let bo = Bo.create ~dim:1 () in
+  Bo.observe bo [| 0.1 |] 5.;
+  Bo.observe bo [| 0.5 |] (-2.);
+  Bo.observe bo [| 0.9 |] 3.;
+  match Bo.best bo with
+  | Some (x, y) ->
+      Alcotest.(check (float 0.)) "best y" (-2.) y;
+      Alcotest.(check (float 0.)) "best x" 0.5 x.(0)
+  | None -> Alcotest.fail "expected data"
+
+let test_suggest_in_unit_cube () =
+  let bo = Bo.create ~seed:3 ~dim:4 () in
+  for _ = 1 to 3 do
+    let x = Bo.suggest bo in
+    Alcotest.(check int) "dim" 4 (Array.length x);
+    Array.iter
+      (fun v -> Alcotest.(check bool) "in cube" true (v >= 0. && v < 1.))
+      x;
+    Bo.observe bo x (Array.fold_left ( +. ) 0. x)
+  done;
+  let x = Bo.suggest bo in
+  Array.iter
+    (fun v -> Alcotest.(check bool) "EI point in cube" true (v >= 0. && v < 1.))
+    x
+
+let quadratic x =
+  Array.fold_left (fun acc v -> acc +. ((v -. 0.3) ** 2.)) 0. x
+
+let test_minimize_beats_random () =
+  (* On a smooth quadratic, 20 BO evaluations should land close to the
+     optimum — and at least beat the best of its own 4 random seeds. *)
+  let bo = Bo.create ~seed:11 ~dim:2 () in
+  let _, y = Bo.minimize ~iterations:20 ~init:4 bo quadratic in
+  Alcotest.(check bool) (Printf.sprintf "found %.4f" y) true (y < 0.05)
+
+let test_minimize_deterministic () =
+  let run seed =
+    let bo = Bo.create ~seed ~dim:2 () in
+    snd (Bo.minimize ~iterations:10 bo quadratic)
+  in
+  Alcotest.(check (float 0.)) "same seed, same result" (run 7) (run 7);
+  Alcotest.(check int) "observation count" 10
+    (let bo = Bo.create ~seed:7 ~dim:2 () in
+     ignore (Bo.minimize ~iterations:10 bo quadratic);
+     Bo.n_observations bo)
+
+let prop_ei_progress =
+  QCheck.Test.make ~name:"BO improves on its own random initialization"
+    ~count:8 (QCheck.int_bound 10_000) (fun seed ->
+      let bo = Bo.create ~seed ~dim:3 () in
+      (* 4 random + 12 guided *)
+      let _, best = Bo.minimize ~iterations:16 ~init:4 bo quadratic in
+      (* pure random baseline with the same budget *)
+      let bo_rand = Bo.create ~seed:(seed + 1) ~dim:3 () in
+      let _, best_rand = Bo.minimize ~iterations:16 ~init:16 bo_rand quadratic in
+      (* not strictly better every time, but never catastrophically worse *)
+      best <= best_rand +. 0.15)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let suites =
+  [
+    ( "bayesopt",
+      [
+        Alcotest.test_case "posterior interpolates" `Quick test_posterior_interpolates;
+        Alcotest.test_case "posterior requires data" `Quick test_posterior_requires_data;
+        Alcotest.test_case "best tracks minimum" `Quick test_best_tracks_minimum;
+        Alcotest.test_case "suggest in unit cube" `Quick test_suggest_in_unit_cube;
+        Alcotest.test_case "minimize quadratic" `Quick test_minimize_beats_random;
+        Alcotest.test_case "deterministic" `Quick test_minimize_deterministic;
+        qtest prop_ei_progress;
+      ] );
+  ]

@@ -1,0 +1,591 @@
+(* Tests for the DCO-3D core: dataset construction, Algorithm-1
+   training, the differentiable soft maps with the Eq.-6 backward,
+   the Algorithm-2 losses and optimizer, and the TCL export. *)
+
+module T = Dco3d_tensor.Tensor
+module Rng = Dco3d_tensor.Rng
+module V = Dco3d_autodiff.Value
+module Nl = Dco3d_netlist.Netlist
+module Cl = Dco3d_netlist.Cell_lib
+module Gen = Dco3d_netlist.Generator
+module Fp = Dco3d_place.Floorplan
+module Pl = Dco3d_place.Placement
+module Placer = Dco3d_place.Placer
+module Router = Dco3d_route.Router
+module Csr = Dco3d_graph.Csr
+module Dataset = Dco3d_core.Dataset
+module Predictor = Dco3d_core.Predictor
+module Sm = Dco3d_core.Soft_maps
+module Losses = Dco3d_core.Losses
+module Spreader = Dco3d_core.Spreader
+module Dco = Dco3d_core.Dco
+module Tcl = Dco3d_core.Tcl_export
+
+(* shared tiny environment *)
+let env =
+  lazy
+    (let nl = Gen.generate ~scale:0.015 ~seed:5 (Gen.profile "DMA") in
+     let fp = Fp.create ~gcell_nx:16 ~gcell_ny:16 nl in
+     let base =
+       Placer.global_place ~seed:1 ~params:Dco3d_place.Params.default nl fp
+     in
+     let route_cfg = Router.calibrated_config base in
+     (nl, fp, base, route_cfg))
+
+let tiny_dataset =
+  lazy
+    (let nl, fp, _, route_cfg = Lazy.force env in
+     Dataset.build ~n_samples:6 ~seed:2 ~route_cfg nl fp)
+
+(* ------------------------------------------------------------------ *)
+(* Dataset                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_dataset_shapes () =
+  let d = Lazy.force tiny_dataset in
+  Alcotest.(check int) "sample count" 6 (Array.length d.Dataset.samples);
+  Array.iter
+    (fun s ->
+      Alcotest.(check (array int)) "features" [| 7; 16; 16 |]
+        (T.shape s.Dataset.f_bottom);
+      Alcotest.(check (array int)) "labels" [| 16; 16 |]
+        (T.shape s.Dataset.c_top);
+      Alcotest.(check bool) "labels non-negative" true
+        (T.min_elt s.Dataset.c_bottom >= 0.))
+    d.Dataset.samples
+
+let test_dataset_deterministic () =
+  let nl, fp, _, route_cfg = Lazy.force env in
+  let a = Dataset.build ~n_samples:2 ~seed:9 ~route_cfg nl fp in
+  let b = Dataset.build ~n_samples:2 ~seed:9 ~route_cfg nl fp in
+  Alcotest.(check bool) "same labels" true
+    (T.approx_equal a.Dataset.samples.(0).Dataset.c_bottom
+       b.Dataset.samples.(0).Dataset.c_bottom)
+
+let test_dataset_diverse () =
+  let d = Lazy.force tiny_dataset in
+  (* different Table-I samples must give different features *)
+  Alcotest.(check bool) "diverse samples" false
+    (T.approx_equal d.Dataset.samples.(0).Dataset.f_bottom
+       d.Dataset.samples.(1).Dataset.f_bottom)
+
+let test_dataset_split () =
+  let d = Lazy.force tiny_dataset in
+  let train, test = Dataset.split ~test_fraction:0.33 ~seed:1 d in
+  Alcotest.(check int) "test size" 2 (Array.length test.Dataset.samples);
+  Alcotest.(check int) "train size" 4 (Array.length train.Dataset.samples)
+
+let test_dataset_augment8 () =
+  let d = Lazy.force tiny_dataset in
+  let augmented = Dataset.augment8 d.Dataset.samples.(0) in
+  Alcotest.(check int) "8 variants" 8 (List.length augmented);
+  (* all variants conserve total label mass *)
+  let mass s = T.sum s.Dataset.c_bottom +. T.sum s.Dataset.c_top in
+  let m0 = mass d.Dataset.samples.(0) in
+  List.iter
+    (fun s -> Alcotest.(check (float 1e-9)) "mass conserved" m0 (mass s))
+    augmented
+
+let test_dataset_merge () =
+  let d = Lazy.force tiny_dataset in
+  let m = Dataset.merge [ d; d ] in
+  Alcotest.(check int) "merged" 12 (Array.length m.Dataset.samples)
+
+let test_label_scale_positive () =
+  let d = Lazy.force tiny_dataset in
+  Alcotest.(check bool) "positive" true (Dataset.label_scale d > 0.)
+
+(* ------------------------------------------------------------------ *)
+(* Predictor (Algorithm 1)                                             *)
+(* ------------------------------------------------------------------ *)
+
+let trained =
+  lazy
+    (let d = Lazy.force tiny_dataset in
+     let train, test = Dataset.split ~test_fraction:0.33 ~seed:1 d in
+     Predictor.train ~epochs:6 ~input_hw:16 ~base_channels:4 ~augment:false
+       ~seed:3 ~train ~test ())
+
+let test_training_reduces_loss () =
+  let _, report = Lazy.force trained in
+  let first = report.Predictor.train_loss.(0) in
+  let last = report.Predictor.train_loss.(report.Predictor.epochs - 1) in
+  Alcotest.(check bool)
+    (Printf.sprintf "train loss %.4f -> %.4f" first last)
+    true (last < first)
+
+let test_predict_shapes_and_sign () =
+  let t, _ = Lazy.force trained in
+  let d = Lazy.force tiny_dataset in
+  let s = d.Dataset.samples.(0) in
+  let p0, p1 = Predictor.predict t s.Dataset.f_bottom s.Dataset.f_top in
+  Alcotest.(check (array int)) "gcell resolution" [| 16; 16 |] (T.shape p0);
+  Alcotest.(check bool) "non-negative overflow" true
+    (T.min_elt p0 >= 0. && T.min_elt p1 >= 0.)
+
+let test_evaluate_metrics_range () =
+  let t, _ = Lazy.force trained in
+  let d = Lazy.force tiny_dataset in
+  let metrics = Predictor.evaluate t d in
+  Alcotest.(check int) "two dies per sample" 12 (List.length metrics);
+  List.iter
+    (fun (nrmse, ssim) ->
+      Alcotest.(check bool) "nrmse >= 0" true (nrmse >= 0.);
+      Alcotest.(check bool) "ssim in range" true (ssim >= -1. && ssim <= 1.))
+    metrics
+
+let test_predictor_save_load () =
+  let t, _ = Lazy.force trained in
+  let d = Lazy.force tiny_dataset in
+  let s = d.Dataset.samples.(0) in
+  let path = Filename.temp_file "dco3d_pred" ".bin" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove path;
+      if Sys.file_exists (path ^ ".net") then Sys.remove (path ^ ".net"))
+    (fun () ->
+      Predictor.save t path;
+      let t' = Predictor.load path in
+      let a, _ = Predictor.predict t s.Dataset.f_bottom s.Dataset.f_top in
+      let b, _ = Predictor.predict t' s.Dataset.f_bottom s.Dataset.f_top in
+      Alcotest.(check bool) "same predictions" true (T.approx_equal a b))
+
+(* ------------------------------------------------------------------ *)
+(* Soft maps (section IV-A + Eq. 6)                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* hand-built two-cell netlist for exact gradient checks *)
+let tiny_pair () =
+  let m = Cl.find "INV_X1" in
+  let nets =
+    [|
+      { Nl.net_id = 0; net_name = "n0"; driver = Nl.Cell 0;
+        sinks = [| Nl.Cell 1 |]; is_clock = false };
+    |]
+  in
+  let nl =
+    { Nl.design = "tiny"; masters = [| m; m |]; nets; ios = [||];
+      cell_fanin = [| [||]; [| 0 |] |]; cell_fanout = [| 0; -1 |] }
+  in
+  let fp = { Fp.width = 8.; height = 8.; gcell_nx = 4; gcell_ny = 4; n_rows = 8 } in
+  let p = Pl.create nl fp in
+  p.Pl.x.(0) <- 1.3;
+  p.Pl.y.(0) <- 1.7;
+  p.Pl.x.(1) <- 5.9;
+  p.Pl.y.(1) <- 6.3;
+  p
+
+let soft_loss p wmap xt yt zt =
+  let x = V.param (T.copy xt) and y = V.param (T.copy yt) and z = V.param (T.copy zt) in
+  let f0, f1 = Sm.build ~placement:p ~x ~y ~z ~nx:4 ~ny:4 in
+  (V.add (V.dot f0 (V.const wmap)) (V.scale 2. (V.dot f1 (V.const wmap))), x, y, z)
+
+let test_soft_maps_match_hard_at_binary_z () =
+  (* with z exactly 0/1 the soft maps reduce to the hard feature maps
+     up to the splat kernel: total mass per channel must agree *)
+  let _, _, base, _ = Lazy.force env in
+  let p = base in
+  let n = Nl.n_cells p.Pl.nl in
+  let x = V.const (T.of_array1 p.Pl.x) in
+  let y = V.const (T.of_array1 p.Pl.y) in
+  let z = V.const (T.init [| n |] (fun i -> float_of_int p.Pl.tier.(i.(0)))) in
+  let f0, f1 = Sm.build ~placement:p ~x ~y ~z ~nx:16 ~ny:16 in
+  let h0, h1 = Dco3d_congestion.Feature_maps.both_dies p ~nx:16 ~ny:16 in
+  List.iter
+    (fun (soft, hard, die) ->
+      for ch = 0 to 6 do
+        let ms = T.sum (T.channel (V.data soft) ch) in
+        let mh = T.sum (T.channel hard ch) in
+        let denom = Float.max 1. mh in
+        if abs_float (ms -. mh) /. denom > 0.02 then
+          Alcotest.failf "die %d channel %d mass: soft %.3f vs hard %.3f" die ch
+            ms mh
+      done)
+    [ (f0, h0, 0); (f1, h1, 1) ]
+
+let test_soft_maps_exact_gradients () =
+  (* the minimal clean case must match central differences exactly *)
+  let p = tiny_pair () in
+  let x0 = T.of_array1 p.Pl.x and y0 = T.of_array1 p.Pl.y in
+  let z0 = T.of_array1 [| 0.3; 0.7 |] in
+  let rng = Rng.create 7 in
+  (* the PinRUDY channels use a documented stop-gradient on the net
+     scale, so the exactness check covers the other five channels *)
+  let wmap =
+    T.init [| 7; 4; 4 |] (fun i ->
+        if i.(0) = 4 || i.(0) = 5 then 0. else Rng.gaussian rng)
+  in
+  let l, x, y, z = soft_loss p wmap x0 y0 z0 in
+  V.backward l;
+  let eps = 1e-6 in
+  let fd base i rebuild =
+    let tp = T.copy base and tm = T.copy base in
+    T.set_flat tp i (T.get_flat base i +. eps);
+    T.set_flat tm i (T.get_flat base i -. eps);
+    let lp, _, _, _ = rebuild tp and lm, _, _, _ = rebuild tm in
+    (T.get_flat (V.data lp) 0 -. T.get_flat (V.data lm) 0) /. (2. *. eps)
+  in
+  for c = 0 to 1 do
+    Alcotest.(check (float 1e-3)) "dx"
+      (fd x0 c (fun t -> soft_loss p wmap t y0 z0))
+      (T.get_flat (V.grad x) c);
+    Alcotest.(check (float 1e-3)) "dy"
+      (fd y0 c (fun t -> soft_loss p wmap x0 t z0))
+      (T.get_flat (V.grad y) c);
+    Alcotest.(check (float 1e-3)) "dz"
+      (fd z0 c (fun t -> soft_loss p wmap x0 y0 t))
+      (T.get_flat (V.grad z) c)
+  done
+
+let test_soft_maps_descent_direction () =
+  (* On a full random design the RUDY backward is a sub-gradient at
+     ties; it must still be a descent direction: moving against it must
+     reduce the loss. *)
+  let _, _, base, _ = Lazy.force env in
+  let p = base in
+  let n = Nl.n_cells p.Pl.nl in
+  let rng = Rng.create 11 in
+  let x0 = T.init [| n |] (fun i -> p.Pl.x.(i.(0)) +. (0.011 *. Rng.uniform rng)) in
+  let y0 = T.init [| n |] (fun i -> p.Pl.y.(i.(0)) +. (0.011 *. Rng.uniform rng)) in
+  let z0 = T.init [| n |] (fun _ -> 0.2 +. (0.6 *. Rng.uniform rng)) in
+  let wmap = T.map (fun v -> abs_float v) (T.randn (Rng.create 13) [| 7; 16; 16 |]) in
+  let build xt yt zt =
+    let x = V.param (T.copy xt) and y = V.param (T.copy yt) and z = V.param (T.copy zt) in
+    let f0, f1 = Sm.build ~placement:p ~x ~y ~z ~nx:16 ~ny:16 in
+    (V.add (V.dot f0 (V.const wmap)) (V.dot f1 (V.const wmap)), x, y, z)
+  in
+  let l, x, y, z = build x0 y0 z0 in
+  let l0 = T.get_flat (V.data l) 0 in
+  V.backward l;
+  let step = 1e-4 in
+  let move base g =
+    T.map2 (fun b gv -> b -. (step *. gv)) base g
+  in
+  let l', _, _, _ =
+    build (move x0 (V.grad x)) (move y0 (V.grad y)) (move z0 (V.grad z))
+  in
+  let l1 = T.get_flat (V.data l') 0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "descent %.6f -> %.6f" l0 l1)
+    true (l1 < l0)
+
+let prop_soft_density_mass_conserved =
+  (* for ANY z, the per-cell density mass splits between the dies but
+     its total is invariant: sum over both dies of the density channel
+     equals total (non-macro) cell area / bin area + macro channel *)
+  QCheck.Test.make ~name:"soft density mass is z-invariant" ~count:10
+    (QCheck.int_bound 10_000) (fun seed ->
+      let _, _, base, _ = Lazy.force env in
+      let p = base in
+      let n = Nl.n_cells p.Pl.nl in
+      let rng = Rng.create seed in
+      let x = V.const (T.of_array1 p.Pl.x) in
+      let y = V.const (T.of_array1 p.Pl.y) in
+      let z = V.const (T.init [| n |] (fun _ -> Rng.uniform rng)) in
+      let f0, f1 = Sm.build ~placement:p ~x ~y ~z ~nx:16 ~ny:16 in
+      let mass f = T.sum (T.channel (V.data f) 0) in
+      let total = mass f0 +. mass f1 in
+      (* reference at z = tier *)
+      let z_hard =
+        V.const (T.init [| n |] (fun i -> float_of_int p.Pl.tier.(i.(0))))
+      in
+      let g0, g1 = Sm.build ~placement:p ~x ~y ~z:z_hard ~nx:16 ~ny:16 in
+      let total_ref = mass g0 +. mass g1 in
+      abs_float (total -. total_ref) < 1e-6 *. Float.max 1. total_ref)
+
+let prop_soft_rudy3d_symmetric =
+  (* the 3D RUDY channel is always identical on both dies *)
+  QCheck.Test.make ~name:"soft 3D RUDY identical on both dies" ~count:5
+    (QCheck.int_bound 10_000) (fun seed ->
+      let _, _, base, _ = Lazy.force env in
+      let p = base in
+      let n = Nl.n_cells p.Pl.nl in
+      let rng = Rng.create seed in
+      let x = V.const (T.of_array1 p.Pl.x) in
+      let y = V.const (T.of_array1 p.Pl.y) in
+      let z = V.const (T.init [| n |] (fun _ -> Rng.uniform rng)) in
+      let f0, f1 = Sm.build ~placement:p ~x ~y ~z ~nx:16 ~ny:16 in
+      T.approx_equal ~eps:1e-9
+        (T.channel (V.data f0) 3)
+        (T.channel (V.data f1) 3))
+
+let prop_cutsize_bounds =
+  (* Eq. 7 is non-negative and zero on a cut-free partition *)
+  QCheck.Test.make ~name:"cutsize loss bounds" ~count:20
+    (QCheck.int_bound 10_000) (fun seed ->
+      let rng = Rng.create seed in
+      let n = 4 + Rng.int rng 6 in
+      (* random graph *)
+      let coo = ref [] in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          if Rng.uniform rng < 0.4 then coo := (i, j, 1.) :: (j, i, 1.) :: !coo
+        done
+      done;
+      let adj = Csr.create ~n_rows:n ~n_cols:n !coo in
+      let z = V.const (T.init [| n |] (fun _ -> Rng.uniform rng)) in
+      let l = T.get_flat (V.data (Losses.cutsize ~adj z)) 0 in
+      let all_bottom = V.const (T.zeros [| n |]) in
+      let l0 = T.get_flat (V.data (Losses.cutsize ~adj all_bottom)) 0 in
+      l >= -1e-9 && abs_float l0 < 1e-6)
+
+let test_hard_assignment () =
+  let z = T.of_array1 [| 0.1; 0.5; 0.9; 0.49999 |] in
+  Alcotest.(check (array int)) "threshold at 0.5" [| 0; 1; 1; 0 |]
+    (Sm.hard_assignment z)
+
+(* ------------------------------------------------------------------ *)
+(* Losses                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_cutsize_loss_matches_hard_cut () =
+  (* binary z: the soft cut count must equal the hard edge cut *)
+  let adj =
+    Csr.create ~n_rows:4 ~n_cols:4
+      [ (0, 1, 1.); (1, 0, 1.); (1, 2, 1.); (2, 1, 1.); (2, 3, 1.); (3, 2, 1.) ]
+  in
+  (* partition {0,1 | 2,3}: one cut edge (1-2); deg_T = 2*1 (edge 0-1 both
+     dirs), deg_B = 2*1 *)
+  let z = V.const (T.of_array1 [| 0.; 0.; 1.; 1. |]) in
+  let l = Losses.cutsize ~adj z in
+  (* cut = z'A1 - z'Az = 3 - 2 = 1 (the single cut edge), deg(T) =
+     z'Az = 2 and deg(B) = 2 (each intra-die edge counted in both
+     directions): loss = 1/2 + 1/2 = 1 *)
+  Alcotest.(check (float 1e-4)) "eq7 at binary z" 1. (T.get_flat (V.data l) 0)
+
+let test_cutsize_gradient_reduces_cut () =
+  (* gradient descent on the cut loss must drive a cut edge's endpoints
+     to the same side *)
+  let adj = Csr.create ~n_rows:2 ~n_cols:2 [ (0, 1, 1.); (1, 0, 1.) ] in
+  let zt = T.of_array1 [| -0.2; 0.2 |] in
+  let z = V.param zt in
+  let l = Losses.cutsize ~adj (V.sigmoid z) in
+  ignore (V.data l);
+  V.backward l;
+  let g = V.grad z in
+  (* pushing along -g must move z0 and z1 toward each other *)
+  Alcotest.(check bool) "gradients pull together" true
+    (T.get_flat g 0 *. T.get_flat g 1 < 0.)
+
+let test_overlap_loss_detects_overfill () =
+  let mk v = V.const (T.full [| 7; 4; 4 |] v) in
+  let low = Losses.overlap ~target:0.8 (mk 0.5) (mk 0.5) in
+  let high = Losses.overlap ~target:0.8 (mk 1.2) (mk 1.2) in
+  Alcotest.(check (float 1e-9)) "under target" 0. (T.get_flat (V.data low) 0);
+  Alcotest.(check bool) "over target penalized" true
+    (T.get_flat (V.data high) 0 > 0.)
+
+let test_displacement_loss () =
+  let x0 = T.of_array1 [| 0.; 0. |] and y0 = T.of_array1 [| 0.; 0. |] in
+  let x = V.const (T.of_array1 [| 3.; 0. |]) in
+  let y = V.const (T.of_array1 [| 4.; 0. |]) in
+  let l = Losses.displacement ~x ~y ~x0 ~y0 in
+  Alcotest.(check (float 1e-9)) "eq11 mean" 12.5 (T.get_flat (V.data l) 0)
+
+let test_congestion_loss_zero_on_empty () =
+  let z = V.const (T.zeros [| 1; 4; 4 |]) in
+  Alcotest.(check (float 1e-12)) "zero maps" 0.
+    (T.get_flat (V.data (Losses.congestion z z)) 0)
+
+(* ------------------------------------------------------------------ *)
+(* Spreader                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_graph_of_netlist () =
+  let nl, _, _, _ = Lazy.force env in
+  let g = Spreader.graph_of_netlist nl in
+  Alcotest.(check int) "square" (Nl.n_cells nl) g.Csr.n_rows;
+  (* symmetry *)
+  let ok = ref true in
+  Csr.iter g (fun i j v -> if abs_float (Csr.get g j i -. v) > 1e-9 then ok := false);
+  Alcotest.(check bool) "symmetric" true !ok
+
+let test_node_features_shape () =
+  let _, _, base, _ = Lazy.force env in
+  let f = Spreader.node_features base in
+  Alcotest.(check (array int)) "n x 11"
+    [| Nl.n_cells base.Pl.nl; 11 |] (T.shape f)
+
+let test_spreader_starts_at_identity () =
+  let _, _, base, _ = Lazy.force env in
+  let adj = Csr.symmetric_normalize (Spreader.graph_of_netlist base.Pl.nl) in
+  let features = Spreader.node_features base in
+  let sp =
+    Spreader.create (Rng.create 3) ~adj ~n_features:11 ~max_move:1.0
+      ~placement:base ()
+  in
+  let x, _, z = Spreader.forward sp ~features in
+  (* fresh GNN outputs are small: positions near x0, tiers near z0 *)
+  let n = Nl.n_cells base.Pl.nl in
+  let max_shift = ref 0. and tier_flips = ref 0 in
+  for c = 0 to n - 1 do
+    max_shift := Float.max !max_shift (abs_float (T.get_flat (V.data x) c -. base.Pl.x.(c)));
+    let zt = T.get_flat (V.data z) c in
+    if (zt >= 0.5) <> (base.Pl.tier.(c) = 1) then incr tier_flips
+  done;
+  Alcotest.(check bool) "bounded moves" true (!max_shift <= 1.0 +. 1e-9);
+  Alcotest.(check bool)
+    (Printf.sprintf "few initial tier flips (%d)" !tier_flips)
+    true
+    (!tier_flips < n / 6)
+
+let test_spreader_masks_macros () =
+  let nl = Gen.generate ~scale:0.015 ~seed:5 (Gen.profile "Rocket") in
+  let fp = Fp.create ~gcell_nx:16 ~gcell_ny:16 nl in
+  let p = Placer.global_place ~seed:1 ~params:Dco3d_place.Params.default nl fp in
+  let adj = Csr.symmetric_normalize (Spreader.graph_of_netlist nl) in
+  let sp =
+    Spreader.create (Rng.create 3) ~adj ~n_features:11 ~max_move:5.0
+      ~placement:p ()
+  in
+  let x, y, _ = Spreader.forward sp ~features:(Spreader.node_features p) in
+  for c = 0 to Nl.n_cells nl - 1 do
+    if Nl.is_macro nl c then begin
+      Alcotest.(check (float 1e-9)) "macro x fixed" p.Pl.x.(c)
+        (T.get_flat (V.data x) c);
+      Alcotest.(check (float 1e-9)) "macro y fixed" p.Pl.y.(c)
+        (T.get_flat (V.data y) c)
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Algorithm 2 end-to-end                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_dco_optimize_smoke () =
+  let _, _, base, _ = Lazy.force env in
+  let predictor, _ = Lazy.force trained in
+  let config =
+    { Dco.default_config with Dco.iterations = 8; seed = 4 }
+  in
+  let p', report = Dco.optimize ~config ~predictor base in
+  (* legal result *)
+  (match Placer.legal_check p' with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* the optimization must make progress: the best iterate beats the
+     first (Adam wobbles a little step to step) *)
+  let first = report.Dco.stats.(0).Dco.total in
+  let best =
+    Array.fold_left (fun acc (s : Dco.iter_stats) -> Float.min acc s.Dco.total)
+      infinity report.Dco.stats
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "loss %.4f -> best %.4f" first best)
+    true (best <= first);
+  (* displacement stays bounded (the displacement loss is doing work) *)
+  Alcotest.(check bool)
+    (Printf.sprintf "bounded displacement %.3f" report.Dco.mean_displacement)
+    true
+    (report.Dco.mean_displacement < 5.);
+  Alcotest.(check bool) "stats recorded" true
+    (Array.length report.Dco.stats >= 1 && Array.length report.Dco.stats <= 8)
+
+let test_dco_deterministic () =
+  let _, _, base, _ = Lazy.force env in
+  let predictor, _ = Lazy.force trained in
+  let config = { Dco.default_config with Dco.iterations = 3; seed = 4 } in
+  let a, _ = Dco.optimize ~config ~predictor base in
+  let b, _ = Dco.optimize ~config ~predictor base in
+  Alcotest.(check bool) "same result" true
+    (a.Pl.x = b.Pl.x && a.Pl.tier = b.Pl.tier)
+
+let test_resize_value_gradcheck () =
+  Alcotest.(check bool) "resize gradient" true
+    (V.gradient_check
+       (fun v -> V.sum (V.sqr (Dco.resize_value v 6 6)))
+       (T.randn (Rng.create 21) [| 2; 4; 4 |]))
+
+let test_normalize_features_gradcheck () =
+  Alcotest.(check bool) "normalize gradient" true
+    (V.gradient_check
+       (fun v -> V.sum (V.sqr (Dco.normalize_features v)))
+       (T.randn (Rng.create 22) [| 7; 3; 3 |]))
+
+(* ------------------------------------------------------------------ *)
+(* TCL export                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_tcl_roundtrip () =
+  let _, _, base, _ = Lazy.force env in
+  let text = Tcl.to_string base in
+  let locs = Tcl.parse_locations text in
+  Alcotest.(check int) "all cells" (Nl.n_cells base.Pl.nl) (List.length locs);
+  List.iteri
+    (fun i (name, x, y, tier) ->
+      if i < 10 then begin
+        Alcotest.(check string) "name" (Printf.sprintf "u%d" i) name;
+        Alcotest.(check (float 1e-3)) "x" base.Pl.x.(i) x;
+        Alcotest.(check (float 1e-3)) "y" base.Pl.y.(i) y;
+        Alcotest.(check int) "tier" base.Pl.tier.(i) tier
+      end)
+    locs
+
+let test_tcl_only_moved () =
+  let _, _, base, _ = Lazy.force env in
+  let moved = Pl.copy base in
+  moved.Pl.x.(3) <- moved.Pl.x.(3) +. 1.;
+  moved.Pl.tier.(7) <- 1 - moved.Pl.tier.(7);
+  let text = Tcl.to_string ~only_moved_from:base moved in
+  let locs = Tcl.parse_locations text in
+  Alcotest.(check int) "only two cells" 2 (List.length locs)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let suites =
+  [
+    ( "core.dataset",
+      [
+        Alcotest.test_case "shapes" `Quick test_dataset_shapes;
+        Alcotest.test_case "deterministic" `Quick test_dataset_deterministic;
+        Alcotest.test_case "diverse" `Quick test_dataset_diverse;
+        Alcotest.test_case "split" `Quick test_dataset_split;
+        Alcotest.test_case "augment8" `Quick test_dataset_augment8;
+        Alcotest.test_case "merge" `Quick test_dataset_merge;
+        Alcotest.test_case "label scale" `Quick test_label_scale_positive;
+      ] );
+    ( "core.predictor",
+      [
+        Alcotest.test_case "training reduces loss" `Slow test_training_reduces_loss;
+        Alcotest.test_case "prediction shapes" `Slow test_predict_shapes_and_sign;
+        Alcotest.test_case "metric ranges" `Slow test_evaluate_metrics_range;
+        Alcotest.test_case "save/load" `Slow test_predictor_save_load;
+      ] );
+    ( "core.soft_maps",
+      [
+        Alcotest.test_case "mass matches hard maps" `Quick test_soft_maps_match_hard_at_binary_z;
+        Alcotest.test_case "exact gradients (2-cell)" `Quick test_soft_maps_exact_gradients;
+        Alcotest.test_case "descent direction" `Quick test_soft_maps_descent_direction;
+        Alcotest.test_case "hard assignment" `Quick test_hard_assignment;
+        qtest prop_soft_density_mass_conserved;
+        qtest prop_soft_rudy3d_symmetric;
+      ] );
+    ( "core.losses",
+      [
+        Alcotest.test_case "cutsize matches hard cut" `Quick test_cutsize_loss_matches_hard_cut;
+        Alcotest.test_case "cutsize gradient" `Quick test_cutsize_gradient_reduces_cut;
+        Alcotest.test_case "overlap detects overfill" `Quick test_overlap_loss_detects_overfill;
+        Alcotest.test_case "displacement (Eq. 11)" `Quick test_displacement_loss;
+        Alcotest.test_case "congestion zero map" `Quick test_congestion_loss_zero_on_empty;
+        qtest prop_cutsize_bounds;
+      ] );
+    ( "core.spreader",
+      [
+        Alcotest.test_case "netlist graph" `Quick test_graph_of_netlist;
+        Alcotest.test_case "node features" `Quick test_node_features_shape;
+        Alcotest.test_case "starts near identity" `Quick test_spreader_starts_at_identity;
+        Alcotest.test_case "macros masked" `Quick test_spreader_masks_macros;
+      ] );
+    ( "core.dco",
+      [
+        Alcotest.test_case "optimize smoke" `Slow test_dco_optimize_smoke;
+        Alcotest.test_case "deterministic" `Slow test_dco_deterministic;
+        Alcotest.test_case "resize gradcheck" `Quick test_resize_value_gradcheck;
+        Alcotest.test_case "normalize gradcheck" `Quick test_normalize_features_gradcheck;
+      ] );
+    ( "core.tcl",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_tcl_roundtrip;
+        Alcotest.test_case "only moved" `Quick test_tcl_only_moved;
+      ] );
+  ]

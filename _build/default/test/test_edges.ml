@@ -1,0 +1,331 @@
+(* Edge-case and error-path tests across libraries: the behaviours a
+   downstream user hits first when they misuse an API. *)
+
+module T = Dco3d_tensor.Tensor
+module Rng = Dco3d_tensor.Rng
+module V = Dco3d_autodiff.Value
+module Csr = Dco3d_graph.Csr
+module Nl = Dco3d_netlist.Netlist
+module Cl = Dco3d_netlist.Cell_lib
+module Gen = Dco3d_netlist.Generator
+module Fp = Dco3d_place.Floorplan
+module Sta = Dco3d_sta.Sta
+
+(* ------------------------------------------------------------------ *)
+(* Tensor                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_tensor_bad_indices () =
+  let t = T.zeros [| 2; 2 |] in
+  Alcotest.check_raises "oob" (Invalid_argument "Tensor: index out of bounds")
+    (fun () -> ignore (T.get t [| 2; 0 |]));
+  Alcotest.check_raises "rank" (Invalid_argument "Tensor: index rank mismatch")
+    (fun () -> ignore (T.get t [| 0 |]))
+
+let test_tensor_shape_mismatches () =
+  let a = T.zeros [| 2 |] and b = T.zeros [| 3 |] in
+  Alcotest.check_raises "map2" (Invalid_argument "Tensor.map2: shape mismatch")
+    (fun () -> ignore (T.add a b));
+  Alcotest.check_raises "dot" (Invalid_argument "Tensor.dot: shape mismatch")
+    (fun () -> ignore (T.dot a b));
+  Alcotest.check_raises "matmul rank"
+    (Invalid_argument "Tensor.matmul: rank-2 only") (fun () ->
+      ignore (T.matmul a b))
+
+let test_tensor_conv_errors () =
+  let x = T.zeros [| 2; 4; 4 |] in
+  let w_bad = T.zeros [| 3; 5; 3; 3 |] in
+  Alcotest.check_raises "channel mismatch"
+    (Invalid_argument "Tensor.conv2d: channel mismatch between input and weight")
+    (fun () -> ignore (T.conv2d x ~weight:w_bad ~bias:None));
+  let odd = T.zeros [| 1; 3; 4 |] in
+  Alcotest.check_raises "odd pool"
+    (Invalid_argument "Tensor.maxpool2: spatial dimensions must be even")
+    (fun () -> ignore (T.maxpool2 odd))
+
+let test_tensor_empty_and_tiny () =
+  let e = T.zeros [| 0 |] in
+  Alcotest.(check (float 0.)) "sum of empty" 0. (T.sum e);
+  Alcotest.(check (float 0.)) "mean of empty" 0. (T.mean e);
+  let one = T.scalar 5. in
+  Alcotest.(check (float 0.)) "scalar mean" 5. (T.mean one)
+
+let test_resize_degenerate () =
+  let m = T.of_array2 [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let tiny = T.resize_nearest m 1 1 in
+  Alcotest.(check (float 0.)) "1x1 resize picks a source pixel" 1.
+    (T.get2 tiny 0 0);
+  Alcotest.check_raises "zero target"
+    (Invalid_argument "Tensor.resize_nearest: empty target") (fun () ->
+      ignore (T.resize_nearest m 0 3))
+
+(* ------------------------------------------------------------------ *)
+(* Autodiff                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_value_div_gradcheck () =
+  let rng = Rng.create 31 in
+  let denom = T.add_scalar 2. (T.sqr (T.randn rng [| 5 |])) in
+  Alcotest.(check bool) "div gradient (numerator)" true
+    (V.gradient_check
+       (fun x -> V.sum (V.div x (V.const denom)))
+       (T.randn (Rng.create 32) [| 5 |]));
+  let num = T.randn (Rng.create 33) [| 5 |] in
+  Alcotest.(check bool) "div gradient (denominator)" true
+    (V.gradient_check
+       (fun x -> V.sum (V.div (V.const num) (V.add_scalar 3. (V.sqr x))))
+       (T.randn (Rng.create 34) [| 5 |]))
+
+let test_value_const_subgraph_untracked () =
+  (* a graph of constants collapses: backward through it is a no-op *)
+  let c = V.add (V.scalar 1.) (V.scalar 2.) in
+  Alcotest.(check bool) "const result" false (V.requires_grad c)
+
+let test_gradient_check_catches_wrong_gradient () =
+  (* a deliberately wrong custom gradient must fail the checker *)
+  let broken x =
+    V.custom
+      ~data:(T.map (fun v -> v *. v) (V.data x))
+      ~parents:[ x ]
+      ~backward:(fun g -> [ Some g ] (* wrong: should be 2x*g *))
+  in
+  Alcotest.(check bool) "detects wrong backward" false
+    (V.gradient_check (fun x -> V.sum (broken x)) (T.of_array1 [| 1.5; -2. |]))
+
+(* ------------------------------------------------------------------ *)
+(* Csr                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_csr_empty_matrix () =
+  let m = Csr.create ~n_rows:3 ~n_cols:3 [] in
+  Alcotest.(check int) "nnz" 0 (Csr.nnz m);
+  Alcotest.(check (array (float 0.))) "matvec zero" [| 0.; 0.; 0. |]
+    (Csr.matvec m [| 1.; 2.; 3. |]);
+  (* normalizing an empty graph leaves pure self-loops *)
+  let n = Csr.symmetric_normalize m in
+  Alcotest.(check (float 1e-9)) "self loop" 1. (Csr.get n 0 0)
+
+let test_csr_matvec_length_check () =
+  let m = Csr.identity 3 in
+  Alcotest.check_raises "length" (Invalid_argument "Csr.matvec: length mismatch")
+    (fun () -> ignore (Csr.matvec m [| 1. |]))
+
+(* ------------------------------------------------------------------ *)
+(* Netlist validation negatives                                        *)
+(* ------------------------------------------------------------------ *)
+
+let bad_netlist_driver_mismatch () =
+  let m = Cl.find "INV_X1" in
+  {
+    Nl.design = "bad";
+    masters = [| m; m |];
+    nets =
+      [|
+        { Nl.net_id = 0; net_name = "n"; driver = Nl.Cell 0;
+          sinks = [| Nl.Cell 1 |]; is_clock = false };
+      |];
+    ios = [||];
+    cell_fanin = [| [||]; [| 0 |] |];
+    cell_fanout = [| -1 (* should be 0 *); -1 |];
+  }
+
+let test_validate_rejects_fanout_mismatch () =
+  match Nl.validate (bad_netlist_driver_mismatch ()) with
+  | Ok () -> Alcotest.fail "accepted inconsistent fanout"
+  | Error _ -> ()
+
+let test_validate_rejects_arity_overflow () =
+  let m = Cl.find "INV_X1" in
+  (* INV has 1 input; give it 3 fanin nets *)
+  let net id driver sinks =
+    { Nl.net_id = id; net_name = "n"; driver; sinks; is_clock = false }
+  in
+  let nl =
+    {
+      Nl.design = "bad";
+      masters = [| m; m; m; m |];
+      nets =
+        [|
+          net 0 (Nl.Cell 0) [| Nl.Cell 3 |];
+          net 1 (Nl.Cell 1) [| Nl.Cell 3 |];
+          net 2 (Nl.Cell 2) [| Nl.Cell 3 |];
+        |];
+      ios = [||];
+      cell_fanin = [| [||]; [||]; [||]; [| 0; 1; 2 |] |];
+      cell_fanout = [| 0; 1; 2; -1 |];
+    }
+  in
+  match Nl.validate nl with
+  | Ok () -> Alcotest.fail "accepted arity overflow"
+  | Error e ->
+      Alcotest.(check bool) "mentions inputs" true
+        (String.length e > 0)
+
+let test_levelize_detects_cycle () =
+  let m = Cl.find "INV_X1" in
+  let net id driver sinks =
+    { Nl.net_id = id; net_name = "n"; driver; sinks; is_clock = false }
+  in
+  (* 0 -> 1 -> 0 combinational loop *)
+  let nl =
+    {
+      Nl.design = "cyclic";
+      masters = [| m; m |];
+      nets =
+        [| net 0 (Nl.Cell 0) [| Nl.Cell 1 |]; net 1 (Nl.Cell 1) [| Nl.Cell 0 |] |];
+      ios = [||];
+      cell_fanin = [| [| 1 |]; [| 0 |] |];
+      cell_fanout = [| 0; 1 |];
+    }
+  in
+  Alcotest.(check bool) "cycle detected" true (Nl.levelize nl = None);
+  Alcotest.check_raises "logic_depth raises"
+    (Invalid_argument "Netlist.logic_depth: combinational cycle") (fun () ->
+      ignore (Nl.logic_depth nl))
+
+(* ------------------------------------------------------------------ *)
+(* Floorplan / placement edge cases                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_floorplan_rejects_bad_utilization () =
+  let nl = Gen.generate ~scale:0.01 ~seed:1 (Gen.profile "DMA") in
+  Alcotest.check_raises "util 0"
+    (Invalid_argument "Floorplan.create: utilization must be in (0, 1]")
+    (fun () -> ignore (Fp.create ~utilization:0. nl))
+
+let test_io_position_requires_ios () =
+  let nl = Gen.generate ~scale:0.01 ~seed:1 (Gen.profile "DMA") in
+  let fp = Fp.create nl in
+  Alcotest.check_raises "no ios"
+    (Invalid_argument "Floorplan.io_position: no IOs") (fun () ->
+      ignore (Fp.io_position fp ~n_ios:0 0))
+
+(* ------------------------------------------------------------------ *)
+(* STA edge cases                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_sta_pure_combinational_design () =
+  (* IO -> INV -> IO : no flip-flops at all *)
+  let m = Cl.find "INV_X2" in
+  let net id driver sinks is_clock =
+    { Nl.net_id = id; net_name = "n"; driver; sinks; is_clock }
+  in
+  let nl =
+    {
+      Nl.design = "comb";
+      masters = [| m |];
+      nets =
+        [|
+          net 0 (Nl.Io 0) [| Nl.Cell 0 |] false;
+          net 1 (Nl.Cell 0) [| Nl.Io 1 |] false;
+        |];
+      ios =
+        [|
+          { Nl.io_id = 0; io_name = "in"; dir = Nl.In };
+          { Nl.io_id = 1; io_name = "out"; dir = Nl.Out };
+        |];
+      cell_fanin = [| [| 0 |] |];
+      cell_fanout = [| 1 |];
+    }
+  in
+  let cfg = Sta.default_config ~clock_period_ps:1000. in
+  let t =
+    Sta.analyze cfg nl ~net_length:[| 2.; 3. |] ~net_is_3d:(fun _ -> false)
+  in
+  Alcotest.(check bool) "finite critical path" true
+    (Float.is_finite t.Sta.critical_delay && t.Sta.critical_delay > 0.);
+  Alcotest.(check int) "meets loose clock" 0 t.Sta.n_violations
+
+let test_sta_3d_nets_pay_via_delay () =
+  let m = Cl.find "INV_X2" in
+  let net id driver sinks =
+    { Nl.net_id = id; net_name = "n"; driver; sinks; is_clock = false }
+  in
+  let nl =
+    {
+      Nl.design = "via";
+      masters = [| m |];
+      nets =
+        [|
+          net 0 (Nl.Io 0) [| Nl.Cell 0 |];
+          net 1 (Nl.Cell 0) [| Nl.Io 1 |];
+        |];
+      ios =
+        [|
+          { Nl.io_id = 0; io_name = "in"; dir = Nl.In };
+          { Nl.io_id = 1; io_name = "out"; dir = Nl.Out };
+        |];
+      cell_fanin = [| [| 0 |] |];
+      cell_fanout = [| 1 |];
+    }
+  in
+  let cfg = Sta.default_config ~clock_period_ps:1000. in
+  let planar =
+    Sta.analyze cfg nl ~net_length:[| 2.; 2. |] ~net_is_3d:(fun _ -> false)
+  in
+  let stacked =
+    Sta.analyze cfg nl ~net_length:[| 2.; 2. |] ~net_is_3d:(fun _ -> true)
+  in
+  Alcotest.(check bool) "via delay charged" true
+    (stacked.Sta.critical_delay > planar.Sta.critical_delay)
+
+(* ------------------------------------------------------------------ *)
+(* Placement relief sanity                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_relieve_hot_nets_sane () =
+  let nl = Gen.generate ~scale:0.02 ~seed:5 (Gen.profile "AES") in
+  let fp = Fp.create nl in
+  let p =
+    Dco3d_place.Placer.global_place ~seed:1 ~params:Dco3d_place.Params.default
+      nl fp
+  in
+  let before = Dco3d_place.Placement.copy p in
+  let moved = Dco3d_place.Placer.relieve_hot_nets ~quantile:0.9 p in
+  Alcotest.(check bool) "non-negative move count" true (moved >= 0);
+  (* moves are bounded: one GCell pitch plus clamping *)
+  let max_d = Dco3d_place.Placement.max_displacement_from p before in
+  let pitch = Fp.gcell_w fp +. Fp.gcell_h fp in
+  Alcotest.(check bool)
+    (Printf.sprintf "bounded displacement %.3f <= %.3f" max_d pitch)
+    true (max_d <= pitch +. 1e-6)
+
+let suites =
+  [
+    ( "edges.tensor",
+      [
+        Alcotest.test_case "bad indices" `Quick test_tensor_bad_indices;
+        Alcotest.test_case "shape mismatches" `Quick test_tensor_shape_mismatches;
+        Alcotest.test_case "conv errors" `Quick test_tensor_conv_errors;
+        Alcotest.test_case "empty and tiny" `Quick test_tensor_empty_and_tiny;
+        Alcotest.test_case "resize degenerate" `Quick test_resize_degenerate;
+      ] );
+    ( "edges.autodiff",
+      [
+        Alcotest.test_case "div gradients" `Quick test_value_div_gradcheck;
+        Alcotest.test_case "const subgraph" `Quick test_value_const_subgraph_untracked;
+        Alcotest.test_case "checker catches bad backward" `Quick test_gradient_check_catches_wrong_gradient;
+      ] );
+    ( "edges.graph",
+      [
+        Alcotest.test_case "empty matrix" `Quick test_csr_empty_matrix;
+        Alcotest.test_case "matvec length" `Quick test_csr_matvec_length_check;
+      ] );
+    ( "edges.netlist",
+      [
+        Alcotest.test_case "fanout mismatch" `Quick test_validate_rejects_fanout_mismatch;
+        Alcotest.test_case "arity overflow" `Quick test_validate_rejects_arity_overflow;
+        Alcotest.test_case "combinational cycle" `Quick test_levelize_detects_cycle;
+      ] );
+    ( "edges.place",
+      [
+        Alcotest.test_case "bad utilization" `Quick test_floorplan_rejects_bad_utilization;
+        Alcotest.test_case "io position requires ios" `Quick test_io_position_requires_ios;
+        Alcotest.test_case "relieve_hot_nets sane" `Quick test_relieve_hot_nets_sane;
+      ] );
+    ( "edges.sta",
+      [
+        Alcotest.test_case "pure combinational" `Quick test_sta_pure_combinational_design;
+        Alcotest.test_case "3D nets pay via delay" `Quick test_sta_3d_nets_pay_via_delay;
+      ] );
+  ]

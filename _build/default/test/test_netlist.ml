@@ -1,0 +1,278 @@
+(* Tests for the cell library, netlist structure, generators, and the
+   text interchange format. *)
+
+module Rng = Dco3d_tensor.Rng
+module Cl = Dco3d_netlist.Cell_lib
+module Nl = Dco3d_netlist.Netlist
+module Gen = Dco3d_netlist.Generator
+module Nio = Dco3d_netlist.Netlist_io
+
+(* ------------------------------------------------------------------ *)
+(* Cell library                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_library_lookup () =
+  let m = Cl.find "NAND2_X2" in
+  Alcotest.(check string) "name" "NAND2_X2" m.Cl.name;
+  Alcotest.(check int) "drive" 2 m.Cl.drive;
+  Alcotest.(check int) "inputs" 2 m.Cl.n_inputs;
+  Alcotest.check_raises "unknown master" Not_found (fun () ->
+      ignore (Cl.find "XYZZY_X1"))
+
+let test_drive_scaling_monotone () =
+  (* Bigger drives: wider, more input cap, lower output resistance,
+     more leakage — the trade-off the signoff optimizer exploits. *)
+  List.iter
+    (fun klass ->
+      let x1 = Cl.master_of klass ~drive:1 and x8 = Cl.master_of klass ~drive:8 in
+      Alcotest.(check bool) "wider" true (x8.Cl.width > x1.Cl.width);
+      Alcotest.(check bool) "more cap" true (x8.Cl.input_cap > x1.Cl.input_cap);
+      Alcotest.(check bool) "stronger" true (x8.Cl.drive_res < x1.Cl.drive_res);
+      Alcotest.(check bool) "leakier" true (x8.Cl.leakage > x1.Cl.leakage))
+    Cl.combinational
+
+let test_upsize_downsize_chain () =
+  let x1 = Cl.master_of Cl.Inv ~drive:1 in
+  (match Cl.upsize x1 with
+  | Some x2 ->
+      Alcotest.(check int) "up to X2" 2 x2.Cl.drive;
+      Alcotest.(check (option string)) "down back" (Some "INV_X1")
+        (Option.map (fun m -> m.Cl.name) (Cl.downsize x2))
+  | None -> Alcotest.fail "X1 must upsize");
+  let x8 = Cl.master_of Cl.Inv ~drive:8 in
+  Alcotest.(check (option string)) "X8 tops out" None
+    (Option.map (fun m -> m.Cl.name) (Cl.upsize x8));
+  Alcotest.(check (option string)) "X1 bottoms out" None
+    (Option.map (fun m -> m.Cl.name) (Cl.downsize x1))
+
+let test_dff_is_sequential () =
+  Alcotest.(check bool) "dff seq" true (Cl.master_of Cl.Dff ~drive:1).Cl.is_seq;
+  Alcotest.(check bool) "inv comb" false (Cl.master_of Cl.Inv ~drive:1).Cl.is_seq
+
+let test_macro_master () =
+  let m = Cl.macro_master ~name:"RAM0" ~width:8. ~height:6. in
+  Alcotest.(check (float 1e-12)) "area" 48. (Cl.area m);
+  Alcotest.(check (option string)) "macros don't resize" None
+    (Option.map (fun m -> m.Cl.name) (Cl.upsize m))
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let small nl_name = Gen.generate ~scale:0.01 ~seed:7 (Gen.profile nl_name)
+
+let test_profiles_published_sizes () =
+  (* Table III sizes at scale 1.0 *)
+  let expect = [ ("DMA", 13_000, 961); ("AES", 114_000, 390);
+                 ("ECG", 83_000, 1_700); ("LDPC", 39_000, 4_100);
+                 ("VGA", 52_000, 184); ("Rocket", 120_000, 379) ] in
+  List.iter
+    (fun (name, cells, ios) ->
+      let p = Gen.profile name in
+      Alcotest.(check int) (name ^ " cells") cells p.Gen.n_cells;
+      Alcotest.(check int) (name ^ " ios") ios p.Gen.n_ios)
+    expect
+
+let test_profile_lookup_case_insensitive () =
+  Alcotest.(check string) "lower" "Rocket" (Gen.profile "rocket").Gen.name;
+  Alcotest.check_raises "unknown" Not_found (fun () ->
+      ignore (Gen.profile "z80"))
+
+let test_generated_netlists_validate () =
+  List.iter
+    (fun p ->
+      let nl = Gen.generate ~scale:0.02 ~seed:11 p in
+      match Nl.validate nl with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (p.Gen.name ^ ": " ^ e))
+    Gen.profiles
+
+let test_generator_deterministic () =
+  let a = small "DMA" and b = small "DMA" in
+  Alcotest.(check int) "same nets" (Nl.n_nets a) (Nl.n_nets b);
+  Alcotest.(check string) "same dump" (Nio.to_string a) (Nio.to_string b)
+
+let test_generator_seed_sensitivity () =
+  let a = Gen.generate ~scale:0.01 ~seed:1 (Gen.profile "DMA") in
+  let b = Gen.generate ~scale:0.01 ~seed:2 (Gen.profile "DMA") in
+  Alcotest.(check bool) "different wiring" false
+    (Nio.to_string a = Nio.to_string b)
+
+let test_generated_sizes_scale () =
+  let nl = Gen.generate ~scale:0.05 ~seed:3 (Gen.profile "AES") in
+  let target = int_of_float (114_000. *. 0.05) in
+  Alcotest.(check bool) "cell count near target" true
+    (abs (Nl.n_cells nl - target) <= 4 + List.length (Gen.profile "AES").Gen.macros);
+  (* nets track cells in these benchmarks *)
+  Alcotest.(check bool) "net count plausible" true
+    (Nl.n_nets nl > Nl.n_cells nl / 2 && Nl.n_nets nl < 2 * Nl.n_cells nl)
+
+let test_generated_is_acyclic () =
+  List.iter
+    (fun name ->
+      let nl = small name in
+      match Nl.levelize nl with
+      | Some _ -> ()
+      | None -> Alcotest.fail (name ^ " has a combinational cycle"))
+    [ "DMA"; "AES"; "ECG"; "LDPC"; "VGA"; "Rocket" ]
+
+let test_logic_depth_profiles () =
+  (* LDPC is shallow (6 levels); Rocket is deep (20). The generated
+     depth tracks the profile. *)
+  let d_ldpc = Nl.logic_depth (small "LDPC") in
+  let d_rocket = Nl.logic_depth (small "Rocket") in
+  Alcotest.(check bool)
+    (Printf.sprintf "ldpc %d < rocket %d" d_ldpc d_rocket)
+    true (d_ldpc < d_rocket);
+  Alcotest.(check bool) "ldpc <= 6" true (d_ldpc <= 6);
+  Alcotest.(check bool) "rocket <= 20" true (d_rocket <= 20)
+
+let test_clock_net () =
+  let nl = small "VGA" in
+  match Nl.clock_net nl with
+  | None -> Alcotest.fail "sequential design must have a clock"
+  | Some clk ->
+      let n_ff =
+        Array.fold_left
+          (fun a m -> if m.Cl.is_seq then a + 1 else a)
+          0 nl.Nl.masters
+      in
+      Alcotest.(check int) "clock reaches every FF" n_ff
+        (Array.length clk.Nl.sinks);
+      Alcotest.(check bool) "excluded from signal nets" true
+        (List.for_all (fun n -> not n.Nl.is_clock) (Nl.signal_nets nl))
+
+let test_no_dangling_outputs () =
+  (* every cell output should drive a net (generator steal pass) *)
+  List.iter
+    (fun name ->
+      let nl = small name in
+      let dangling = ref 0 in
+      Array.iteri
+        (fun c out -> if out < 0 && not (Nl.is_macro nl c) then ignore c; if out < 0 then incr dangling)
+        nl.Nl.cell_fanout;
+      let frac = float_of_int !dangling /. float_of_int (Nl.n_cells nl) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s dangling %.3f" name frac)
+        true (frac < 0.02))
+    [ "DMA"; "LDPC"; "Rocket" ]
+
+let test_macros_present () =
+  let nl = small "Rocket" in
+  let n_macro = ref 0 in
+  for c = 0 to Nl.n_cells nl - 1 do
+    if Nl.is_macro nl c then incr n_macro
+  done;
+  Alcotest.(check int) "rocket macros" 4 !n_macro
+
+let test_fanout_histogram_tail () =
+  let nl = small "LDPC" in
+  let hist = Nl.fanout_histogram nl in
+  let max_deg = List.fold_left (fun a (d, _) -> max a d) 0 hist in
+  (* hub nets create a heavy tail *)
+  Alcotest.(check bool) (Printf.sprintf "max degree %d > 8" max_deg) true
+    (max_deg > 8);
+  let total = List.fold_left (fun a (_, c) -> a + c) 0 hist in
+  Alcotest.(check int) "histogram covers all signal nets" total
+    (List.length (Nl.signal_nets nl))
+
+let prop_validate_all_scales =
+  QCheck.Test.make ~name:"generated netlists validate at random scales/seeds"
+    ~count:15
+    QCheck.(pair (int_bound 1000) (int_bound 4))
+    (fun (seed, pidx) ->
+      let p = List.nth Gen.profiles (pidx mod List.length Gen.profiles) in
+      let scale = 0.003 +. (0.01 *. float_of_int (seed mod 5)) in
+      let nl = Gen.generate ~scale ~seed p in
+      match Nl.validate nl with Ok () -> true | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Text format                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_io_roundtrip () =
+  let nl = small "DMA" in
+  match Nio.of_string (Nio.to_string nl) with
+  | Error e -> Alcotest.fail e
+  | Ok nl' ->
+      Alcotest.(check string) "design" nl.Nl.design nl'.Nl.design;
+      Alcotest.(check int) "cells" (Nl.n_cells nl) (Nl.n_cells nl');
+      Alcotest.(check int) "nets" (Nl.n_nets nl) (Nl.n_nets nl');
+      Alcotest.(check int) "ios" (Nl.n_ios nl) (Nl.n_ios nl');
+      Alcotest.(check int) "pins" (Nl.n_pins nl) (Nl.n_pins nl');
+      (* round-trip again: must be a fixed point *)
+      Alcotest.(check string) "fixed point" (Nio.to_string nl)
+        (Nio.to_string nl')
+
+let contains_substring s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_io_rejects_garbage () =
+  (match Nio.of_string "hello world" with
+  | Ok _ -> Alcotest.fail "accepted garbage"
+  | Error e ->
+      Alcotest.(check bool) "mentions magic" true
+        (contains_substring e "magic"))
+
+let test_io_rejects_bad_endpoint () =
+  let text = "dco3d-netlist-v1\ndesign x\ncell 0 INV_X1\nio 0 in a\nnet 0 n0 signal q77 :\nend\n" in
+  match Nio.of_string text with
+  | Ok _ -> Alcotest.fail "accepted bad endpoint"
+  | Error _ -> ()
+
+let test_io_rejects_unknown_master () =
+  let text = "dco3d-netlist-v1\ndesign x\ncell 0 FOO_X9\nend\n" in
+  match Nio.of_string text with
+  | Ok _ -> Alcotest.fail "accepted unknown master"
+  | Error e ->
+      Alcotest.(check bool) "mentions master" true
+        (contains_substring e "master")
+
+let test_copy_is_deep () =
+  let nl = small "DMA" in
+  let nl' = Nl.copy nl in
+  nl'.Nl.masters.(0) <- Cl.find "INV_X8";
+  Alcotest.(check bool) "original untouched" false
+    (nl.Nl.masters.(0).Cl.name = "INV_X8"
+    && nl'.Nl.masters.(0).Cl.name = "INV_X8"
+    && nl.Nl.masters.(0) == nl'.Nl.masters.(0))
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let suites =
+  [
+    ( "netlist.cell_lib",
+      [
+        Alcotest.test_case "lookup" `Quick test_library_lookup;
+        Alcotest.test_case "drive scaling monotone" `Quick test_drive_scaling_monotone;
+        Alcotest.test_case "upsize/downsize chain" `Quick test_upsize_downsize_chain;
+        Alcotest.test_case "dff sequential" `Quick test_dff_is_sequential;
+        Alcotest.test_case "macro master" `Quick test_macro_master;
+      ] );
+    ( "netlist.generator",
+      [
+        Alcotest.test_case "published sizes" `Quick test_profiles_published_sizes;
+        Alcotest.test_case "profile lookup" `Quick test_profile_lookup_case_insensitive;
+        Alcotest.test_case "all profiles validate" `Quick test_generated_netlists_validate;
+        Alcotest.test_case "deterministic" `Quick test_generator_deterministic;
+        Alcotest.test_case "seed sensitivity" `Quick test_generator_seed_sensitivity;
+        Alcotest.test_case "sizes scale" `Quick test_generated_sizes_scale;
+        Alcotest.test_case "acyclic" `Quick test_generated_is_acyclic;
+        Alcotest.test_case "depth tracks profile" `Quick test_logic_depth_profiles;
+        Alcotest.test_case "clock net" `Quick test_clock_net;
+        Alcotest.test_case "no dangling outputs" `Quick test_no_dangling_outputs;
+        Alcotest.test_case "macros present" `Quick test_macros_present;
+        Alcotest.test_case "fanout tail" `Quick test_fanout_histogram_tail;
+        qtest prop_validate_all_scales;
+      ] );
+    ( "netlist.io",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_io_roundtrip;
+        Alcotest.test_case "rejects garbage" `Quick test_io_rejects_garbage;
+        Alcotest.test_case "rejects bad endpoint" `Quick test_io_rejects_bad_endpoint;
+        Alcotest.test_case "rejects unknown master" `Quick test_io_rejects_unknown_master;
+        Alcotest.test_case "deep copy" `Quick test_copy_is_deep;
+      ] );
+  ]

@@ -1,0 +1,144 @@
+(* Tests for the two-tier global router. *)
+
+module T = Dco3d_tensor.Tensor
+module Nl = Dco3d_netlist.Netlist
+module Gen = Dco3d_netlist.Generator
+module Fp = Dco3d_place.Floorplan
+module Pl = Dco3d_place.Placement
+module Placer = Dco3d_place.Placer
+module Params = Dco3d_place.Params
+module R = Dco3d_route.Router
+
+let placed ?(scale = 0.02) ?(seed = 5) name =
+  let nl = Gen.generate ~scale ~seed (Gen.profile name) in
+  let fp = Fp.create nl in
+  Placer.global_place ~seed:1 ~params:Params.default nl fp
+
+let test_route_completes_all_nets () =
+  let p = placed "DMA" in
+  let r = R.route p in
+  (* every signal net must have a routed length *)
+  List.iter
+    (fun (net : Nl.net) ->
+      if r.R.net_length.(net.Nl.net_id) <= 0. then
+        Alcotest.failf "net %d unrouted" net.Nl.net_id)
+    (Nl.signal_nets p.Pl.nl);
+  (* the clock net stays unrouted (CTS owns it) *)
+  match Nl.clock_net p.Pl.nl with
+  | Some clk ->
+      Alcotest.(check (float 0.)) "clock not routed" 0.
+        r.R.net_length.(clk.Nl.net_id)
+  | None -> Alcotest.fail "expected a clock"
+
+let test_wirelength_lower_bound () =
+  (* routed length of a net can never beat its bounding-box
+     half-perimeter (grid-quantized) *)
+  let p = placed "DMA" in
+  let r = R.route p in
+  let fp = p.Pl.fp in
+  let g = Fp.gcell_w fp +. Fp.gcell_h fp in
+  List.iter
+    (fun (net : Nl.net) ->
+      let x0, y0, x1, y1 = Pl.net_bbox p net in
+      let hp = x1 -. x0 +. (y1 -. y0) in
+      let routed = r.R.net_length.(net.Nl.net_id) in
+      (* one GCell of slack for quantization *)
+      if routed +. (2. *. g) < hp then
+        Alcotest.failf "net %d: routed %.2f < half-perimeter %.2f"
+          net.Nl.net_id routed hp)
+    (Nl.signal_nets p.Pl.nl);
+  Alcotest.(check bool) "total WL >= 0.8 * HPWL" true
+    (r.R.wirelength >= 0.8 *. Pl.hpwl p)
+
+let test_overflow_consistency () =
+  let p = placed "AES" in
+  let r = R.route p in
+  Alcotest.(check int) "total = H + V + via" r.R.overflow_total
+    (r.R.overflow_h + r.R.overflow_v + r.R.overflow_via);
+  Alcotest.(check bool) "gcell pct in range" true
+    (r.R.overflow_gcell_pct >= 0. && r.R.overflow_gcell_pct <= 100.);
+  (* congestion maps are consistent with the totals *)
+  let map_sum =
+    T.sum r.R.congestion.(0) +. T.sum r.R.congestion.(1)
+  in
+  Alcotest.(check (float 1e-6)) "maps sum to H+V overflow"
+    (float_of_int (r.R.overflow_h + r.R.overflow_v))
+    map_sum
+
+let test_capacity_scaling_reduces_overflow () =
+  let p = placed "AES" in
+  let base_cfg = R.default_config p.Pl.fp in
+  let tight = R.route ~config:{ base_cfg with R.cap_h = base_cfg.R.cap_h / 2;
+                                cap_v = base_cfg.R.cap_v / 2 } p in
+  let loose = R.route ~config:{ base_cfg with R.cap_h = base_cfg.R.cap_h * 2;
+                                cap_v = base_cfg.R.cap_v * 2 } p in
+  Alcotest.(check bool)
+    (Printf.sprintf "tight %d > loose %d" tight.R.overflow_total loose.R.overflow_total)
+    true
+    (tight.R.overflow_total > loose.R.overflow_total)
+
+let test_negotiation_helps () =
+  (* rip-up-and-reroute must not increase overflow *)
+  let p = placed "AES" in
+  let cfg = R.default_config p.Pl.fp in
+  let no_rr = R.route ~config:{ cfg with R.max_iterations = 0 } p in
+  let rr = R.route ~config:{ cfg with R.max_iterations = 3 } p in
+  Alcotest.(check bool)
+    (Printf.sprintf "rr %d <= initial %d" rr.R.overflow_total no_rr.R.overflow_total)
+    true
+    (rr.R.overflow_total <= no_rr.R.overflow_total)
+
+let test_route_deterministic () =
+  let p = placed "DMA" in
+  let a = R.route p and b = R.route p in
+  Alcotest.(check int) "same overflow" a.R.overflow_total b.R.overflow_total;
+  Alcotest.(check (float 1e-9)) "same WL" a.R.wirelength b.R.wirelength
+
+let test_spread_placement_routes_better () =
+  (* a congestion-focused placement must reduce routed overflow — the
+     placement-stage mechanism of Table III *)
+  let nl = Gen.generate ~scale:0.05 ~seed:5 (Gen.profile "AES") in
+  let fp = Fp.create nl in
+  let base = Placer.global_place ~seed:1 ~params:Params.default nl fp in
+  let cong = Placer.global_place ~seed:1 ~params:Params.congestion_focused nl fp in
+  (* one routing fabric, calibrated on the baseline, shared by both *)
+  let config = R.calibrated_config base in
+  let r_base = R.route ~config base and r_cong = R.route ~config cong in
+  Alcotest.(check bool)
+    (Printf.sprintf "cong %d <= base %d" r_cong.R.overflow_total
+       r_base.R.overflow_total)
+    true
+    (r_cong.R.overflow_total <= r_base.R.overflow_total)
+
+let test_utilization_maps () =
+  let p = placed "DMA" in
+  let r = R.route p in
+  Array.iter
+    (fun u ->
+      Alcotest.(check bool) "non-negative utilization" true (T.min_elt u >= 0.);
+      Alcotest.(check bool) "some demand" true (T.max_elt u > 0.))
+    r.R.utilization
+
+let test_congestion_maps_nonneg () =
+  let p = placed "LDPC" in
+  let r = R.route p in
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "overflow map >= 0" true (T.min_elt c >= 0.))
+    r.R.congestion
+
+let suites =
+  [
+    ( "route.router",
+      [
+        Alcotest.test_case "routes all signal nets" `Quick test_route_completes_all_nets;
+        Alcotest.test_case "wirelength lower bound" `Quick test_wirelength_lower_bound;
+        Alcotest.test_case "overflow consistency" `Quick test_overflow_consistency;
+        Alcotest.test_case "capacity scaling" `Quick test_capacity_scaling_reduces_overflow;
+        Alcotest.test_case "negotiation helps" `Quick test_negotiation_helps;
+        Alcotest.test_case "deterministic" `Quick test_route_deterministic;
+        Alcotest.test_case "spread placement routes better" `Slow test_spread_placement_routes_better;
+        Alcotest.test_case "utilization maps" `Quick test_utilization_maps;
+        Alcotest.test_case "congestion maps non-negative" `Quick test_congestion_maps_nonneg;
+      ] );
+  ]

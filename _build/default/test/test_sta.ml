@@ -1,0 +1,222 @@
+(* Tests for static timing analysis, power estimation, CTS, and the
+   Table-II node features. *)
+
+module T = Dco3d_tensor.Tensor
+module Nl = Dco3d_netlist.Netlist
+module Gen = Dco3d_netlist.Generator
+module Fp = Dco3d_place.Floorplan
+module Pl = Dco3d_place.Placement
+module Placer = Dco3d_place.Placer
+module Sta = Dco3d_sta.Sta
+module Cts = Dco3d_cts.Cts
+
+let placed name =
+  let nl = Gen.generate ~scale:0.02 ~seed:5 (Gen.profile name) in
+  let fp = Fp.create nl in
+  Placer.global_place ~seed:1 ~params:Dco3d_place.Params.default nl fp
+
+(* HPWL-based net lengths for pre-route timing *)
+let hpwl_lengths (p : Pl.t) =
+  let lengths = Array.make (Nl.n_nets p.Pl.nl) 0.5 in
+  List.iter
+    (fun (net : Nl.net) ->
+      let x0, y0, x1, y1 = Pl.net_bbox p net in
+      lengths.(net.Nl.net_id) <- Float.max 0.5 (x1 -. x0 +. (y1 -. y0)))
+    (Nl.signal_nets p.Pl.nl);
+  lengths
+
+let is_3d_fn (p : Pl.t) nid = Pl.net_is_3d p p.Pl.nl.Nl.nets.(nid)
+
+let test_timing_basic_sanity () =
+  let p = placed "DMA" in
+  let lengths = hpwl_lengths p in
+  let cfg = Sta.default_config ~clock_period_ps:300. in
+  let t = Sta.analyze cfg p.Pl.nl ~net_length:lengths ~net_is_3d:(is_3d_fn p) in
+  Alcotest.(check bool) "critical delay positive" true (t.Sta.critical_delay > 0.);
+  Alcotest.(check bool) "wns <= 0" true (t.Sta.wns <= 0.);
+  Alcotest.(check bool) "tns <= wns" true (t.Sta.tns <= t.Sta.wns);
+  if t.Sta.n_violations = 0 then begin
+    Alcotest.(check (float 0.)) "no violations -> wns 0" 0. t.Sta.wns;
+    Alcotest.(check (float 0.)) "no violations -> tns 0" 0. t.Sta.tns
+  end
+
+let test_tight_clock_creates_violations () =
+  let p = placed "DMA" in
+  let lengths = hpwl_lengths p in
+  let loose = Sta.default_config ~clock_period_ps:100000. in
+  let t_loose = Sta.analyze loose p.Pl.nl ~net_length:lengths ~net_is_3d:(is_3d_fn p) in
+  Alcotest.(check int) "loose clock meets timing" 0 t_loose.Sta.n_violations;
+  let tight = Sta.default_config ~clock_period_ps:(0.5 *. t_loose.Sta.critical_delay) in
+  let t_tight = Sta.analyze tight p.Pl.nl ~net_length:lengths ~net_is_3d:(is_3d_fn p) in
+  Alcotest.(check bool) "tight clock violates" true (t_tight.Sta.n_violations > 0);
+  Alcotest.(check bool) "wns negative" true (t_tight.Sta.wns < 0.)
+
+let test_longer_wires_hurt_timing () =
+  (* the congestion-detour -> timing coupling of the paper *)
+  let p = placed "DMA" in
+  let lengths = hpwl_lengths p in
+  let detoured = Array.map (fun l -> 1.5 *. l) lengths in
+  let cfg = Sta.default_config ~clock_period_ps:300. in
+  let base = Sta.analyze cfg p.Pl.nl ~net_length:lengths ~net_is_3d:(is_3d_fn p) in
+  let slow = Sta.analyze cfg p.Pl.nl ~net_length:detoured ~net_is_3d:(is_3d_fn p) in
+  Alcotest.(check bool)
+    (Printf.sprintf "critical %.1f < detoured %.1f" base.Sta.critical_delay
+       slow.Sta.critical_delay)
+    true
+    (slow.Sta.critical_delay > base.Sta.critical_delay)
+
+let test_suggest_period_tight () =
+  let p = placed "DMA" in
+  let lengths = hpwl_lengths p in
+  let period = Sta.suggest_period p.Pl.nl ~net_length:lengths ~net_is_3d:(is_3d_fn p) in
+  let cfg = Sta.default_config ~clock_period_ps:period in
+  let t = Sta.analyze cfg p.Pl.nl ~net_length:lengths ~net_is_3d:(is_3d_fn p) in
+  Alcotest.(check bool) "suggested period creates work" true
+    (t.Sta.n_violations > 0)
+
+let test_upsizing_improves_delay () =
+  (* upsizing every cell on a fixed netlist shortens the critical path
+     (stronger drivers), the signoff optimizer's lever *)
+  let p = placed "DMA" in
+  let lengths = hpwl_lengths p in
+  let cfg = Sta.default_config ~clock_period_ps:300. in
+  let before = Sta.analyze cfg p.Pl.nl ~net_length:lengths ~net_is_3d:(is_3d_fn p) in
+  let nl' = Nl.copy p.Pl.nl in
+  for c = 0 to Nl.n_cells nl' - 1 do
+    match Dco3d_netlist.Cell_lib.upsize nl'.Nl.masters.(c) with
+    | Some m -> nl'.Nl.masters.(c) <- m
+    | None -> ()
+  done;
+  let after = Sta.analyze cfg nl' ~net_length:lengths ~net_is_3d:(is_3d_fn p) in
+  Alcotest.(check bool)
+    (Printf.sprintf "critical %.1f -> %.1f" before.Sta.critical_delay
+       after.Sta.critical_delay)
+    true
+    (after.Sta.critical_delay < before.Sta.critical_delay)
+
+(* ------------------------------------------------------------------ *)
+(* Power                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_power_components_positive () =
+  let p = placed "VGA" in
+  let lengths = hpwl_lengths p in
+  let cfg = Sta.default_config ~clock_period_ps:300. in
+  let pw = Sta.estimate_power cfg p.Pl.nl ~net_length:lengths
+      ~clock_wirelength:500. ~clock_buffers:20 () in
+  Alcotest.(check bool) "switching > 0" true (pw.Sta.switching_mw > 0.);
+  Alcotest.(check bool) "internal > 0" true (pw.Sta.internal_mw > 0.);
+  Alcotest.(check bool) "leakage > 0" true (pw.Sta.leakage_mw > 0.);
+  Alcotest.(check bool) "clock > 0" true (pw.Sta.clock_mw > 0.);
+  Alcotest.(check (float 1e-9)) "total = sum"
+    (pw.Sta.switching_mw +. pw.Sta.internal_mw +. pw.Sta.leakage_mw
+    +. pw.Sta.clock_mw)
+    pw.Sta.total_mw
+
+let test_power_grows_with_wirelength () =
+  let p = placed "VGA" in
+  let lengths = hpwl_lengths p in
+  let cfg = Sta.default_config ~clock_period_ps:300. in
+  let base = Sta.estimate_power cfg p.Pl.nl ~net_length:lengths () in
+  let detoured = Array.map (fun l -> 1.4 *. l) lengths in
+  let more = Sta.estimate_power cfg p.Pl.nl ~net_length:detoured () in
+  Alcotest.(check bool) "longer wires burn more" true
+    (more.Sta.total_mw > base.Sta.total_mw)
+
+let test_activity_bounded () =
+  let p = placed "DMA" in
+  let lengths = hpwl_lengths p in
+  let cfg = Sta.default_config ~clock_period_ps:300. in
+  let pw = Sta.estimate_power cfg p.Pl.nl ~net_length:lengths () in
+  Array.iter
+    (fun a ->
+      Alcotest.(check bool) "activity in [0,1]" true (a >= 0. && a <= 1.))
+    pw.Sta.activity
+
+(* ------------------------------------------------------------------ *)
+(* Node features (Table II)                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_node_features_shape_and_scale () =
+  let p = placed "DMA" in
+  let lengths = hpwl_lengths p in
+  let cfg = Sta.default_config ~clock_period_ps:300. in
+  let t = Sta.analyze cfg p.Pl.nl ~net_length:lengths ~net_is_3d:(is_3d_fn p) in
+  let pw = Sta.estimate_power cfg p.Pl.nl ~net_length:lengths () in
+  let f = Sta.node_features p.Pl.nl t pw in
+  Alcotest.(check (array int)) "Table-II shape"
+    [| Nl.n_cells p.Pl.nl; 8 |] (T.shape f);
+  Alcotest.(check bool) "O(1) magnitudes" true
+    (T.max_elt f < 100. && T.min_elt f > -100.);
+  (* width / height columns reflect the masters *)
+  let c0 = 0 in
+  let m = p.Pl.nl.Nl.masters.(c0) in
+  Alcotest.(check (float 1e-9)) "width feature"
+    (m.Dco3d_netlist.Cell_lib.width /. 0.3)
+    (T.get2 f c0 6)
+
+(* ------------------------------------------------------------------ *)
+(* CTS                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_cts_reaches_all_ffs () =
+  let p = placed "VGA" in
+  let r = Cts.synthesize p in
+  let n_ff =
+    Array.fold_left
+      (fun a m -> if m.Dco3d_netlist.Cell_lib.is_seq then a + 1 else a)
+      0 p.Pl.nl.Nl.masters
+  in
+  Alcotest.(check int) "all sinks" n_ff r.Cts.n_sinks;
+  Alcotest.(check bool) "wire > 0" true (r.Cts.wirelength > 0.);
+  Alcotest.(check bool) "buffers > 0" true (r.Cts.n_buffers > 0);
+  Alcotest.(check bool) "skew >= 0" true (r.Cts.skew_ps >= 0.);
+  Alcotest.(check bool) "latency >= skew" true
+    (r.Cts.max_latency_ps >= r.Cts.skew_ps)
+
+let test_cts_empty_design () =
+  (* a netlist with zero flip-flops yields a zero tree *)
+  let nl = Gen.generate ~scale:0.02 ~seed:5 (Gen.profile "DMA") in
+  let fp = Fp.create nl in
+  let p = Pl.create nl fp in
+  (* strip sequential masters *)
+  for c = 0 to Nl.n_cells nl - 1 do
+    if nl.Nl.masters.(c).Dco3d_netlist.Cell_lib.is_seq then
+      nl.Nl.masters.(c) <- Dco3d_netlist.Cell_lib.find "BUF_X1"
+  done;
+  let r = Cts.synthesize p in
+  Alcotest.(check int) "no sinks" 0 r.Cts.n_sinks;
+  Alcotest.(check (float 0.)) "no wire" 0. r.Cts.wirelength
+
+let test_cts_fanout_bound_increases_buffers () =
+  let p = placed "VGA" in
+  let few = Cts.synthesize ~max_fanout:32 p in
+  let many = Cts.synthesize ~max_fanout:4 p in
+  Alcotest.(check bool) "tighter fanout, more buffers" true
+    (many.Cts.n_buffers > few.Cts.n_buffers)
+
+let suites =
+  [
+    ( "sta.timing",
+      [
+        Alcotest.test_case "basic sanity" `Quick test_timing_basic_sanity;
+        Alcotest.test_case "tight clock violates" `Quick test_tight_clock_creates_violations;
+        Alcotest.test_case "detours hurt timing" `Quick test_longer_wires_hurt_timing;
+        Alcotest.test_case "suggested period is tight" `Quick test_suggest_period_tight;
+        Alcotest.test_case "upsizing helps" `Quick test_upsizing_improves_delay;
+      ] );
+    ( "sta.power",
+      [
+        Alcotest.test_case "components positive" `Quick test_power_components_positive;
+        Alcotest.test_case "wirelength coupling" `Quick test_power_grows_with_wirelength;
+        Alcotest.test_case "activity bounded" `Quick test_activity_bounded;
+      ] );
+    ( "sta.features",
+      [ Alcotest.test_case "Table-II features" `Quick test_node_features_shape_and_scale ] );
+    ( "cts",
+      [
+        Alcotest.test_case "reaches all FFs" `Quick test_cts_reaches_all_ffs;
+        Alcotest.test_case "empty design" `Quick test_cts_empty_design;
+        Alcotest.test_case "fanout bound" `Quick test_cts_fanout_bound_increases_buffers;
+      ] );
+  ]

@@ -1,0 +1,100 @@
+(* Tests for the rectilinear Steiner tree heuristic. *)
+
+module S = Dco3d_route.Steiner
+module Rng = Dco3d_tensor.Rng
+
+let p x y = { S.x; y }
+
+let test_trivial_cases () =
+  Alcotest.(check int) "empty" 0 (List.length (S.build []));
+  Alcotest.(check int) "singleton" 0 (List.length (S.build [ p 3 4 ]));
+  Alcotest.(check int) "duplicates merge" 0
+    (List.length (S.build [ p 3 4; p 3 4 ]));
+  let e = S.build [ p 0 0; p 2 3 ] in
+  Alcotest.(check int) "two pins, one edge" 1 (List.length e);
+  Alcotest.(check int) "length" 5 (S.length e)
+
+let test_closest_point () =
+  let e = (p 0 0, p 10 0) in
+  Alcotest.(check int) "projects x" 4 (S.closest_point_on_segment (p 4 7) e).S.x;
+  Alcotest.(check int) "clamps y" 0 (S.closest_point_on_segment (p 4 7) e).S.y;
+  Alcotest.(check int) "clamps end" 10
+    (S.closest_point_on_segment (p 15 2) e).S.x
+
+let test_classic_steiner_win () =
+  (* three corners of an L: spanning tree length 2*(3+3) = hmm —
+     canonical example: pins at (0,0), (2,0), (1,2).  MST = 2 + (1+2) =
+     5; Steiner through (1,0) = 2 + 2 = 4. *)
+  let pins = [ p 0 0; p 2 0; p 1 2 ] in
+  let st = S.length (S.build pins) in
+  let mst = S.spanning_length pins in
+  Alcotest.(check int) "mst" 5 mst;
+  Alcotest.(check bool) (Printf.sprintf "steiner %d <= 4" st) true (st <= 4)
+
+let connected edges pins =
+  (* union-find over edge endpoints; all pins must land in one class *)
+  match pins with
+  | [] | [ _ ] -> true
+  | _ ->
+      let pts = Hashtbl.create 64 in
+      let id pt =
+        match Hashtbl.find_opt pts (pt.S.x, pt.S.y) with
+        | Some i -> i
+        | None ->
+            let i = Hashtbl.length pts in
+            Hashtbl.add pts (pt.S.x, pt.S.y) i;
+            i
+      in
+      List.iter (fun (a, b) -> ignore (id a); ignore (id b)) edges;
+      List.iter (fun pt -> ignore (id pt)) pins;
+      let parent = Array.init (Hashtbl.length pts) Fun.id in
+      let rec find i = if parent.(i) = i then i else find parent.(i) in
+      let union a b = parent.(find a) <- find b in
+      List.iter (fun (a, b) -> union (id a) (id b)) edges;
+      match pins with
+      | first :: rest ->
+          let root = find (id first) in
+          List.for_all (fun pt -> find (id pt) = root) rest
+      | [] -> true
+
+let prop_steiner_connects_and_beats_mst =
+  QCheck.Test.make ~name:"steiner tree connects pins, never beats MST upward"
+    ~count:60 (QCheck.int_bound 100_000) (fun seed ->
+      let rng = Rng.create seed in
+      let n = 2 + Rng.int rng 10 in
+      let pins =
+        List.init n (fun _ -> p (Rng.int rng 30) (Rng.int rng 30))
+      in
+      let edges = S.build pins in
+      let st = S.length edges in
+      let mst = S.spanning_length pins in
+      connected edges pins && st <= mst)
+
+let prop_steiner_lower_bound =
+  (* the tree can never be shorter than the half-perimeter of the pin
+     bounding box *)
+  QCheck.Test.make ~name:"steiner >= bbox half-perimeter" ~count:60
+    (QCheck.int_bound 100_000) (fun seed ->
+      let rng = Rng.create seed in
+      let n = 2 + Rng.int rng 10 in
+      let pins =
+        List.init n (fun _ -> p (Rng.int rng 30) (Rng.int rng 30))
+      in
+      let xs = List.map (fun q -> q.S.x) pins in
+      let ys = List.map (fun q -> q.S.y) pins in
+      let span l = List.fold_left max min_int l - List.fold_left min max_int l in
+      S.length (S.build pins) >= span xs + span ys)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let suites =
+  [
+    ( "route.steiner",
+      [
+        Alcotest.test_case "trivial cases" `Quick test_trivial_cases;
+        Alcotest.test_case "closest point" `Quick test_closest_point;
+        Alcotest.test_case "classic 3-pin win" `Quick test_classic_steiner_win;
+        qtest prop_steiner_connects_and_beats_mst;
+        qtest prop_steiner_lower_bound;
+      ] );
+  ]
