@@ -1,6 +1,9 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples clean
+.PHONY: all build test bench examples clean bench-deterministic
+
+# Parallel jobs used for the determinism check's "parallel" leg.
+JOBS ?= 4
 
 all: build
 
@@ -18,6 +21,20 @@ bench:
 
 bench-log:
 	dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+# Determinism guard: the kernels bench must produce bit-identical
+# results at DCO3D_JOBS=1 and DCO3D_JOBS=$(JOBS).  The bench writes
+# BENCH_kernels.digest (timing-free content digests of every kernel's
+# numeric output); the two runs' digest files must match exactly.
+bench-deterministic:
+	dune build bench/main.exe
+	DCO3D_ONLY=kernels DCO3D_JOBS=1 dune exec --no-build bench/main.exe > /dev/null
+	mv BENCH_kernels.digest BENCH_kernels.jobs1.digest
+	DCO3D_ONLY=kernels DCO3D_JOBS=$(JOBS) dune exec --no-build bench/main.exe > /dev/null
+	sha256sum BENCH_kernels.jobs1.digest BENCH_kernels.digest
+	cmp BENCH_kernels.jobs1.digest BENCH_kernels.digest
+	@rm -f BENCH_kernels.jobs1.digest
+	@echo "bench-deterministic: OK (DCO3D_JOBS=1 == DCO3D_JOBS=$(JOBS))"
 
 examples:
 	dune exec examples/quickstart.exe

@@ -528,58 +528,183 @@ let ablation () =
     \  inflates the number of 3D nets (section V-C's co-optimization claim)."
 
 (* ------------------------------------------------------------------ *)
-(* Bechamel kernel microbenchmarks                                      *)
+(* Kernel microbenchmarks: sequential vs parallel                       *)
 (* ------------------------------------------------------------------ *)
 
+module Pool = Dco3d_parallel.Pool
+
+(* Content digest of a kernel's numeric result.  Written to
+   BENCH_kernels.digest (no timings, so the file is stable run-to-run)
+   and compared across DCO3D_JOBS values by `make bench-deterministic`. *)
+let digest_tensors ts =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun t ->
+      Buffer.add_string buf
+        (Marshal.to_string (T.shape t, Array.init (T.numel t) (T.get_flat t))
+           []))
+    ts;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let time_best reps f =
+  let best = ref infinity and result = ref None in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    if !result = None then result := Some r
+  done;
+  (!best, Option.get !result)
+
+type kernel_row = {
+  k_name : string;
+  k_size : string;
+  k_flops : float option;
+  k_seq_ms : float;
+  k_par_ms : float;
+  k_digest : string;
+  k_ok : bool;
+}
+
 let kernels () =
-  section "Kernel microbenchmarks (bechamel)";
-  let open Bechamel in
+  section "Kernel microbenchmarks (sequential vs parallel)";
+  let target_jobs = Pool.jobs () in
   let e = env_of (List.hd designs) in
   let r = pin3d_of e in
   let p = r.Flow.placement in
-  let nx = 32 and ny = 32 in
   let rng = Rng.create 5 in
-  let img = T.rand_uniform rng [| 7; 32; 32 |] in
-  let w = T.randn rng [| 8; 7; 3; 3 |] in
-  let adj =
-    Dco3d_graph.Csr.symmetric_normalize (Spreader.graph_of_netlist e.nl)
+  let ma = T.rand_uniform rng [| 256; 256 |] in
+  let mb = T.rand_uniform rng [| 256; 256 |] in
+  let img = T.rand_uniform rng [| 8; 64; 64 |] in
+  let w = T.randn rng [| 16; 8; 3; 3 |] in
+  let gout = T.rand_uniform rng [| 16; 64; 64 |] in
+  let timg = T.rand_uniform rng [| 8; 32; 32 |] in
+  let tw = T.randn rng [| 8; 8; 4; 4 |] in
+  let conv_flops co ci kh kw oh ow =
+    2. *. float_of_int (co * ci * kh * kw * oh * ow)
   in
-  let feats = Spreader.node_features p in
-  let tests =
-    Test.make_grouped ~name:"kernels"
-      [
-        Test.make ~name:"rudy_map"
-          (Staged.stage (fun () ->
-               ignore
-                 (Dco3d_congestion.Rudy.rudy_map p ~tier:0
-                    ~kind:Dco3d_congestion.Rudy.Two_d ~nx ~ny)));
-        Test.make ~name:"feature_maps_per_die"
-          (Staged.stage (fun () -> ignore (Fm.per_die p ~tier:0 ~nx ~ny)));
-        Test.make ~name:"conv2d_7x8_3x3_at32"
-          (Staged.stage (fun () ->
-               ignore (T.conv2d ~pad:1 img ~weight:w ~bias:None)));
-        Test.make ~name:"gcn_spmm"
-          (Staged.stage (fun () -> ignore (Dco3d_graph.Csr.spmm adj feats)));
-        Test.make ~name:"ssim_48x48"
-          (Staged.stage (fun () ->
-               ignore
-                 (Metrics.ssim
-                    r.Flow.route.Router.congestion.(0)
-                    r.Flow.route.Router.congestion.(1))));
-      ]
+  let cases =
+    [
+      ( "matmul",
+        "256x256x256",
+        Some (2. *. (256. ** 3.)),
+        3,
+        fun () -> [ T.matmul ma mb ] );
+      ( "conv2d",
+        "8x64x64 -> 16x64x64, 3x3",
+        Some (conv_flops 16 8 3 3 64 64),
+        3,
+        fun () -> [ T.conv2d ~pad:1 img ~weight:w ~bias:None ] );
+      ( "conv2d_backward_input",
+        "16x64x64 -> 8x64x64, 3x3",
+        Some (conv_flops 16 8 3 3 64 64),
+        3,
+        fun () ->
+          [
+            T.conv2d_backward_input ~pad:1 ~input_shape:[| 8; 64; 64 |]
+              ~weight:w gout;
+          ] );
+      ( "conv2d_backward_weight",
+        "16x8x3x3 over 64x64",
+        Some (conv_flops 16 8 3 3 64 64),
+        3,
+        fun () ->
+          [
+            T.conv2d_backward_weight ~pad:1 ~input:img
+              ~weight_shape:[| 16; 8; 3; 3 |] gout;
+          ] );
+      ( "conv2d_transpose",
+        "8x32x32 -> 8x64x64, 4x4 s2",
+        Some (conv_flops 8 8 4 4 32 32),
+        3,
+        fun () -> [ T.conv2d_transpose ~stride:2 ~pad:1 timg ~weight:tw ~bias:None ] );
+      ( "rudy_map",
+        Printf.sprintf "%s, 64x64 gcells" e.name,
+        None,
+        3,
+        fun () ->
+          [
+            Dco3d_congestion.Rudy.rudy_map p ~tier:0
+              ~kind:Dco3d_congestion.Rudy.All ~nx:64 ~ny:64;
+          ] );
+      ( "dataset_build",
+        Printf.sprintf "%s, 4 layouts" e.name,
+        None,
+        1,
+        fun () ->
+          let d =
+            Dataset.build ~n_samples:4 ~seed:11 ~route_cfg:e.ctx.Flow.route_cfg
+              e.nl e.ctx.Flow.fp
+          in
+          Array.to_list d.Dataset.samples
+          |> List.concat_map (fun s ->
+                 [
+                   s.Dataset.f_bottom; s.Dataset.f_top; s.Dataset.c_bottom;
+                   s.Dataset.c_top;
+                 ]) );
+    ]
   in
-  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
-  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
-  let ols =
-    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  Printf.printf "  jobs: sequential=1 parallel=%d\n" target_jobs;
+  Printf.printf "  %-24s %-28s %9s %9s %8s %9s %s\n" "op" "size" "seq ms"
+    "par ms" "speedup" "GFLOP/s" "digest match";
+  let rows =
+    List.map
+      (fun (name, size, flops, reps, run) ->
+        Pool.set_jobs 1;
+        let seq_t, seq_r = time_best reps run in
+        Pool.set_jobs target_jobs;
+        let par_t, par_r = time_best reps run in
+        let dseq = digest_tensors seq_r and dpar = digest_tensors par_r in
+        let ok = String.equal dseq dpar in
+        let gflops =
+          match flops with
+          | Some f -> Printf.sprintf "%9.3f" (f /. par_t /. 1e9)
+          | None -> "        -"
+        in
+        Printf.printf "  %-24s %-28s %9.2f %9.2f %7.2fx %s %s\n%!" name size
+          (seq_t *. 1e3) (par_t *. 1e3) (seq_t /. par_t) gflops
+          (if ok then "ok" else "MISMATCH");
+        {
+          k_name = name;
+          k_size = size;
+          k_flops = flops;
+          k_seq_ms = seq_t *. 1e3;
+          k_par_ms = par_t *. 1e3;
+          k_digest = dseq;
+          k_ok = ok;
+        })
+      cases
   in
-  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-  Hashtbl.iter
-    (fun name ols ->
-      match Analyze.OLS.estimates ols with
-      | Some [ est ] -> Printf.printf "  %-44s %12.1f ns/run\n" name est
-      | Some _ | None -> Printf.printf "  %-44s (no estimate)\n" name)
-    results
+  (* machine-readable perf trajectory across PRs *)
+  let oc = open_out "BENCH_kernels.json" in
+  Printf.fprintf oc "{\n  \"jobs\": %d,\n  \"kernels\": [\n" target_jobs;
+  List.iteri
+    (fun i k ->
+      Printf.fprintf oc
+        "    {\"op\": %S, \"size\": %S, \"seq_ms\": %.4f, \"par_ms\": %.4f, \
+         \"speedup\": %.4f, \"gflops_par\": %s, \"digest\": %S}%s\n"
+        k.k_name k.k_size k.k_seq_ms k.k_par_ms
+        (k.k_seq_ms /. k.k_par_ms)
+        (match k.k_flops with
+        | Some f -> Printf.sprintf "%.4f" (f /. (k.k_par_ms /. 1e3) /. 1e9)
+        | None -> "null")
+        k.k_digest
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  (* timing-free digests for the cross-process determinism check *)
+  let oc = open_out "BENCH_kernels.digest" in
+  List.iter (fun k -> Printf.fprintf oc "%s\t%s\n" k.k_name k.k_digest) rows;
+  close_out oc;
+  Printf.printf "  [wrote BENCH_kernels.json and BENCH_kernels.digest]\n";
+  if List.exists (fun k -> not k.k_ok) rows then begin
+    prerr_endline
+      "kernels: parallel result diverged from sequential result (digest \
+       mismatch)";
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* main                                                                 *)

@@ -1,6 +1,13 @@
 module T = Dco3d_tensor.Tensor
 module Nl = Dco3d_netlist.Netlist
 module Pl = Dco3d_place.Placement
+module Pool = Dco3d_parallel.Pool
+
+(* Nets per parallel chunk.  Each chunk accumulates into a private map
+   and the partials are merged in chunk order, so the float reduction
+   tree is fixed by this constant alone — never by DCO3D_JOBS — keeping
+   RUDY bit-identical at any job count. *)
+let nets_per_chunk = 256
 
 type kind = Two_d | Three_d | All
 
@@ -62,13 +69,28 @@ let net_selector p ~tier ~kind (net : Nl.net) =
       end
   | Three_d -> if is_3d then Some 0.5 else None
 
+(* Shared parallel driver: one private partial map per chunk of nets,
+   merged in ascending chunk order. *)
+let over_nets p ~nx ~ny accumulate =
+  let nets = Array.of_list (Nl.signal_nets p.Pl.nl) in
+  Pool.parallel_for_reduce ~chunk:nets_per_chunk
+    ~init:(T.zeros [| ny; nx |])
+    ~combine:(fun acc partial ->
+      T.axpy ~alpha:1. partial acc;
+      acc)
+    0 (Array.length nets)
+    (fun lo hi ->
+      let partial = T.zeros [| ny; nx |] in
+      for i = lo to hi - 1 do
+        accumulate partial nets.(i)
+      done;
+      partial)
+
 let rudy_map p ~tier ~kind ~nx ~ny =
   let fp = p.Pl.fp in
   let die_w = fp.Dco3d_place.Floorplan.width in
   let die_h = fp.Dco3d_place.Floorplan.height in
-  let map = T.zeros [| ny; nx |] in
-  List.iter
-    (fun (net : Nl.net) ->
+  over_nets p ~nx ~ny (fun map (net : Nl.net) ->
       match net_selector p ~tier ~kind net with
       | None -> ()
       | Some scale ->
@@ -76,17 +98,13 @@ let rudy_map p ~tier ~kind ~nx ~ny =
           let w = x1 -. x0 and h = y1 -. y0 in
           accumulate_net map ~die_w ~die_h ~bbox:(x0, y0, x1, y1)
             ~weight:(scale *. net_weight w h))
-    (Nl.signal_nets p.Pl.nl);
-  map
 
 let pin_rudy_map p ~tier ~kind ~nx ~ny =
   let fp = p.Pl.fp in
   let die_w = fp.Dco3d_place.Floorplan.width in
   let die_h = fp.Dco3d_place.Floorplan.height in
   let bw = die_w /. float_of_int nx and bh = die_h /. float_of_int ny in
-  let map = T.zeros [| ny; nx |] in
-  List.iter
-    (fun (net : Nl.net) ->
+  over_nets p ~nx ~ny (fun map (net : Nl.net) ->
       match net_selector p ~tier ~kind net with
       | None -> ()
       | Some scale ->
@@ -102,5 +120,3 @@ let pin_rudy_map p ~tier ~kind ~nx ~ny =
           in
           add net.Nl.driver;
           Array.iter add net.Nl.sinks)
-    (Nl.signal_nets p.Pl.nl);
-  map

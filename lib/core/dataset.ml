@@ -6,6 +6,7 @@ module Params = Dco3d_place.Params
 module Placer = Dco3d_place.Placer
 module Router = Dco3d_route.Router
 module Fm = Dco3d_congestion.Feature_maps
+module Pool = Dco3d_parallel.Pool
 
 let log_src = Logs.Src.create "dco3d.dataset" ~doc:"dataset construction"
 
@@ -23,10 +24,14 @@ type sample = {
 type t = { design : string; nx : int; ny : int; samples : sample array }
 
 let build ?(n_samples = 24) ?(seed = 0) ~route_cfg nl fp =
-  let rng = Rng.create (seed lxor 0x0d5e7) in
   let nx = fp.Fp.gcell_nx and ny = fp.Fp.gcell_ny in
+  (* Samples are independent layouts, so they build in parallel on the
+     domain pool.  Each sample seeds its own RNG stream from its index
+     (instead of all samples sharing one sequentially-advanced RNG), so
+     the dataset is identical at every DCO3D_JOBS value. *)
   let samples =
-    Array.init n_samples (fun i ->
+    Pool.tabulate ~chunk:1 n_samples (fun i ->
+        let rng = Rng.create ((seed lxor 0x0d5e7) + (0x6a09e667 * (i + 1))) in
         let params = Params.sample rng in
         let sample_seed = seed + (1000 * i) + 17 in
         let p = Placer.global_place ~seed:sample_seed ~params nl fp in

@@ -1,0 +1,219 @@
+(* Work-sharing domain pool.
+
+   One process-wide pool of [jobs - 1] worker domains is created lazily
+   on first use; the calling domain always participates in its own
+   regions, so [jobs] domains compute in total.  A parallel region hands
+   workers a shared atomic chunk counter rather than one queue entry per
+   chunk: each helper (and the caller) repeatedly claims the next chunk
+   index until the range is exhausted.  Which domain runs which chunk is
+   scheduling-dependent; *what* each chunk computes, and the order in
+   which chunk results are combined, is not — that is the determinism
+   contract documented in the interface. *)
+
+type pool = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t array;
+  size : int; (* total jobs, including the calling domain *)
+}
+
+(* Set while a domain is executing pool tasks; nested regions detect it
+   and run inline instead of re-entering the pool. *)
+let in_worker = Domain.DLS.new_key (fun () -> false)
+
+let worker_loop pool =
+  Domain.DLS.set in_worker true;
+  let rec loop () =
+    Mutex.lock pool.mutex;
+    while Queue.is_empty pool.queue && not pool.stop do
+      Condition.wait pool.cond pool.mutex
+    done;
+    match Queue.take_opt pool.queue with
+    | Some task ->
+        Mutex.unlock pool.mutex;
+        (* regions catch their own exceptions; this is a backstop so a
+           misbehaving task can never kill a worker *)
+        (try task () with _ -> ());
+        loop ()
+    | None -> Mutex.unlock pool.mutex (* stop requested and queue drained *)
+  in
+  loop ()
+
+let env_jobs () =
+  match Sys.getenv_opt "DCO3D_JOBS" with
+  | None | Some "" -> Domain.recommended_domain_count ()
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ ->
+          invalid_arg
+            (Printf.sprintf "DCO3D_JOBS: expected a positive integer, got %S" s))
+
+(* Guards [requested] and [current]. *)
+let state_mutex = Mutex.create ()
+let requested : int option ref = ref None
+let current : pool option ref = ref None
+
+let configured_jobs () =
+  match !requested with Some n -> n | None -> env_jobs ()
+
+let jobs () = configured_jobs ()
+
+let make_pool size =
+  let pool =
+    {
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      queue = Queue.create ();
+      stop = false;
+      workers = [||];
+      size;
+    }
+  in
+  pool.workers <-
+    Array.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.stop <- true;
+  Condition.broadcast pool.cond;
+  Mutex.unlock pool.mutex;
+  Array.iter Domain.join pool.workers
+
+let set_jobs n =
+  if n < 1 then invalid_arg "Pool.set_jobs: need at least one job";
+  Mutex.lock state_mutex;
+  let old = !current in
+  current := None;
+  requested := Some n;
+  Mutex.unlock state_mutex;
+  Option.iter shutdown old
+
+let get_pool () =
+  Mutex.lock state_mutex;
+  let pool =
+    match !current with
+    | Some p -> p
+    | None ->
+        let p = make_pool (configured_jobs ()) in
+        current := Some p;
+        p
+  in
+  Mutex.unlock state_mutex;
+  pool
+
+let submit pool task =
+  Mutex.lock pool.mutex;
+  Queue.add task pool.queue;
+  Condition.signal pool.cond;
+  Mutex.unlock pool.mutex
+
+(* Run [run_chunk c] for every [0 <= c < n_chunks], on the pool when one
+   is available and the region is not nested inside a worker. *)
+let run_region n_chunks run_chunk =
+  if n_chunks > 0 then
+    if n_chunks = 1 || Domain.DLS.get in_worker || configured_jobs () = 1 then
+      for c = 0 to n_chunks - 1 do
+        run_chunk c
+      done
+    else begin
+      let pool = get_pool () in
+      if pool.size = 1 then
+        for c = 0 to n_chunks - 1 do
+          run_chunk c
+        done
+      else begin
+        let next = Atomic.make 0 in
+        let failed = Atomic.make None in
+        let work () =
+          let continue = ref true in
+          while !continue do
+            let c = Atomic.fetch_and_add next 1 in
+            if c >= n_chunks || Atomic.get failed <> None then continue := false
+            else
+              try run_chunk c
+              with e ->
+                let bt = Printexc.get_raw_backtrace () in
+                ignore (Atomic.compare_and_set failed None (Some (e, bt)))
+          done
+        in
+        let helpers = min (pool.size - 1) (n_chunks - 1) in
+        let pending = Atomic.make helpers in
+        let done_mutex = Mutex.create () in
+        let done_cond = Condition.create () in
+        for _ = 1 to helpers do
+          submit pool (fun () ->
+              work ();
+              if Atomic.fetch_and_add pending (-1) = 1 then begin
+                Mutex.lock done_mutex;
+                Condition.broadcast done_cond;
+                Mutex.unlock done_mutex
+              end)
+        done;
+        work ();
+        Mutex.lock done_mutex;
+        while Atomic.get pending > 0 do
+          Condition.wait done_cond done_mutex
+        done;
+        Mutex.unlock done_mutex;
+        match Atomic.get failed with
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ()
+      end
+    end
+
+(* At most 256 chunks by default.  The decomposition is a function of
+   the range alone — never of the job count — so chunk-indexed results
+   (and reductions over them) are stable across DCO3D_JOBS values. *)
+let resolve_chunk chunk lo hi =
+  match chunk with
+  | Some c when c >= 1 -> c
+  | Some _ -> invalid_arg "Pool: chunk must be positive"
+  | None -> max 1 ((hi - lo + 255) / 256)
+
+let for_chunks ?chunk lo hi f =
+  if hi > lo then begin
+    let chunk = resolve_chunk chunk lo hi in
+    let n_chunks = (hi - lo + chunk - 1) / chunk in
+    run_region n_chunks (fun c ->
+        let clo = lo + (c * chunk) in
+        f clo (min hi (clo + chunk)))
+  end
+
+let parallel_for ?chunk lo hi f =
+  for_chunks ?chunk lo hi (fun clo chi ->
+      for i = clo to chi - 1 do
+        f i
+      done)
+
+let parallel_for_reduce ?chunk ~init ~combine lo hi body =
+  if hi <= lo then init
+  else begin
+    let chunk = resolve_chunk chunk lo hi in
+    let n_chunks = (hi - lo + chunk - 1) / chunk in
+    let partials = Array.make n_chunks None in
+    run_region n_chunks (fun c ->
+        let clo = lo + (c * chunk) in
+        partials.(c) <- Some (body clo (min hi (clo + chunk))));
+    Array.fold_left
+      (fun acc p ->
+        match p with Some v -> combine acc v | None -> assert false)
+      init partials
+  end
+
+let tabulate ?chunk n f =
+  if n < 0 then invalid_arg "Pool.tabulate: negative length";
+  if n = 0 then [||]
+  else
+    (* per-chunk sub-arrays concatenated in chunk order, so no dummy
+       element is ever needed *)
+    parallel_for_reduce ?chunk ~init:[]
+      ~combine:(fun acc part -> part :: acc)
+      0 n
+      (fun lo hi -> Array.init (hi - lo) (fun i -> f (lo + i)))
+    |> List.rev |> Array.concat
+
+let map_array ?chunk f a = tabulate ?chunk (Array.length a) (fun i -> f a.(i))

@@ -1,0 +1,78 @@
+(** Shared-memory data parallelism on OCaml 5 domains.
+
+    Every hot kernel in the reproduction (tensor contractions,
+    convolutions, RUDY accumulation, dataset construction) funnels its
+    loops through this module.  A single lazily-created pool of worker
+    domains serves the whole process; its size comes from the
+    [DCO3D_JOBS] environment variable (default
+    [Domain.recommended_domain_count ()], and [1] selects an exact
+    in-caller sequential execution with no pool at all).
+
+    {b Determinism contract.}  Results never depend on the job count:
+
+    - loop bodies handed to {!parallel_for} / {!map_array} must write
+      disjoint locations per index, so any schedule commutes;
+    - {!parallel_for_reduce} evaluates one partial result per chunk and
+      combines the partials {e in ascending chunk order} on the calling
+      domain, and the chunk decomposition depends only on the range (and
+      the optional [chunk] argument), never on the number of workers.
+
+    Under that contract, [DCO3D_JOBS=1] and [DCO3D_JOBS=64] produce
+    bit-identical floating-point results — the property the
+    [make bench-deterministic] harness enforces.
+
+    Nested calls are safe: a parallel region entered from inside a
+    worker task runs sequentially in that worker instead of deadlocking
+    on the pool. *)
+
+val jobs : unit -> int
+(** Currently configured job count (workers + the calling domain).
+    Reads [DCO3D_JOBS] unless {!set_jobs} has overridden it.
+
+    @raise Invalid_argument if [DCO3D_JOBS] is set but is not a
+    positive integer. *)
+
+val set_jobs : int -> unit
+(** [set_jobs n] reconfigures the runtime to [n] jobs, shutting down any
+    existing pool (its queued work is drained first).  Used by the bench
+    harness to time the same kernel sequentially and in parallel within
+    one process, and by tests to force a real pool on small machines.
+    @raise Invalid_argument if [n < 1]. *)
+
+val parallel_for : ?chunk:int -> int -> int -> (int -> unit) -> unit
+(** [parallel_for lo hi f] runs [f i] for every [lo <= i < hi].  Indices
+    are distributed in contiguous chunks of [chunk] (default: the range
+    is cut into at most 256 chunks).  [f] must only write locations that
+    no other index writes. *)
+
+val for_chunks : ?chunk:int -> int -> int -> (int -> int -> unit) -> unit
+(** [for_chunks lo hi f] is the chunk-granular primitive underneath
+    {!parallel_for}: [f clo chi] is called once per chunk with
+    [lo <= clo < chi <= hi], the chunks partitioning [\[lo, hi)] in
+    contiguous ascending sub-ranges.  Useful when per-chunk setup (a
+    scratch buffer, a cache tile) is worth amortizing. *)
+
+val parallel_for_reduce :
+  ?chunk:int ->
+  init:'acc ->
+  combine:('acc -> 'a -> 'acc) ->
+  int ->
+  int ->
+  (int -> int -> 'a) ->
+  'acc
+(** [parallel_for_reduce ~init ~combine lo hi body] evaluates
+    [body clo chi] on every chunk of [\[lo, hi)] and folds the partial
+    results as [combine (... (combine init r0) ...) r_last] in ascending
+    chunk order on the calling domain.  [combine] may mutate and return
+    its accumulator.  The chunk decomposition is a function of the range
+    and [chunk] only, so the float reduction tree — hence the result
+    bits — is independent of the job count.  Returns [init] on an empty
+    range. *)
+
+val tabulate : ?chunk:int -> int -> (int -> 'a) -> 'a array
+(** [tabulate n f] is [Array.init n f] with the calls distributed over
+    the pool; element [i] of the result is [f i].  [f] must be safe to
+    call from any domain in any order. *)
+
+val map_array : ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array f a] is [Array.map f a] over the pool. *)

@@ -1,5 +1,13 @@
 type t = { shape : int array; data : float array }
 
+module Pool = Dco3d_parallel.Pool
+
+(* Kernels below this many scalar multiply-adds stay on the calling
+   domain: region setup would dominate.  The guard depends only on the
+   problem size, so the sequential and pooled paths agree bit-for-bit
+   at every DCO3D_JOBS value. *)
+let par_threshold = 1 lsl 16
+
 let numel_of_shape shape = Array.fold_left ( * ) 1 shape
 
 let make shape data =
@@ -11,7 +19,7 @@ let make shape data =
   Array.iter
     (fun d -> if d < 0 then invalid_arg "Tensor.make: negative dimension")
     shape;
-  { shape; data }
+  { shape = Array.copy shape; data }
 
 let zeros shape = make shape (Array.make (numel_of_shape shape) 0.)
 let ones shape = make shape (Array.make (numel_of_shape shape) 1.)
@@ -47,7 +55,16 @@ let reshape t shape =
   let n = numel_of_shape shape in
   if n <> Array.length t.data then
     invalid_arg "Tensor.reshape: element count mismatch";
-  { shape; data = t.data }
+  (* the data array is deliberately aliased (see the interface); the
+     shape array is copied so a caller mutating its own array cannot
+     corrupt the tensor *)
+  { shape = Array.copy shape; data = t.data }
+
+let reshape_copy t shape =
+  let n = numel_of_shape shape in
+  if n <> Array.length t.data then
+    invalid_arg "Tensor.reshape_copy: element count mismatch";
+  { shape = Array.copy shape; data = Array.copy t.data }
 
 (* Row-major flat offset of a multi-index. *)
 let offset t idx =
@@ -173,6 +190,38 @@ let dot a b =
 
 let frobenius t = sqrt (dot t t)
 
+(* Cache-blocked row-band kernel: for each (kc x jc) tile of [b] the
+   band's rows stream over it while it is hot.  For a fixed output
+   element the inner-dimension index [p] is always visited in ascending
+   order, so the accumulation order — hence the result bits — does not
+   depend on how rows are banded across domains. *)
+let matmul_rows ~k ~n ad bd out i0 i1 =
+  let kc = 64 and jc = 128 in
+  let p0 = ref 0 in
+  while !p0 < k do
+    let p1 = min k (!p0 + kc) in
+    let j0 = ref 0 in
+    while !j0 < n do
+      let j1 = min n (!j0 + jc) in
+      for i = i0 to i1 - 1 do
+        let arow = i * k and orow = i * n in
+        for p = !p0 to p1 - 1 do
+          let av = Array.unsafe_get ad (arow + p) in
+          if av <> 0. then begin
+            let brow = p * n in
+            for j = !j0 to j1 - 1 do
+              Array.unsafe_set out (orow + j)
+                (Array.unsafe_get out (orow + j)
+                +. (av *. Array.unsafe_get bd (brow + j)))
+            done
+          end
+        done
+      done;
+      j0 := j1
+    done;
+    p0 := p1
+  done
+
 let matmul a b =
   if rank a <> 2 || rank b <> 2 then invalid_arg "Tensor.matmul: rank-2 only";
   let m = a.shape.(0) and k = a.shape.(1) in
@@ -180,20 +229,12 @@ let matmul a b =
   if k <> k' then invalid_arg "Tensor.matmul: inner dimension mismatch";
   let out = Array.make (m * n) 0. in
   let ad = a.data and bd = b.data in
-  for i = 0 to m - 1 do
-    let arow = i * k in
-    for p = 0 to k - 1 do
-      let av = Array.unsafe_get ad (arow + p) in
-      if av <> 0. then begin
-        let brow = p * n and orow = i * n in
-        for j = 0 to n - 1 do
-          Array.unsafe_set out (orow + j)
-            (Array.unsafe_get out (orow + j)
-            +. (av *. Array.unsafe_get bd (brow + j)))
-        done
-      end
-    done
-  done;
+  if m * n * k < par_threshold then matmul_rows ~k ~n ad bd out 0 m
+  else
+    Pool.for_chunks
+      ~chunk:(max 4 ((m + 31) / 32))
+      0 m
+      (fun i0 i1 -> matmul_rows ~k ~n ad bd out i0 i1);
   make [| m; n |] out
 
 let transpose2 t =
@@ -212,7 +253,7 @@ let matvec a x =
   let m = a.shape.(0) and k = a.shape.(1) in
   if x.shape.(0) <> k then invalid_arg "Tensor.matvec: dimension mismatch";
   let out = Array.make m 0. in
-  for i = 0 to m - 1 do
+  let row_dot i =
     let row = i * k in
     let acc = ref 0. in
     for j = 0 to k - 1 do
@@ -220,7 +261,12 @@ let matvec a x =
         !acc +. (Array.unsafe_get a.data (row + j) *. Array.unsafe_get x.data j)
     done;
     out.(i) <- !acc
-  done;
+  in
+  if m * k < par_threshold then
+    for i = 0 to m - 1 do
+      row_dot i
+    done
+  else Pool.parallel_for 0 m row_dot;
   make [| m |] out
 
 (* ------------------------------------------------------------------ *)
@@ -243,7 +289,9 @@ let conv2d ?(stride = 1) ?(pad = 0) x ~weight ~bias =
   if oh <= 0 || ow <= 0 then invalid_arg "Tensor.conv2d: empty output";
   let out = Array.make (co * oh * ow) 0. in
   let xd = x.data and wd = weight.data in
-  for o = 0 to co - 1 do
+  (* each output channel writes only its own [out] slice, so channels
+     distribute freely across domains without changing any result bit *)
+  let per_out_channel o =
     let wbase_o = o * ci * kh * kw in
     let obase_o = o * oh * ow in
     for c = 0 to ci - 1 do
@@ -270,15 +318,20 @@ let conv2d ?(stride = 1) ?(pad = 0) x ~weight ~bias =
         done
       done
     done;
-    (match bias with
+    match bias with
     | Some b ->
         let bv = b.data.(o) in
         for i = 0 to (oh * ow) - 1 do
           Array.unsafe_set out (obase_o + i)
             (Array.unsafe_get out (obase_o + i) +. bv)
         done
-    | None -> ())
-  done;
+    | None -> ()
+  in
+  if co * ci * kh * kw * oh * ow < par_threshold then
+    for o = 0 to co - 1 do
+      per_out_channel o
+    done
+  else Pool.parallel_for ~chunk:1 0 co per_out_channel;
   make [| co; oh; ow |] out
 
 let conv2d_backward_input ?(stride = 1) ?(pad = 0) ~input_shape ~weight gout =
@@ -289,12 +342,14 @@ let conv2d_backward_input ?(stride = 1) ?(pad = 0) ~input_shape ~weight gout =
   let oh = gout.shape.(1) and ow = gout.shape.(2) in
   let gin = Array.make (ci * h * w) 0. in
   let gd = gout.data and wd = weight.data in
-  for o = 0 to co - 1 do
-    let wbase_o = o * ci * kh * kw in
-    let gbase_o = o * oh * ow in
-    for c = 0 to ci - 1 do
-      let wbase = wbase_o + (c * kh * kw) in
-      let ibase = c * h * w in
+  (* input channels own disjoint [gin] slices; within a channel the
+     output channels accumulate in ascending order, a fixed reduction
+     order at any job count *)
+  let per_in_channel c =
+    let ibase = c * h * w in
+    for o = 0 to co - 1 do
+      let wbase = (((o * ci) + c) * kh * kw) in
+      let gbase_o = o * oh * ow in
       for ky = 0 to kh - 1 do
         for kx = 0 to kw - 1 do
           let wv = Array.unsafe_get wd (wbase + (ky * kw) + kx) in
@@ -316,7 +371,12 @@ let conv2d_backward_input ?(stride = 1) ?(pad = 0) ~input_shape ~weight gout =
         done
       done
     done
-  done;
+  in
+  if co * ci * kh * kw * oh * ow < par_threshold then
+    for c = 0 to ci - 1 do
+      per_in_channel c
+    done
+  else Pool.parallel_for ~chunk:1 0 ci per_in_channel;
   make input_shape gin
 
 let conv2d_backward_weight ?(stride = 1) ?(pad = 0) ~input ~weight_shape gout =
@@ -327,7 +387,7 @@ let conv2d_backward_weight ?(stride = 1) ?(pad = 0) ~input ~weight_shape gout =
   let oh = gout.shape.(1) and ow = gout.shape.(2) in
   let gw = Array.make (co * ci * kh * kw) 0. in
   let gd = gout.data and xd = input.data in
-  for o = 0 to co - 1 do
+  let per_out_channel o =
     let gbase_o = o * oh * ow in
     let wbase_o = o * ci * kh * kw in
     for c = 0 to ci - 1 do
@@ -355,7 +415,12 @@ let conv2d_backward_weight ?(stride = 1) ?(pad = 0) ~input ~weight_shape gout =
         done
       done
     done
-  done;
+  in
+  if co * ci * kh * kw * oh * ow < par_threshold then
+    for o = 0 to co - 1 do
+      per_out_channel o
+    done
+  else Pool.parallel_for ~chunk:1 0 co per_out_channel;
   make weight_shape gw
 
 let conv2d_transpose ?(stride = 1) ?(pad = 0) x ~weight ~bias =
@@ -372,12 +437,13 @@ let conv2d_transpose ?(stride = 1) ?(pad = 0) x ~weight ~bias =
   if oh <= 0 || ow <= 0 then invalid_arg "Tensor.conv2d_transpose: empty output";
   let out = Array.make (co * oh * ow) 0. in
   let xd = x.data and wd = weight.data in
-  for c = 0 to ci - 1 do
-    let xbase = c * h * w in
-    let wbase_c = c * co * kh * kw in
-    for o = 0 to co - 1 do
-      let obase = o * oh * ow in
-      let wbase = wbase_c + (o * kh * kw) in
+  (* output channels own disjoint [out] slices; within one, input
+     channels scatter in ascending order — a fixed accumulation order *)
+  let per_out_channel o =
+    let obase = o * oh * ow in
+    for c = 0 to ci - 1 do
+      let xbase = c * h * w in
+      let wbase = (((c * co) + o) * kh * kw) in
       for iy = 0 to h - 1 do
         let xrow = xbase + (iy * w) in
         for ix = 0 to w - 1 do
@@ -399,19 +465,21 @@ let conv2d_transpose ?(stride = 1) ?(pad = 0) x ~weight ~bias =
             done
         done
       done
-    done
-  done;
-  (match bias with
-  | Some b ->
-      for o = 0 to co - 1 do
+    done;
+    match bias with
+    | Some b ->
         let bv = b.data.(o) in
-        let obase = o * oh * ow in
         for i = 0 to (oh * ow) - 1 do
           Array.unsafe_set out (obase + i)
             (Array.unsafe_get out (obase + i) +. bv)
         done
-      done
-  | None -> ());
+    | None -> ()
+  in
+  if ci * co * kh * kw * h * w < par_threshold then
+    for o = 0 to co - 1 do
+      per_out_channel o
+    done
+  else Pool.parallel_for ~chunk:1 0 co per_out_channel;
   make [| co; oh; ow |] out
 
 let maxpool2 x =

@@ -18,7 +18,9 @@ type t = private { shape : int array; data : float array }
 
 val make : int array -> float array -> t
 (** [make shape data] checks that [data] has exactly the implied number
-    of elements.  The arrays are owned by the result (not copied). *)
+    of elements.  [data] is owned by the result (not copied): the caller
+    must not mutate it afterwards except through the tensor.  [shape] is
+    copied defensively. *)
 
 val zeros : int array -> t
 val ones : int array -> t
@@ -52,7 +54,20 @@ val rank : t -> int
 val dim : t -> int -> int
 val same_shape : t -> t -> bool
 val reshape : t -> int array -> t
-(** Shares the underlying data; the element count must be preserved. *)
+(** [reshape t shape] returns a view with a new shape; the element count
+    must be preserved.
+
+    {b Warning: the result aliases [t]'s data array} — writing through
+    either tensor is visible in the other.  This is intentional (the
+    autodiff layer reshapes large activations without copying), but it
+    means [reshape] does {e not} confer ownership the way {!make} /
+    {!copy} results do.  Use {!reshape_copy} when an independently owned
+    tensor is required.  The [shape] array itself is copied
+    defensively. *)
+
+val reshape_copy : t -> int array -> t
+(** Like {!reshape} but the result owns a fresh copy of the data: later
+    writes to [t] never leak into the result, and vice versa. *)
 
 (** {1 Element access} *)
 

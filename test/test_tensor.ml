@@ -49,6 +49,30 @@ let test_reshape_shares_data () =
     (Invalid_argument "Tensor.reshape: element count mismatch") (fun () ->
       ignore (T.reshape t [| 7 |]))
 
+(* Regression: reshape aliases the data (by documented contract) but
+   must not alias the caller's shape array, and reshape_copy must hand
+   back fully owned storage. *)
+let test_reshape_aliasing_contract () =
+  let t = T.make [| 2; 3 |] [| 1.; 2.; 3.; 4.; 5.; 6. |] in
+  (* mutating the shape array after make/reshape cannot corrupt tensors *)
+  let sh = [| 3; 2 |] in
+  let r = T.reshape t sh in
+  sh.(0) <- 999;
+  Alcotest.(check (array int)) "reshape copies shape" [| 3; 2 |] (T.shape r);
+  let sh2 = [| 6 |] in
+  let m = T.make sh2 (Array.init 6 float_of_int) in
+  sh2.(0) <- 999;
+  Alcotest.(check (array int)) "make copies shape" [| 6 |] (T.shape m);
+  (* reshape_copy: independent in both directions *)
+  let c = T.reshape_copy t [| 6 |] in
+  T.set_flat c 0 42.;
+  check_float "copy write stays local" 1. (T.get2 t 0 0);
+  T.set2 t 0 1 (-7.);
+  check_float "source write stays local" 2. (T.get_flat c 1);
+  Alcotest.check_raises "bad reshape_copy"
+    (Invalid_argument "Tensor.reshape_copy: element count mismatch") (fun () ->
+      ignore (T.reshape_copy t [| 4 |]))
+
 let test_scalar () =
   let s = T.scalar 3.5 in
   Alcotest.check Alcotest.int "rank 0" 0 (T.rank s);
@@ -410,6 +434,7 @@ let suites =
         Alcotest.test_case "init row-major" `Quick test_init_row_major;
         Alcotest.test_case "rank-3 accessors" `Quick test_get3;
         Alcotest.test_case "reshape shares data" `Quick test_reshape_shares_data;
+        Alcotest.test_case "reshape aliasing contract" `Quick test_reshape_aliasing_contract;
         Alcotest.test_case "scalar" `Quick test_scalar;
         Alcotest.test_case "elementwise ops" `Quick test_elementwise;
         Alcotest.test_case "reductions" `Quick test_reductions;
