@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples clean bench-deterministic
+.PHONY: all build test bench examples clean bench-deterministic bench-check
 
 # Parallel jobs used for the determinism check's "parallel" leg.
 JOBS ?= 4
@@ -35,6 +35,18 @@ bench-deterministic:
 	cmp BENCH_kernels.jobs1.digest BENCH_kernels.digest
 	@rm -f BENCH_kernels.jobs1.digest
 	@echo "bench-deterministic: OK (DCO3D_JOBS=1 == DCO3D_JOBS=$(JOBS))"
+
+# Performance regression gate: regenerate BENCH_kernels.json at
+# DCO3D_JOBS=$(JOBS) and compare it against the baseline committed at
+# HEAD.  Fails on digest drift (numerics changed), a parallel leg
+# slower than sequential (beyond timing-noise tolerance), or par_ms
+# more than 15 % above the committed baseline.  Knobs:
+#   DCO3D_BENCH_TOL      speedup noise tolerance  (default 0.10)
+#   DCO3D_BENCH_REGRESS  par_ms regression cap    (default 0.15)
+bench-check:
+	dune build bench/main.exe bench/bench_check.exe
+	DCO3D_ONLY=kernels DCO3D_JOBS=$(JOBS) dune exec --no-build bench/main.exe > /dev/null
+	dune exec --no-build bench/bench_check.exe
 
 examples:
 	dune exec examples/quickstart.exe

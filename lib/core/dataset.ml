@@ -28,7 +28,15 @@ let build ?(n_samples = 24) ?(seed = 0) ~route_cfg nl fp =
   (* Samples are independent layouts, so they build in parallel on the
      domain pool.  Each sample seeds its own RNG stream from its index
      (instead of all samples sharing one sequentially-advanced RNG), so
-     the dataset is identical at every DCO3D_JOBS value. *)
+     the dataset is identical at every DCO3D_JOBS value.
+
+     Parallelism policy: this per-sample region is the ONLY level that
+     fans out.  Every kernel a sample calls underneath (placement,
+     routing, RUDY, feature maps) sees itself inside a pool region and
+     runs inline — Pool v2 enforces one level of parallelism — so the
+     machine is never oversubscribed.  Under v1 the nested kernel
+     regions queued helper closures behind the busy sample workers and
+     the whole build serialized (PR 1's 0.31x dataset_build). *)
   let samples =
     Pool.tabulate ~chunk:1 n_samples (fun i ->
         let rng = Rng.create ((seed lxor 0x0d5e7) + (0x6a09e667 * (i + 1))) in

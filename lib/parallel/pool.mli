@@ -2,11 +2,28 @@
 
     Every hot kernel in the reproduction (tensor contractions,
     convolutions, RUDY accumulation, dataset construction) funnels its
-    loops through this module.  A single lazily-created pool of worker
-    domains serves the whole process; its size comes from the
-    [DCO3D_JOBS] environment variable (default
-    [Domain.recommended_domain_count ()], and [1] selects an exact
-    in-caller sequential execution with no pool at all).
+    loops through this module.  A single lazily-created pool of
+    persistent worker domains serves the whole process.  Workers poll a
+    published region descriptor — an atomic chunk counter with
+    completion and failure cells — spinning briefly before blocking, so
+    dispatching a region costs two atomic writes on the caller and no
+    per-chunk closure allocations (the v1 queue-of-closures design paid
+    a lock/enqueue/wakeup round trip per helper per region).
+
+    {b Sizing.}  The requested job count comes from the [DCO3D_JOBS]
+    environment variable (default [Domain.recommended_domain_count ()])
+    or {!set_jobs}.  The pool {e clamps} the domains it actually runs to
+    the hardware ([Domain.recommended_domain_count ()]): requesting 8
+    jobs on a 1-core container runs sequentially instead of timeslicing
+    one core between competing domains — the failure mode behind PR 1's
+    0.3x "speedups".  [DCO3D_JOBS=1] selects an exact in-caller
+    sequential execution with no pool at all.
+
+    {b One level of parallelism.}  A region opened by a domain that is
+    already executing region chunks — a worker, or the caller inside its
+    own region — runs inline.  So [Dataset.build] parallelizes across
+    samples while every kernel inside a sample runs sequentially; a
+    standalone kernel call parallelizes internally.  Never both.
 
     {b Determinism contract.}  Results never depend on the job count:
 
@@ -21,22 +38,31 @@
     bit-identical floating-point results — the property the
     [make bench-deterministic] harness enforces.
 
-    Nested calls are safe: a parallel region entered from inside a
-    worker task runs sequentially in that worker instead of deadlocking
-    on the pool. *)
+    {b Failure.}  The first exception a chunk raises aborts the region:
+    unclaimed chunks are skipped and the exception is re-raised (with
+    its backtrace) on the calling domain.  Worker domains never swallow
+    exceptions and never die. *)
 
 val jobs : unit -> int
-(** Currently configured job count (workers + the calling domain).
-    Reads [DCO3D_JOBS] unless {!set_jobs} has overridden it.
+(** Requested job count (from [DCO3D_JOBS] or {!set_jobs}).  This is
+    the caller's intent; see {!effective_jobs} for what will run.
 
     @raise Invalid_argument if [DCO3D_JOBS] is set but is not a
     positive integer. *)
 
-val set_jobs : int -> unit
-(** [set_jobs n] reconfigures the runtime to [n] jobs, shutting down any
-    existing pool (its queued work is drained first).  Used by the bench
-    harness to time the same kernel sequentially and in parallel within
-    one process, and by tests to force a real pool on small machines.
+val effective_jobs : unit -> int
+(** Domains that will actually compute a parallel region:
+    [min (jobs ()) (Domain.recommended_domain_count ())], unless the
+    clamp was bypassed with [set_jobs ~exact:true].  [1] means regions
+    run inline in the caller. *)
+
+val set_jobs : ?exact:bool -> int -> unit
+(** [set_jobs n] reconfigures the runtime to [n] requested jobs,
+    shutting down any existing pool first.  Used by the bench harness to
+    time the same kernel sequentially and in parallel within one
+    process.  [~exact:true] disables the hardware clamp so that [n]
+    domains really run — tests use it to exercise true cross-domain
+    schedules even on single-core CI hosts.
     @raise Invalid_argument if [n < 1]. *)
 
 val parallel_for : ?chunk:int -> int -> int -> (int -> unit) -> unit

@@ -2,11 +2,35 @@ type t = { shape : int array; data : float array }
 
 module Pool = Dco3d_parallel.Pool
 
-(* Kernels below this many scalar multiply-adds stay on the calling
-   domain: region setup would dominate.  The guard depends only on the
-   problem size, so the sequential and pooled paths agree bit-for-bit
-   at every DCO3D_JOBS value. *)
-let par_threshold = 1 lsl 16
+(* Per-kernel parallel thresholds, in scalar multiply-adds (MACs).
+   A kernel below its threshold stays on the calling domain: pool-v2
+   dispatch costs a couple of microseconds (two atomic writes plus a
+   worker wake-up), so a region is only worth opening when every helper
+   gets well over that in work.  The crossovers were calibrated per
+   kernel against the PR 1 bench shapes (BENCH_kernels.json): the
+   packed GEMM amortizes dispatch fastest (dense FMAs), the conv
+   kernels pay an extra im2col pass first, and matvec is memory-bound
+   (one float of traffic per MAC leaves little for extra cores), so
+   each gets its own floor instead of PR 1's single global
+   par_threshold = 1 lsl 16, which sent sub-crossover shapes to the
+   pool at a loss.
+
+     kernel                  threshold (MACs)  first clearly-winning shape
+     matmul / packed GEMM    1 lsl 17          128 x 128 x 128
+     conv2d family           1 lsl 17          8ch 32x32, 3x3 kernel
+     matvec                  1 lsl 18          512 x 512
+
+   The guards depend only on the problem size — never on the job
+   count — so the sequential and pooled paths agree bit-for-bit at
+   every DCO3D_JOBS value. *)
+let matmul_par_macs = 1 lsl 17
+let conv_par_macs = 1 lsl 17
+let matvec_par_macs = 1 lsl 18
+
+(* Below this many MACs a convolution skips the im2col/GEMM lowering:
+   packing would cost more than the arithmetic it feeds.  The two conv
+   paths are bit-identical, so the switch is invisible to callers. *)
+let conv_gemm_min_macs = 4096
 
 let numel_of_shape shape = Array.fold_left ( * ) 1 shape
 
@@ -190,37 +214,110 @@ let dot a b =
 
 let frobenius t = sqrt (dot t t)
 
-(* Cache-blocked row-band kernel: for each (kc x jc) tile of [b] the
-   band's rows stream over it while it is hot.  For a fixed output
-   element the inner-dimension index [p] is always visited in ascending
-   order, so the accumulation order — hence the result bits — does not
-   depend on how rows are banded across domains. *)
-let matmul_rows ~k ~n ad bd out i0 i1 =
-  let kc = 64 and jc = 128 in
-  let p0 = ref 0 in
-  while !p0 < k do
-    let p1 = min k (!p0 + kc) in
-    let j0 = ref 0 in
-    while !j0 < n do
-      let j1 = min n (!j0 + jc) in
-      for i = i0 to i1 - 1 do
-        let arow = i * k and orow = i * n in
-        for p = !p0 to p1 - 1 do
-          let av = Array.unsafe_get ad (arow + p) in
-          if av <> 0. then begin
-            let brow = p * n in
-            for j = !j0 to j1 - 1 do
-              Array.unsafe_set out (orow + j)
-                (Array.unsafe_get out (orow + j)
-                +. (av *. Array.unsafe_get bd (brow + j)))
-            done
-          end
-        done
+(* ------------------------------------------------------------------ *)
+(* Packed GEMM engine.                                                 *)
+(*                                                                     *)
+(* C (m x n) += A (m x k) . B (k x n), with B pre-packed into quads of *)
+(* four columns so the register-tiled micro-kernel streams it with     *)
+(* unit stride.  Bit-exactness contract: for every output element the  *)
+(* inner index [p] is accumulated in strictly ascending order in one   *)
+(* continuous left-to-right chain, which is exactly the order of the   *)
+(* direct reference loops — so the GEMM path, the direct path, and     *)
+(* any row-banding across domains all produce identical bits.         *)
+(* ------------------------------------------------------------------ *)
+
+(* Packed layout of a (k x n) B: full quads first — quad q holds        *)
+(* columns 4q..4q+3, element (p, 4q+t) at q*4k + 4p + t — then a tail   *)
+(* block of r = n mod 4 columns with element (p, j) at nq*4k + p*r +    *)
+(* (j - 4*nq).                                                          *)
+
+(* Copy logical row [p] of B (given contiguously in [src] at            *)
+(* [src_off .. src_off+n-1]) into the packed buffer [pb]. *)
+let pack_row ~k ~n pb p src src_off =
+  let nq = n lsr 2 in
+  let r = n - (nq lsl 2) in
+  let k4 = k lsl 2 in
+  let p4 = p lsl 2 in
+  for q = 0 to nq - 1 do
+    let dst = (q * k4) + p4 in
+    let s = src_off + (q lsl 2) in
+    Array.unsafe_set pb dst (Array.unsafe_get src s);
+    Array.unsafe_set pb (dst + 1) (Array.unsafe_get src (s + 1));
+    Array.unsafe_set pb (dst + 2) (Array.unsafe_get src (s + 2));
+    Array.unsafe_set pb (dst + 3) (Array.unsafe_get src (s + 3))
+  done;
+  if r > 0 then begin
+    let dst = (nq * k4) + (p * r) in
+    let s = src_off + (nq lsl 2) in
+    for t = 0 to r - 1 do
+      Array.unsafe_set pb (dst + t) (Array.unsafe_get src (s + t))
+    done
+  end
+
+(* Row band [i0, i1) of C.  Four independent accumulator chains per     *)
+(* column quad keep the FP adder pipeline full (one serial add chain    *)
+(* per output element was the old kernel's bottleneck); each chain      *)
+(* still sums its p-terms in ascending order starting from C's current  *)
+(* value, preserving the reference bit pattern.  The 4k-float quad      *)
+(* block stays L1-resident across the band's rows. *)
+let gemm_band ~k ~n ad pb out i0 i1 =
+  let nq = n lsr 2 in
+  let r = n - (nq lsl 2) in
+  let k4 = k lsl 2 in
+  for q = 0 to nq - 1 do
+    let base = q * k4 in
+    let jcol = q lsl 2 in
+    for i = i0 to i1 - 1 do
+      let arow = i * k in
+      let orow = (i * n) + jcol in
+      let acc0 = ref (Array.unsafe_get out orow) in
+      let acc1 = ref (Array.unsafe_get out (orow + 1)) in
+      let acc2 = ref (Array.unsafe_get out (orow + 2)) in
+      let acc3 = ref (Array.unsafe_get out (orow + 3)) in
+      for p = 0 to k - 1 do
+        let av = Array.unsafe_get ad (arow + p) in
+        let bb = base + (p lsl 2) in
+        acc0 := !acc0 +. (av *. Array.unsafe_get pb bb);
+        acc1 := !acc1 +. (av *. Array.unsafe_get pb (bb + 1));
+        acc2 := !acc2 +. (av *. Array.unsafe_get pb (bb + 2));
+        acc3 := !acc3 +. (av *. Array.unsafe_get pb (bb + 3))
       done;
-      j0 := j1
-    done;
-    p0 := p1
-  done
+      Array.unsafe_set out orow !acc0;
+      Array.unsafe_set out (orow + 1) !acc1;
+      Array.unsafe_set out (orow + 2) !acc2;
+      Array.unsafe_set out (orow + 3) !acc3
+    done
+  done;
+  if r > 0 then begin
+    let base = nq * k4 in
+    let jcol = nq lsl 2 in
+    for i = i0 to i1 - 1 do
+      let arow = i * k in
+      let orow = (i * n) + jcol in
+      for t = 0 to r - 1 do
+        let acc = ref (Array.unsafe_get out (orow + t)) in
+        for p = 0 to k - 1 do
+          acc :=
+            !acc
+            +. (Array.unsafe_get ad (arow + p)
+               *. Array.unsafe_get pb (base + (p * r) + t))
+        done;
+        Array.unsafe_set out (orow + t) !acc
+      done
+    done
+  end
+
+(* [out] must hold the addend (usually zeros).  Row banding never       *)
+(* changes result bits, so the parallel split is free to follow the     *)
+(* machine. *)
+let gemm ?(par_macs = matmul_par_macs) ~m ~k ~n ad pb out =
+  if m > 0 && n > 0 && k > 0 then
+    if m * n * k < par_macs then gemm_band ~k ~n ad pb out 0 m
+    else
+      Pool.for_chunks
+        ~chunk:(max 1 ((m + 63) / 64))
+        0 m
+        (fun i0 i1 -> gemm_band ~k ~n ad pb out i0 i1)
 
 let matmul a b =
   if rank a <> 2 || rank b <> 2 then invalid_arg "Tensor.matmul: rank-2 only";
@@ -228,13 +325,13 @@ let matmul a b =
   let k' = b.shape.(0) and n = b.shape.(1) in
   if k <> k' then invalid_arg "Tensor.matmul: inner dimension mismatch";
   let out = Array.make (m * n) 0. in
-  let ad = a.data and bd = b.data in
-  if m * n * k < par_threshold then matmul_rows ~k ~n ad bd out 0 m
-  else
-    Pool.for_chunks
-      ~chunk:(max 4 ((m + 31) / 32))
-      0 m
-      (fun i0 i1 -> matmul_rows ~k ~n ad bd out i0 i1);
+  if m > 0 && n > 0 && k > 0 then
+    Workspace.with_floats (k * n) (fun pb ->
+        let bd = b.data in
+        for p = 0 to k - 1 do
+          pack_row ~k ~n pb p bd (p * n)
+        done;
+        gemm ~m ~k ~n a.data pb out);
   make [| m; n |] out
 
 let transpose2 t =
@@ -262,7 +359,7 @@ let matvec a x =
     done;
     out.(i) <- !acc
   in
-  if m * k < par_threshold then
+  if m * k < matvec_par_macs then
     for i = 0 to m - 1 do
       row_dot i
     done
@@ -271,12 +368,278 @@ let matvec a x =
 
 (* ------------------------------------------------------------------ *)
 (* Convolution kernels.                                                *)
+(*                                                                     *)
+(* Each kernel has two bit-identical implementations: a direct loop    *)
+(* nest (the reference, kept for tiny shapes and for property tests)   *)
+(* and an im2col/GEMM lowering onto the packed micro-kernel above.     *)
+(* The lowering is bit-exact because for every output element the      *)
+(* im2col inner index enumerates contributions in exactly the order    *)
+(* the direct loops visit them, and the zeros it substitutes for       *)
+(* padding (or for skipped zero coefficients) are exact no-ops:        *)
+(* adding +/-0. never changes a finite float's bits.                   *)
 (* ------------------------------------------------------------------ *)
+
+type conv_engine = [ `Auto | `Direct | `Gemm ]
 
 let check_rank3 name t =
   if rank t <> 3 then invalid_arg (name ^ ": expected a rank-3 tensor")
 
-let conv2d ?(stride = 1) ?(pad = 0) x ~weight ~bias =
+let gemm_selected (engine : conv_engine) macs =
+  match engine with
+  | `Gemm -> true
+  | `Direct -> false
+  | `Auto -> macs >= conv_gemm_min_macs
+
+(* For the two kernels whose im2col walks *input-pixel* geometry
+   (backward_input, transpose), a stride of s leaves only 1/s^2 of the
+   column entries structurally nonzero: the GEMM grinds through the
+   zeros while the direct loop never visits them.  [`Auto] therefore
+   keeps dilated shapes on the direct path; [`Gemm] still honours an
+   explicit request (it is bit-identical, just slower). *)
+let gemm_selected_dilated (engine : conv_engine) ~stride macs =
+  match engine with
+  | `Gemm -> true
+  | `Direct -> false
+  | `Auto -> stride = 1 && macs >= conv_gemm_min_macs
+
+(* Bias goes in after the full contraction, matching the direct paths
+   (which also add it last, once per output channel). *)
+let add_channel_bias out ~n bias =
+  match bias with
+  | None -> ()
+  | Some b ->
+      for o = 0 to Array.length b.data - 1 do
+        let bv = Array.unsafe_get b.data o in
+        let base = o * n in
+        for i = 0 to n - 1 do
+          Array.unsafe_set out (base + i)
+            (Array.unsafe_get out (base + i) +. bv)
+        done
+      done
+
+(* One im2col scan line at stride 1: destination index [j] reads source
+   index [j + shift], so the line is a zero prefix, one contiguous
+   blit, and a zero suffix — no per-element bounds tests. *)
+let fill_line_s1 row pos src srow ~shift ~len_src ~len_dst =
+  let lo = min len_dst (max 0 (-shift)) in
+  let hi = min (len_dst - 1) (len_src - 1 - shift) in
+  if hi >= lo then begin
+    if lo > 0 then Array.fill row pos lo 0.;
+    Array.blit src (srow + lo + shift) row (pos + lo) (hi - lo + 1);
+    if hi < len_dst - 1 then Array.fill row (pos + hi + 1) (len_dst - 1 - hi) 0.
+  end
+  else Array.fill row pos len_dst 0.
+
+(* Forward lowering: A = weight as (co x ci*kh*kw) — its natural
+   layout — and B(p, (oy,ox)) = x[c, oy*s + ky - pad, ox*s + kx - pad]
+   (or 0. outside the input) for p = (c, ky, kx).  The inner index p
+   ascends exactly like the direct loop's (c, ky, kx) nest. *)
+let conv2d_gemm ~stride ~pad ~ci ~h ~w ~co ~kh ~kw ~oh ~ow xd wd bias =
+  let kdim = ci * kh * kw in
+  let ncol = oh * ow in
+  let out = Array.make (co * ncol) 0. in
+  Workspace.with_floats (kdim * ncol) (fun pb ->
+      Workspace.with_floats ncol (fun row ->
+          for p = 0 to kdim - 1 do
+            let c = p / (kh * kw) in
+            let rem = p mod (kh * kw) in
+            let ky = rem / kw and kx = rem mod kw in
+            let xbase = c * h * w in
+            let pos = ref 0 in
+            for oy = 0 to oh - 1 do
+              let iy = (oy * stride) + ky - pad in
+              if iy < 0 || iy >= h then begin
+                Array.fill row !pos ow 0.;
+                pos := !pos + ow
+              end
+              else begin
+                let xrow = xbase + (iy * w) in
+                if stride = 1 then begin
+                  fill_line_s1 row !pos xd xrow ~shift:(kx - pad) ~len_src:w
+                    ~len_dst:ow;
+                  pos := !pos + ow
+                end
+                else
+                  for ox = 0 to ow - 1 do
+                    let ix = (ox * stride) + kx - pad in
+                    Array.unsafe_set row !pos
+                      (if ix >= 0 && ix < w then Array.unsafe_get xd (xrow + ix)
+                       else 0.);
+                    incr pos
+                  done
+              end
+            done;
+            pack_row ~k:kdim ~n:ncol pb p row 0
+          done);
+      gemm ~par_macs:conv_par_macs ~m:co ~k:kdim ~n:ncol wd pb out);
+  add_channel_bias out ~n:ncol bias;
+  out
+
+(* Input-gradient lowering.  A plain col2im scatter would re-associate
+   the sums, so instead the gradient is computed as a second GEMM over
+   *input* pixels: A2[c, (o,ky,kx)] = w[o,c,ky,kx] and
+   B2[(o,ky,kx), (iy,ix)] = gout[o, (iy+pad-ky)/s, (ix+pad-kx)/s] when
+   that division is exact and in range, else 0.  For a fixed input
+   pixel the direct path accumulates over (o, ky, kx) ascending — the
+   same order p ascends here. *)
+let conv2d_backward_input_gemm ~stride ~pad ~ci ~h ~w ~co ~kh ~kw ~oh ~ow gd wd
+    =
+  let kdim = co * kh * kw in
+  let ncol = h * w in
+  let gin = Array.make (ci * ncol) 0. in
+  Workspace.with_floats (ci * kdim) (fun a2 ->
+      for c = 0 to ci - 1 do
+        let abase = c * kdim in
+        for o = 0 to co - 1 do
+          let wbase = ((o * ci) + c) * kh * kw in
+          let dst = abase + (o * kh * kw) in
+          for t = 0 to (kh * kw) - 1 do
+            Array.unsafe_set a2 (dst + t) (Array.unsafe_get wd (wbase + t))
+          done
+        done
+      done;
+      Workspace.with_floats (kdim * ncol) (fun pb ->
+          Workspace.with_floats ncol (fun row ->
+              for p = 0 to kdim - 1 do
+                let o = p / (kh * kw) in
+                let rem = p mod (kh * kw) in
+                let ky = rem / kw and kx = rem mod kw in
+                let gbase = o * oh * ow in
+                let pos = ref 0 in
+                for iy = 0 to h - 1 do
+                  let ty = iy + pad - ky in
+                  let oy = ty / stride in
+                  if ty >= 0 && ty mod stride = 0 && oy < oh then begin
+                    let grow = gbase + (oy * ow) in
+                    if stride = 1 then begin
+                      fill_line_s1 row !pos gd grow ~shift:(pad - kx)
+                        ~len_src:ow ~len_dst:w;
+                      pos := !pos + w
+                    end
+                    else
+                      for ix = 0 to w - 1 do
+                        let tx = ix + pad - kx in
+                        let ox = tx / stride in
+                        Array.unsafe_set row !pos
+                          (if tx >= 0 && tx mod stride = 0 && ox < ow then
+                             Array.unsafe_get gd (grow + ox)
+                           else 0.);
+                        incr pos
+                      done
+                  end
+                  else begin
+                    Array.fill row !pos w 0.;
+                    pos := !pos + w
+                  end
+                done;
+                pack_row ~k:kdim ~n:ncol pb p row 0
+              done);
+          gemm ~par_macs:conv_par_macs ~m:ci ~k:kdim ~n:ncol a2 pb gin));
+  gin
+
+(* Weight-gradient lowering: A = gout as (co x oh*ow) — its natural
+   layout — and B[(oy,ox), (c,ky,kx)] = x[c, oy*s+ky-pad, ox*s+kx-pad]
+   or 0.  The direct path reduces each weight cell over (oy, ox)
+   ascending, which is exactly how p ascends here. *)
+let conv2d_backward_weight_gemm ~stride ~pad ~ci ~h ~w ~co ~kh ~kw ~oh ~ow gd
+    xd =
+  let kdim = oh * ow in
+  let ncol = ci * kh * kw in
+  let gw = Array.make (co * ncol) 0. in
+  Workspace.with_floats (kdim * ncol) (fun pb ->
+      Workspace.with_floats ncol (fun row ->
+          for p = 0 to kdim - 1 do
+            let oy = p / ow and ox = p mod ow in
+            let pos = ref 0 in
+            for c = 0 to ci - 1 do
+              let xbase = c * h * w in
+              for ky = 0 to kh - 1 do
+                let iy = (oy * stride) + ky - pad in
+                if iy < 0 || iy >= h then begin
+                  Array.fill row !pos kw 0.;
+                  pos := !pos + kw
+                end
+                else begin
+                  let xrow = xbase + (iy * w) in
+                  for kx = 0 to kw - 1 do
+                    let ix = (ox * stride) + kx - pad in
+                    Array.unsafe_set row !pos
+                      (if ix >= 0 && ix < w then Array.unsafe_get xd (xrow + ix)
+                       else 0.);
+                    incr pos
+                  done
+                end
+              done
+            done;
+            pack_row ~k:kdim ~n:ncol pb p row 0
+          done);
+      gemm ~par_macs:conv_par_macs ~m:co ~k:kdim ~n:ncol gd pb gw);
+  gw
+
+(* Transpose lowering: a transposed convolution is a stride-dilated
+   correlation with the kernel flipped, so A3[o, (c,qy,qx)] =
+   w[c, o, kh-1-qy, kw-1-qx] and B3[(c,qy,qx), (oy,ox)] = x[c, iy, ix]
+   where iy = (oy + pad - (kh-1-qy)) / s when exact and in range, else
+   0.  Flipping inside A3 makes p = (c, qy, qx) ascend in the same
+   order the direct scatter visits contributions for a fixed output
+   pixel: c ascending, then iy, then ix. *)
+let conv2d_transpose_gemm ~stride ~pad ~ci ~h ~w ~co ~kh ~kw ~oh ~ow xd wd
+    bias =
+  let kdim = ci * kh * kw in
+  let ncol = oh * ow in
+  let out = Array.make (co * ncol) 0. in
+  Workspace.with_floats (co * kdim) (fun a3 ->
+      for o = 0 to co - 1 do
+        let abase = o * kdim in
+        for c = 0 to ci - 1 do
+          let wbase = ((c * co) + o) * kh * kw in
+          let dst = abase + (c * kh * kw) in
+          for qy = 0 to kh - 1 do
+            let wrow = wbase + ((kh - 1 - qy) * kw) in
+            let drow = dst + (qy * kw) in
+            for qx = 0 to kw - 1 do
+              Array.unsafe_set a3 (drow + qx)
+                (Array.unsafe_get wd (wrow + (kw - 1 - qx)))
+            done
+          done
+        done
+      done;
+      Workspace.with_floats (kdim * ncol) (fun pb ->
+          Workspace.with_floats ncol (fun row ->
+              for p = 0 to kdim - 1 do
+                let c = p / (kh * kw) in
+                let rem = p mod (kh * kw) in
+                let qy = rem / kw and qx = rem mod kw in
+                let ky = kh - 1 - qy and kx = kw - 1 - qx in
+                let xbase = c * h * w in
+                let pos = ref 0 in
+                for oy = 0 to oh - 1 do
+                  let ty = oy + pad - ky in
+                  let iy = ty / stride in
+                  if ty >= 0 && ty mod stride = 0 && iy < h then begin
+                    let xrow = xbase + (iy * w) in
+                    for ox = 0 to ow - 1 do
+                      let tx = ox + pad - kx in
+                      let ix = tx / stride in
+                      Array.unsafe_set row !pos
+                        (if tx >= 0 && tx mod stride = 0 && ix < w then
+                           Array.unsafe_get xd (xrow + ix)
+                         else 0.);
+                      incr pos
+                    done
+                  end
+                  else begin
+                    Array.fill row !pos ow 0.;
+                    pos := !pos + ow
+                  end
+                done;
+                pack_row ~k:kdim ~n:ncol pb p row 0
+              done);
+          gemm ~par_macs:conv_par_macs ~m:co ~k:kdim ~n:ncol a3 pb out));
+  add_channel_bias out ~n:ncol bias;
+  out
+
+let conv2d ?(stride = 1) ?(pad = 0) ?(engine = `Auto) x ~weight ~bias =
   check_rank3 "Tensor.conv2d" x;
   if rank weight <> 4 then invalid_arg "Tensor.conv2d: weight must be rank 4";
   let ci = x.shape.(0) and h = x.shape.(1) and w = x.shape.(2) in
@@ -287,143 +650,167 @@ let conv2d ?(stride = 1) ?(pad = 0) x ~weight ~bias =
   let oh = ((h + (2 * pad) - kh) / stride) + 1 in
   let ow = ((w + (2 * pad) - kw) / stride) + 1 in
   if oh <= 0 || ow <= 0 then invalid_arg "Tensor.conv2d: empty output";
-  let out = Array.make (co * oh * ow) 0. in
-  let xd = x.data and wd = weight.data in
-  (* each output channel writes only its own [out] slice, so channels
-     distribute freely across domains without changing any result bit *)
-  let per_out_channel o =
-    let wbase_o = o * ci * kh * kw in
-    let obase_o = o * oh * ow in
-    for c = 0 to ci - 1 do
-      let wbase = wbase_o + (c * kh * kw) in
-      let xbase = c * h * w in
-      for ky = 0 to kh - 1 do
-        for kx = 0 to kw - 1 do
-          let wv = Array.unsafe_get wd (wbase + (ky * kw) + kx) in
-          if wv <> 0. then
-            for oy = 0 to oh - 1 do
-              let iy = (oy * stride) + ky - pad in
-              if iy >= 0 && iy < h then begin
-                let orow = obase_o + (oy * ow) in
-                let xrow = xbase + (iy * w) in
-                for ox = 0 to ow - 1 do
-                  let ix = (ox * stride) + kx - pad in
-                  if ix >= 0 && ix < w then
-                    Array.unsafe_set out (orow + ox)
-                      (Array.unsafe_get out (orow + ox)
-                      +. (wv *. Array.unsafe_get xd (xrow + ix)))
-                done
-              end
-            done
+  if stride >= 1 && gemm_selected engine (co * ci * kh * kw * oh * ow) then
+    make [| co; oh; ow |]
+      (conv2d_gemm ~stride ~pad ~ci ~h ~w ~co ~kh ~kw ~oh ~ow x.data
+         weight.data bias)
+  else begin
+    let out = Array.make (co * oh * ow) 0. in
+    let xd = x.data and wd = weight.data in
+    (* each output channel writes only its own [out] slice, so channels
+       distribute freely across domains without changing any result bit *)
+    let per_out_channel o =
+      let wbase_o = o * ci * kh * kw in
+      let obase_o = o * oh * ow in
+      for c = 0 to ci - 1 do
+        let wbase = wbase_o + (c * kh * kw) in
+        let xbase = c * h * w in
+        for ky = 0 to kh - 1 do
+          for kx = 0 to kw - 1 do
+            let wv = Array.unsafe_get wd (wbase + (ky * kw) + kx) in
+            if wv <> 0. then
+              for oy = 0 to oh - 1 do
+                let iy = (oy * stride) + ky - pad in
+                if iy >= 0 && iy < h then begin
+                  let orow = obase_o + (oy * ow) in
+                  let xrow = xbase + (iy * w) in
+                  for ox = 0 to ow - 1 do
+                    let ix = (ox * stride) + kx - pad in
+                    if ix >= 0 && ix < w then
+                      Array.unsafe_set out (orow + ox)
+                        (Array.unsafe_get out (orow + ox)
+                        +. (wv *. Array.unsafe_get xd (xrow + ix)))
+                  done
+                end
+              done
+          done
         done
+      done;
+      match bias with
+      | Some b ->
+          let bv = b.data.(o) in
+          for i = 0 to (oh * ow) - 1 do
+            Array.unsafe_set out (obase_o + i)
+              (Array.unsafe_get out (obase_o + i) +. bv)
+          done
+      | None -> ()
+    in
+    if co * ci * kh * kw * oh * ow < conv_par_macs then
+      for o = 0 to co - 1 do
+        per_out_channel o
       done
-    done;
-    match bias with
-    | Some b ->
-        let bv = b.data.(o) in
-        for i = 0 to (oh * ow) - 1 do
-          Array.unsafe_set out (obase_o + i)
-            (Array.unsafe_get out (obase_o + i) +. bv)
-        done
-    | None -> ()
-  in
-  if co * ci * kh * kw * oh * ow < par_threshold then
-    for o = 0 to co - 1 do
-      per_out_channel o
-    done
-  else Pool.parallel_for ~chunk:1 0 co per_out_channel;
-  make [| co; oh; ow |] out
+    else Pool.parallel_for ~chunk:1 0 co per_out_channel;
+    make [| co; oh; ow |] out
+  end
 
-let conv2d_backward_input ?(stride = 1) ?(pad = 0) ~input_shape ~weight gout =
+let conv2d_backward_input ?(stride = 1) ?(pad = 0) ?(engine = `Auto)
+    ~input_shape ~weight gout =
   check_rank3 "Tensor.conv2d_backward_input" gout;
   let ci = input_shape.(0) and h = input_shape.(1) and w = input_shape.(2) in
   let co = weight.shape.(0) in
   let kh = weight.shape.(2) and kw = weight.shape.(3) in
   let oh = gout.shape.(1) and ow = gout.shape.(2) in
-  let gin = Array.make (ci * h * w) 0. in
-  let gd = gout.data and wd = weight.data in
-  (* input channels own disjoint [gin] slices; within a channel the
-     output channels accumulate in ascending order, a fixed reduction
-     order at any job count *)
-  let per_in_channel c =
-    let ibase = c * h * w in
-    for o = 0 to co - 1 do
-      let wbase = (((o * ci) + c) * kh * kw) in
-      let gbase_o = o * oh * ow in
-      for ky = 0 to kh - 1 do
-        for kx = 0 to kw - 1 do
-          let wv = Array.unsafe_get wd (wbase + (ky * kw) + kx) in
-          if wv <> 0. then
-            for oy = 0 to oh - 1 do
-              let iy = (oy * stride) + ky - pad in
-              if iy >= 0 && iy < h then begin
-                let grow = gbase_o + (oy * ow) in
-                let irow = ibase + (iy * w) in
-                for ox = 0 to ow - 1 do
-                  let ix = (ox * stride) + kx - pad in
-                  if ix >= 0 && ix < w then
-                    Array.unsafe_set gin (irow + ix)
-                      (Array.unsafe_get gin (irow + ix)
-                      +. (wv *. Array.unsafe_get gd (grow + ox)))
-                done
-              end
-            done
+  if
+    stride >= 1
+    && gemm_selected_dilated engine ~stride (co * ci * kh * kw * oh * ow)
+  then
+    make input_shape
+      (conv2d_backward_input_gemm ~stride ~pad ~ci ~h ~w ~co ~kh ~kw ~oh ~ow
+         gout.data weight.data)
+  else begin
+    let gin = Array.make (ci * h * w) 0. in
+    let gd = gout.data and wd = weight.data in
+    (* input channels own disjoint [gin] slices; within a channel the
+       output channels accumulate in ascending order, a fixed reduction
+       order at any job count *)
+    let per_in_channel c =
+      let ibase = c * h * w in
+      for o = 0 to co - 1 do
+        let wbase = ((o * ci) + c) * kh * kw in
+        let gbase_o = o * oh * ow in
+        for ky = 0 to kh - 1 do
+          for kx = 0 to kw - 1 do
+            let wv = Array.unsafe_get wd (wbase + (ky * kw) + kx) in
+            if wv <> 0. then
+              for oy = 0 to oh - 1 do
+                let iy = (oy * stride) + ky - pad in
+                if iy >= 0 && iy < h then begin
+                  let grow = gbase_o + (oy * ow) in
+                  let irow = ibase + (iy * w) in
+                  for ox = 0 to ow - 1 do
+                    let ix = (ox * stride) + kx - pad in
+                    if ix >= 0 && ix < w then
+                      Array.unsafe_set gin (irow + ix)
+                        (Array.unsafe_get gin (irow + ix)
+                        +. (wv *. Array.unsafe_get gd (grow + ox)))
+                  done
+                end
+              done
+          done
         done
       done
-    done
-  in
-  if co * ci * kh * kw * oh * ow < par_threshold then
-    for c = 0 to ci - 1 do
-      per_in_channel c
-    done
-  else Pool.parallel_for ~chunk:1 0 ci per_in_channel;
-  make input_shape gin
+    in
+    if co * ci * kh * kw * oh * ow < conv_par_macs then
+      for c = 0 to ci - 1 do
+        per_in_channel c
+      done
+    else Pool.parallel_for ~chunk:1 0 ci per_in_channel;
+    make input_shape gin
+  end
 
-let conv2d_backward_weight ?(stride = 1) ?(pad = 0) ~input ~weight_shape gout =
+let conv2d_backward_weight ?(stride = 1) ?(pad = 0) ?(engine = `Auto) ~input
+    ~weight_shape gout =
   check_rank3 "Tensor.conv2d_backward_weight" gout;
   let ci = input.shape.(0) and h = input.shape.(1) and w = input.shape.(2) in
   let co = weight_shape.(0) in
   let kh = weight_shape.(2) and kw = weight_shape.(3) in
   let oh = gout.shape.(1) and ow = gout.shape.(2) in
-  let gw = Array.make (co * ci * kh * kw) 0. in
-  let gd = gout.data and xd = input.data in
-  let per_out_channel o =
-    let gbase_o = o * oh * ow in
-    let wbase_o = o * ci * kh * kw in
-    for c = 0 to ci - 1 do
-      let xbase = c * h * w in
-      let wbase = wbase_o + (c * kh * kw) in
-      for ky = 0 to kh - 1 do
-        for kx = 0 to kw - 1 do
-          let acc = ref 0. in
-          for oy = 0 to oh - 1 do
-            let iy = (oy * stride) + ky - pad in
-            if iy >= 0 && iy < h then begin
-              let grow = gbase_o + (oy * ow) in
-              let xrow = xbase + (iy * w) in
-              for ox = 0 to ow - 1 do
-                let ix = (ox * stride) + kx - pad in
-                if ix >= 0 && ix < w then
-                  acc :=
-                    !acc
-                    +. Array.unsafe_get gd (grow + ox)
-                       *. Array.unsafe_get xd (xrow + ix)
-              done
-            end
-          done;
-          gw.(wbase + (ky * kw) + kx) <- !acc
+  if stride >= 1 && gemm_selected engine (co * ci * kh * kw * oh * ow) then
+    make weight_shape
+      (conv2d_backward_weight_gemm ~stride ~pad ~ci ~h ~w ~co ~kh ~kw ~oh ~ow
+         gout.data input.data)
+  else begin
+    let gw = Array.make (co * ci * kh * kw) 0. in
+    let gd = gout.data and xd = input.data in
+    let per_out_channel o =
+      let gbase_o = o * oh * ow in
+      let wbase_o = o * ci * kh * kw in
+      for c = 0 to ci - 1 do
+        let xbase = c * h * w in
+        let wbase = wbase_o + (c * kh * kw) in
+        for ky = 0 to kh - 1 do
+          for kx = 0 to kw - 1 do
+            let acc = ref 0. in
+            for oy = 0 to oh - 1 do
+              let iy = (oy * stride) + ky - pad in
+              if iy >= 0 && iy < h then begin
+                let grow = gbase_o + (oy * ow) in
+                let xrow = xbase + (iy * w) in
+                for ox = 0 to ow - 1 do
+                  let ix = (ox * stride) + kx - pad in
+                  if ix >= 0 && ix < w then
+                    acc :=
+                      !acc
+                      +. Array.unsafe_get gd (grow + ox)
+                         *. Array.unsafe_get xd (xrow + ix)
+                done
+              end
+            done;
+            gw.(wbase + (ky * kw) + kx) <- !acc
+          done
         done
       done
-    done
-  in
-  if co * ci * kh * kw * oh * ow < par_threshold then
-    for o = 0 to co - 1 do
-      per_out_channel o
-    done
-  else Pool.parallel_for ~chunk:1 0 co per_out_channel;
-  make weight_shape gw
+    in
+    if co * ci * kh * kw * oh * ow < conv_par_macs then
+      for o = 0 to co - 1 do
+        per_out_channel o
+      done
+    else Pool.parallel_for ~chunk:1 0 co per_out_channel;
+    make weight_shape gw
+  end
 
-let conv2d_transpose ?(stride = 1) ?(pad = 0) x ~weight ~bias =
+let conv2d_transpose ?(stride = 1) ?(pad = 0) ?(engine = `Auto) x ~weight
+    ~bias =
   check_rank3 "Tensor.conv2d_transpose" x;
   if rank weight <> 4 then
     invalid_arg "Tensor.conv2d_transpose: weight must be rank 4";
@@ -435,52 +822,61 @@ let conv2d_transpose ?(stride = 1) ?(pad = 0) x ~weight ~bias =
   let oh = ((h - 1) * stride) - (2 * pad) + kh in
   let ow = ((w - 1) * stride) - (2 * pad) + kw in
   if oh <= 0 || ow <= 0 then invalid_arg "Tensor.conv2d_transpose: empty output";
-  let out = Array.make (co * oh * ow) 0. in
-  let xd = x.data and wd = weight.data in
-  (* output channels own disjoint [out] slices; within one, input
-     channels scatter in ascending order — a fixed accumulation order *)
-  let per_out_channel o =
-    let obase = o * oh * ow in
-    for c = 0 to ci - 1 do
-      let xbase = c * h * w in
-      let wbase = (((c * co) + o) * kh * kw) in
-      for iy = 0 to h - 1 do
-        let xrow = xbase + (iy * w) in
-        for ix = 0 to w - 1 do
-          let xv = Array.unsafe_get xd (xrow + ix) in
-          if xv <> 0. then
-            for ky = 0 to kh - 1 do
-              let oy = (iy * stride) + ky - pad in
-              if oy >= 0 && oy < oh then begin
-                let orow = obase + (oy * ow) in
-                let wrow = wbase + (ky * kw) in
-                for kx = 0 to kw - 1 do
-                  let ox = (ix * stride) + kx - pad in
-                  if ox >= 0 && ox < ow then
-                    Array.unsafe_set out (orow + ox)
-                      (Array.unsafe_get out (orow + ox)
-                      +. (xv *. Array.unsafe_get wd (wrow + kx)))
-                done
-              end
-            done
+  if
+    stride >= 1
+    && gemm_selected_dilated engine ~stride (ci * co * kh * kw * h * w)
+  then
+    make [| co; oh; ow |]
+      (conv2d_transpose_gemm ~stride ~pad ~ci ~h ~w ~co ~kh ~kw ~oh ~ow x.data
+         weight.data bias)
+  else begin
+    let out = Array.make (co * oh * ow) 0. in
+    let xd = x.data and wd = weight.data in
+    (* output channels own disjoint [out] slices; within one, input
+       channels scatter in ascending order — a fixed accumulation order *)
+    let per_out_channel o =
+      let obase = o * oh * ow in
+      for c = 0 to ci - 1 do
+        let xbase = c * h * w in
+        let wbase = ((c * co) + o) * kh * kw in
+        for iy = 0 to h - 1 do
+          let xrow = xbase + (iy * w) in
+          for ix = 0 to w - 1 do
+            let xv = Array.unsafe_get xd (xrow + ix) in
+            if xv <> 0. then
+              for ky = 0 to kh - 1 do
+                let oy = (iy * stride) + ky - pad in
+                if oy >= 0 && oy < oh then begin
+                  let orow = obase + (oy * ow) in
+                  let wrow = wbase + (ky * kw) in
+                  for kx = 0 to kw - 1 do
+                    let ox = (ix * stride) + kx - pad in
+                    if ox >= 0 && ox < ow then
+                      Array.unsafe_set out (orow + ox)
+                        (Array.unsafe_get out (orow + ox)
+                        +. (xv *. Array.unsafe_get wd (wrow + kx)))
+                  done
+                end
+              done
+          done
         done
+      done;
+      match bias with
+      | Some b ->
+          let bv = b.data.(o) in
+          for i = 0 to (oh * ow) - 1 do
+            Array.unsafe_set out (obase + i)
+              (Array.unsafe_get out (obase + i) +. bv)
+          done
+      | None -> ()
+    in
+    if ci * co * kh * kw * h * w < conv_par_macs then
+      for o = 0 to co - 1 do
+        per_out_channel o
       done
-    done;
-    match bias with
-    | Some b ->
-        let bv = b.data.(o) in
-        for i = 0 to (oh * ow) - 1 do
-          Array.unsafe_set out (obase + i)
-            (Array.unsafe_get out (obase + i) +. bv)
-        done
-    | None -> ()
-  in
-  if ci * co * kh * kw * h * w < par_threshold then
-    for o = 0 to co - 1 do
-      per_out_channel o
-    done
-  else Pool.parallel_for ~chunk:1 0 co per_out_channel;
-  make [| co; oh; ow |] out
+    else Pool.parallel_for ~chunk:1 0 co per_out_channel;
+    make [| co; oh; ow |] out
+  end
 
 let maxpool2 x =
   check_rank3 "Tensor.maxpool2" x;

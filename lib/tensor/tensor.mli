@@ -136,20 +136,34 @@ val matvec : t -> t -> t
 
 (** {1 Convolution kernels (rank 3 activations [[c; h; w]])} *)
 
-val conv2d : ?stride:int -> ?pad:int -> t -> weight:t -> bias:t option -> t
+type conv_engine = [ `Auto | `Direct | `Gemm ]
+(** Implementation selector for the convolution family.  [`Direct] is
+    the reference loop nest; [`Gemm] lowers onto an im2col + packed
+    GEMM pipeline that reuses {!module:Workspace} scratch.  The two are
+    bit-identical for every shape, stride, and padding — the engine is
+    purely a performance choice — and [`Auto] (the default) picks
+    [`Gemm] once the kernel is large enough to amortize packing. *)
+
+val conv2d :
+  ?stride:int -> ?pad:int -> ?engine:conv_engine -> t -> weight:t ->
+  bias:t option -> t
 (** [conv2d x ~weight ~bias] with [x : [ci; h; w]],
     [weight : [co; ci; kh; kw]], [bias : [co]] option. *)
 
 val conv2d_backward_input :
-  ?stride:int -> ?pad:int -> input_shape:int array -> weight:t -> t -> t
+  ?stride:int -> ?pad:int -> ?engine:conv_engine -> input_shape:int array ->
+  weight:t -> t -> t
 (** Adjoint of {!conv2d} with respect to its input: maps the gradient of
     the output back to the gradient of the input. *)
 
 val conv2d_backward_weight :
-  ?stride:int -> ?pad:int -> input:t -> weight_shape:int array -> t -> t
+  ?stride:int -> ?pad:int -> ?engine:conv_engine -> input:t ->
+  weight_shape:int array -> t -> t
 (** Adjoint of {!conv2d} with respect to the weight. *)
 
-val conv2d_transpose : ?stride:int -> ?pad:int -> t -> weight:t -> bias:t option -> t
+val conv2d_transpose :
+  ?stride:int -> ?pad:int -> ?engine:conv_engine -> t -> weight:t ->
+  bias:t option -> t
 (** Transposed convolution (a.k.a. deconvolution), used by the UNet
     decoder.  [x : [ci; h; w]], [weight : [ci; co; kh; kw]]; output has
     spatial size [(h-1)*stride - 2*pad + kh]. *)

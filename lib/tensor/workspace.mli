@@ -1,0 +1,39 @@
+(** Grow-only, per-domain scratch arena for kernel workspaces.
+
+    Hot kernels (packed GEMM tiles, im2col column blocks, RUDY partial
+    congestion maps) borrow float buffers here instead of allocating
+    fresh arrays per call.  Each domain owns a private arena
+    ([Domain.DLS]), so borrowing is lock-free and pool workers never
+    contend; buffers only ever grow, so steady-state workloads — the
+    [Predictor.train] epoch loop re-running the same convolution shapes
+    every step — perform zero scratch allocations.
+
+    Borrowed buffers may be {e larger} than requested (capacities round
+    up to powers of two) and contain stale data; callers must write
+    before reading, or use {!with_zeroed}.  Borrows nest: each
+    [with_floats] gets a distinct slot. *)
+
+val with_floats : int -> (float array -> 'a) -> 'a
+(** [with_floats n f] calls [f buf] with a scratch buffer of at least
+    [n] floats and returns the result; the buffer returns to the arena
+    afterwards (also on exception).  Contents are unspecified — write
+    before reading.  The buffer must not escape [f].
+    @raise Invalid_argument on negative [n]. *)
+
+val with_zeroed : int -> (float array -> 'a) -> 'a
+(** Like {!with_floats} but indices [0 .. n-1] are zeroed first. *)
+
+val live_floats : unit -> int
+(** Floats currently retained by this domain's arena (capacity, whether
+    borrowed or free). *)
+
+val borrows : unit -> int
+(** Borrows served on this domain since the last {!reset}. *)
+
+val grows : unit -> int
+(** Borrows that had to allocate or grow a slot — in steady state this
+    stops increasing while {!borrows} keeps counting. *)
+
+val reset : unit -> unit
+(** Drop this domain's retained buffers (e.g. after a one-off huge
+    kernel).  @raise Invalid_argument if a buffer is still borrowed. *)

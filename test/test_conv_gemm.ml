@@ -1,0 +1,257 @@
+(* Property tests for the im2col/GEMM convolution engine.
+
+   The contract under test is strict bit-identity: for EVERY shape,
+   stride, and padding — including degenerate ones (pad larger than the
+   kernel, 1x1 inputs, stride-2 transposed convolutions) — the [`Gemm]
+   engine must produce exactly the floats the [`Direct] reference loops
+   produce, at DCO3D_JOBS=1 and on a real multi-domain pool.  This is
+   the property that keeps BENCH_kernels.digest stable across engine
+   changes, so it is checked with [eps = 0.], never a tolerance. *)
+
+module Pool = Dco3d_parallel.Pool
+module T = Dco3d_tensor.Tensor
+module Rng = Dco3d_tensor.Rng
+
+let exact_tensor =
+  Alcotest.testable T.pp (fun a b -> T.approx_equal ~eps:0. a b)
+
+let with_exact_jobs n f =
+  Pool.set_jobs ~exact:true n;
+  Fun.protect ~finally:(fun () -> Pool.set_jobs 1) f
+
+(* Run [check] sequentially and on a genuine 4-domain pool (the exact
+   flag bypasses the hardware clamp on single-core CI hosts). *)
+let on_both_schedules check =
+  check "jobs=1";
+  with_exact_jobs 4 (fun () -> check "jobs=4")
+
+type conv_case = {
+  ci : int;
+  co : int;
+  h : int;
+  w : int;
+  kh : int;
+  kw : int;
+  stride : int;
+  pad : int;
+  with_bias : bool;
+}
+
+let case_name tag c =
+  Printf.sprintf "%s %dx%dx%d w=%dx%dx%dx%d s=%d p=%d%s" tag c.ci c.h c.w
+    c.co c.ci c.kh c.kw c.stride c.pad
+    (if c.with_bias then " bias" else "")
+
+(* Random but reproducible case stream; candidates that would produce an
+   empty output are discarded before they reach the kernels. *)
+let random_cases rng ~n ~valid =
+  let rec draw () =
+    let c =
+      {
+        ci = 1 + Rng.int rng 4;
+        co = 1 + Rng.int rng 4;
+        h = 1 + Rng.int rng 13;
+        w = 1 + Rng.int rng 13;
+        kh = 1 + Rng.int rng 4;
+        kw = 1 + Rng.int rng 4;
+        stride = 1 + Rng.int rng 2;
+        (* up to kernel + 2: deliberately allows pad > kernel *)
+        pad = Rng.int rng 6;
+        with_bias = Rng.bool rng;
+      }
+    in
+    if valid c then c else draw ()
+  in
+  List.init n (fun _ -> draw ())
+
+let conv_out_dim x k ~stride ~pad = (((x + (2 * pad)) - k) / stride) + 1
+
+let valid_conv c =
+  conv_out_dim c.h c.kh ~stride:c.stride ~pad:c.pad >= 1
+  && conv_out_dim c.w c.kw ~stride:c.stride ~pad:c.pad >= 1
+
+let valid_transpose c =
+  ((c.h - 1) * c.stride) - (2 * c.pad) + c.kh >= 1
+  && ((c.w - 1) * c.stride) - (2 * c.pad) + c.kw >= 1
+
+let make_inputs rng c =
+  let x = T.randn rng [| c.ci; c.h; c.w |] in
+  let w = T.randn rng [| c.co; c.ci; c.kh; c.kw |] in
+  let bias = if c.with_bias then Some (T.randn rng [| c.co |]) else None in
+  (x, w, bias)
+
+(* Hand-picked corners that a random draw might miss. *)
+let corner_conv_cases =
+  [
+    (* pad strictly larger than the kernel, both parities *)
+    { ci = 2; co = 3; h = 5; w = 7; kh = 2; kw = 2; stride = 1; pad = 3;
+      with_bias = true };
+    { ci = 1; co = 1; h = 4; w = 4; kh = 3; kw = 1; stride = 2; pad = 4;
+      with_bias = false };
+    (* 1x1 input, kernel covers it only via padding *)
+    { ci = 3; co = 2; h = 1; w = 1; kh = 3; kw = 3; stride = 1; pad = 1;
+      with_bias = true };
+    (* 1x1 kernel degenerates to a pure channel mix *)
+    { ci = 4; co = 4; h = 9; w = 6; kh = 1; kw = 1; stride = 1; pad = 0;
+      with_bias = false };
+    (* wide rectangular kernel with stride *)
+    { ci = 2; co = 5; h = 11; w = 13; kh = 1; kw = 5; stride = 3; pad = 2;
+      with_bias = true };
+    (* above conv_par_macs, so the jobs=4 schedule genuinely row-bands
+       the GEMM across domains *)
+    { ci = 8; co = 16; h = 32; w = 32; kh = 3; kw = 3; stride = 1; pad = 1;
+      with_bias = true };
+  ]
+
+let corner_transpose_cases =
+  [
+    (* the bench shape in miniature: stride-2 4x4 upsampling *)
+    { ci = 3; co = 2; h = 6; w = 5; kh = 4; kw = 4; stride = 2; pad = 1;
+      with_bias = true };
+    { ci = 1; co = 1; h = 1; w = 1; kh = 2; kw = 2; stride = 2; pad = 0;
+      with_bias = false };
+    { ci = 2; co = 3; h = 7; w = 4; kh = 3; kw = 5; stride = 3; pad = 2;
+      with_bias = true };
+    (* above conv_par_macs with stride 1, so [`Gemm] runs the pooled
+       row-banded path when jobs=4 *)
+    { ci = 8; co = 8; h = 36; w = 36; kh = 4; kw = 4; stride = 1; pad = 2;
+      with_bias = true };
+  ]
+
+let check_conv2d rng c =
+  let x, w, bias = make_inputs rng c in
+  on_both_schedules (fun sched ->
+      let direct =
+        T.conv2d ~stride:c.stride ~pad:c.pad ~engine:`Direct x ~weight:w ~bias
+      in
+      let gemm =
+        T.conv2d ~stride:c.stride ~pad:c.pad ~engine:`Gemm x ~weight:w ~bias
+      in
+      Alcotest.check exact_tensor (case_name "conv2d" c ^ " " ^ sched) direct
+        gemm)
+
+let check_conv2d_backwards rng c =
+  let x, w, _ = make_inputs rng c in
+  let y = T.conv2d ~stride:c.stride ~pad:c.pad x ~weight:w ~bias:None in
+  let gout = T.randn rng (T.shape y) in
+  on_both_schedules (fun sched ->
+      let di =
+        T.conv2d_backward_input ~stride:c.stride ~pad:c.pad ~engine:`Direct
+          ~input_shape:(T.shape x) ~weight:w gout
+      in
+      let gi =
+        T.conv2d_backward_input ~stride:c.stride ~pad:c.pad ~engine:`Gemm
+          ~input_shape:(T.shape x) ~weight:w gout
+      in
+      Alcotest.check exact_tensor
+        (case_name "bwd_input" c ^ " " ^ sched)
+        di gi;
+      let dw =
+        T.conv2d_backward_weight ~stride:c.stride ~pad:c.pad ~engine:`Direct
+          ~input:x ~weight_shape:(T.shape w) gout
+      in
+      let gw =
+        T.conv2d_backward_weight ~stride:c.stride ~pad:c.pad ~engine:`Gemm
+          ~input:x ~weight_shape:(T.shape w) gout
+      in
+      Alcotest.check exact_tensor
+        (case_name "bwd_weight" c ^ " " ^ sched)
+        dw gw)
+
+let check_transpose rng c =
+  let x = T.randn rng [| c.ci; c.h; c.w |] in
+  (* transposed-conv weight layout is [ci; co; kh; kw] *)
+  let w = T.randn rng [| c.ci; c.co; c.kh; c.kw |] in
+  let bias = if c.with_bias then Some (T.randn rng [| c.co |]) else None in
+  on_both_schedules (fun sched ->
+      let direct =
+        T.conv2d_transpose ~stride:c.stride ~pad:c.pad ~engine:`Direct x
+          ~weight:w ~bias
+      in
+      let gemm =
+        T.conv2d_transpose ~stride:c.stride ~pad:c.pad ~engine:`Gemm x
+          ~weight:w ~bias
+      in
+      Alcotest.check exact_tensor
+        (case_name "transpose" c ^ " " ^ sched)
+        direct gemm)
+
+let test_conv2d_random () =
+  let rng = Rng.create 0xC0417 in
+  List.iter (check_conv2d rng)
+    (corner_conv_cases @ random_cases rng ~n:30 ~valid:valid_conv)
+
+let test_backwards_random () =
+  let rng = Rng.create 0xC0418 in
+  List.iter (check_conv2d_backwards rng)
+    (corner_conv_cases @ random_cases rng ~n:30 ~valid:valid_conv)
+
+let test_transpose_random () =
+  let rng = Rng.create 0xC0419 in
+  List.iter (check_transpose rng)
+    (corner_transpose_cases @ random_cases rng ~n:30 ~valid:valid_transpose)
+
+(* The packed-GEMM matmul must agree bitwise with a naive row-major
+   triple loop accumulating the inner dimension in ascending order —
+   the reference order every engine in the tensor layer preserves. *)
+let test_matmul_vs_reference () =
+  let rng = Rng.create 0xC041A in
+  for case = 1 to 20 do
+    (* the last cases exceed matmul_par_macs so the jobs=4 schedule
+       exercises real cross-domain row bands *)
+    let big = if case > 17 then 60 else 0 in
+    let m = big + 1 + Rng.int rng 40
+    and k = big + 1 + Rng.int rng 40
+    and n = big + 1 + Rng.int rng 40 in
+    let a = T.randn rng [| m; k |] and b = T.randn rng [| k; n |] in
+    let reference =
+      T.init [| m; n |] (fun idx ->
+          let i = idx.(0) and j = idx.(1) in
+          let acc = ref 0. in
+          for p = 0 to k - 1 do
+            acc := !acc +. (T.get2 a i p *. T.get2 b p j)
+          done;
+          !acc)
+    in
+    on_both_schedules (fun sched ->
+        Alcotest.check exact_tensor
+          (Printf.sprintf "matmul %dx%dx%d %s" m k n sched)
+          reference (T.matmul a b))
+  done
+
+let test_auto_matches_forced_engines () =
+  let rng = Rng.create 0xC041B in
+  (* straddle conv_gemm_min_macs so [`Auto] picks both engines *)
+  List.iter
+    (fun c ->
+      let x, w, bias = make_inputs rng c in
+      let auto =
+        T.conv2d ~stride:c.stride ~pad:c.pad x ~weight:w ~bias
+      in
+      let direct =
+        T.conv2d ~stride:c.stride ~pad:c.pad ~engine:`Direct x ~weight:w ~bias
+      in
+      Alcotest.check exact_tensor (case_name "auto" c) direct auto)
+    (corner_conv_cases
+    @ [
+        { ci = 8; co = 8; h = 16; w = 16; kh = 3; kw = 3; stride = 1; pad = 1;
+          with_bias = true };
+        { ci = 1; co = 1; h = 3; w = 3; kh = 2; kw = 2; stride = 1; pad = 0;
+          with_bias = false };
+      ])
+
+let suites =
+  [
+    ( "tensor.conv_gemm",
+      [
+        Alcotest.test_case "conv2d gemm == direct" `Quick test_conv2d_random;
+        Alcotest.test_case "backwards gemm == direct" `Quick
+          test_backwards_random;
+        Alcotest.test_case "transpose gemm == direct" `Quick
+          test_transpose_random;
+        Alcotest.test_case "matmul == naive reference" `Quick
+          test_matmul_vs_reference;
+        Alcotest.test_case "auto == forced engines" `Quick
+          test_auto_matches_forced_engines;
+      ] );
+  ]

@@ -10,9 +10,11 @@ module Fp = Dco3d_place.Floorplan
 module Placer = Dco3d_place.Placer
 module Rudy = Dco3d_congestion.Rudy
 
-(* Force a real pool even on single-core CI hosts. *)
+(* Force a real pool even on single-core CI hosts: [~exact:true]
+   bypasses the hardware clamp, so [n] domains genuinely run and the
+   tests exercise true cross-domain schedules. *)
 let with_jobs n f =
-  Pool.set_jobs n;
+  Pool.set_jobs ~exact:true n;
   Fun.protect ~finally:(fun () -> Pool.set_jobs 1) f
 
 let exact_tensor =
@@ -112,6 +114,30 @@ let test_set_jobs () =
     (Invalid_argument "Pool.set_jobs: need at least one job") (fun () ->
       Pool.set_jobs 0)
 
+let test_effective_jobs_clamp () =
+  let hw = max 1 (Domain.recommended_domain_count ()) in
+  Pool.set_jobs (hw + 5);
+  Alcotest.(check int) "requested is kept" (hw + 5) (Pool.jobs ());
+  Alcotest.(check int) "clamped to hardware" hw (Pool.effective_jobs ());
+  Pool.set_jobs ~exact:true (hw + 5);
+  Alcotest.(check int) "exact bypasses the clamp" (hw + 5)
+    (Pool.effective_jobs ());
+  Pool.set_jobs 1
+
+let test_exception_in_reduce () =
+  with_jobs 4 (fun () ->
+      Alcotest.check_raises "reduce body exception reaches caller"
+        (Failure "kaboom") (fun () ->
+          ignore
+            (Pool.parallel_for_reduce ~chunk:1 ~init:0 ~combine:( + ) 0 32
+               (fun lo _ -> if lo = 7 then failwith "kaboom" else lo)));
+      (* the pool must still be usable after a failed region *)
+      let ok =
+        Pool.parallel_for_reduce ~chunk:1 ~init:0 ~combine:( + ) 0 32
+          (fun lo _ -> lo)
+      in
+      Alcotest.(check int) "pool survives the failure" (31 * 32 / 2) ok)
+
 (* ------------------------------------------------------------------ *)
 (* Parallel kernels are bit-identical to sequential                    *)
 (* ------------------------------------------------------------------ *)
@@ -188,7 +214,9 @@ let suites =
         Alcotest.test_case "nested calls" `Quick test_nested_calls;
         Alcotest.test_case "tabulate / map_array" `Quick test_tabulate_and_map_array;
         Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+        Alcotest.test_case "exception in reduce" `Quick test_exception_in_reduce;
         Alcotest.test_case "set_jobs" `Quick test_set_jobs;
+        Alcotest.test_case "effective_jobs clamp" `Quick test_effective_jobs_clamp;
       ] );
     ( "parallel.kernels",
       [
