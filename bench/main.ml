@@ -28,6 +28,7 @@ module Dataset = Dco3d_core.Dataset
 module Predictor = Dco3d_core.Predictor
 module Dco = Dco3d_core.Dco
 module Spreader = Dco3d_core.Spreader
+module Obs = Dco3d_obs.Obs
 
 let env_int name default =
   match Sys.getenv_opt name with Some v -> int_of_string v | None -> default
@@ -734,6 +735,9 @@ let kernels () =
 let () =
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (Some Logs.Warning);
+  (* collect stage spans across every experiment; the aggregated
+     profile lands next to BENCH_kernels.json *)
+  Obs.enable ();
   Printf.printf
     "DCO-3D benchmark harness - designs: %s, scale %.2f, %d layouts/design, \
      %d epochs\n%!"
@@ -751,4 +755,6 @@ let () =
   if enabled "table3" then table3 ();
   if enabled "ablation" then ablation ();
   if enabled "kernels" then kernels ();
+  Obs.write_profile "BENCH_stage_profile.txt";
+  Printf.printf "  [wrote BENCH_stage_profile.txt]\n";
   Printf.printf "\n[total runtime %.1f s]\n" (Unix.gettimeofday () -. t0)

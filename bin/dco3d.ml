@@ -16,16 +16,29 @@ module Dataset = Dco3d_core.Dataset
 module Predictor = Dco3d_core.Predictor
 module Dco = Dco3d_core.Dco
 module Tcl = Dco3d_core.Tcl_export
+module Obs = Dco3d_obs.Obs
 
 open Cmdliner
 
-let setup_logs verbose =
+let setup verbose trace_out =
   Fmt_tty.setup_std_outputs ();
   Logs.set_reporter (Logs.format_reporter ());
-  Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))
+  Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning));
+  Option.iter Obs.set_trace_path trace_out
 
 let verbose_t =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Chatty progress output.")
+
+let trace_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Record stage spans and write a Chrome-trace JSON to $(docv) at            exit (open in chrome://tracing or Perfetto).  Equivalent to            setting DCO3D_TRACE=$(docv).")
+
+(* every subcommand shares logging + tracing setup as its first term *)
+let setup_t = Term.(const setup $ verbose_t $ trace_t)
 
 let design_t =
   Arg.(
@@ -59,8 +72,7 @@ let netlist_of design scale seed =
 (* ------------------------------------------------------------------ *)
 
 let gen_cmd =
-  let run verbose design scale seed output =
-    setup_logs verbose;
+  let run () design scale seed output =
     let nl = netlist_of design scale seed in
     (match output with
     | Some path ->
@@ -78,7 +90,7 @@ let gen_cmd =
   in
   Cmd.v
     (Cmd.info "gen" ~doc:"Generate a benchmark netlist and print statistics.")
-    Term.(const run $ verbose_t $ design_t $ scale_t $ seed_t $ output_t)
+    Term.(const run $ setup_t $ design_t $ scale_t $ seed_t $ output_t)
 
 (* ------------------------------------------------------------------ *)
 (* place                                                                *)
@@ -93,8 +105,7 @@ let preset_t =
               $(b,congestion) (Pin-3D+Cong.).")
 
 let place_cmd =
-  let run verbose design scale seed gcell preset tcl_out =
-    setup_logs verbose;
+  let run () design scale seed gcell preset tcl_out =
     let nl = netlist_of design scale seed in
     let fp = P.Floorplan.create ~gcell_nx:gcell ~gcell_ny:gcell nl in
     let params =
@@ -125,7 +136,7 @@ let place_cmd =
   Cmd.v
     (Cmd.info "place" ~doc:"Run the 3D global placer and report quality.")
     Term.(
-      const run $ verbose_t $ design_t $ scale_t $ seed_t $ gcell_t $ preset_t
+      const run $ setup_t $ design_t $ scale_t $ seed_t $ gcell_t $ preset_t
       $ tcl_t)
 
 (* ------------------------------------------------------------------ *)
@@ -133,8 +144,7 @@ let place_cmd =
 (* ------------------------------------------------------------------ *)
 
 let route_cmd =
-  let run verbose design scale seed gcell preset =
-    setup_logs verbose;
+  let run () design scale seed gcell preset =
     let nl = netlist_of design scale seed in
     let fp = P.Floorplan.create ~gcell_nx:gcell ~gcell_ny:gcell nl in
     let params =
@@ -159,15 +169,14 @@ let route_cmd =
   Cmd.v
     (Cmd.info "route" ~doc:"Place and globally route; report congestion.")
     Term.(
-      const run $ verbose_t $ design_t $ scale_t $ seed_t $ gcell_t $ preset_t)
+      const run $ setup_t $ design_t $ scale_t $ seed_t $ gcell_t $ preset_t)
 
 (* ------------------------------------------------------------------ *)
 (* timing                                                               *)
 (* ------------------------------------------------------------------ *)
 
 let timing_cmd =
-  let run verbose design scale seed gcell =
-    setup_logs verbose;
+  let run () design scale seed gcell =
     let nl = netlist_of design scale seed in
     let fp = P.Floorplan.create ~gcell_nx:gcell ~gcell_ny:gcell nl in
     let p = P.Placer.global_place ~seed ~params:P.Params.default nl fp in
@@ -196,15 +205,14 @@ let timing_cmd =
   Cmd.v
     (Cmd.info "timing"
        ~doc:"Place, route and report post-route timing (critical path,              slack histogram).")
-    Term.(const run $ verbose_t $ design_t $ scale_t $ seed_t $ gcell_t)
+    Term.(const run $ setup_t $ design_t $ scale_t $ seed_t $ gcell_t)
 
 (* ------------------------------------------------------------------ *)
 (* flow                                                                 *)
 (* ------------------------------------------------------------------ *)
 
 let flow_cmd =
-  let run verbose design scale seed gcell which bo_iters =
-    setup_logs verbose;
+  let run () design scale seed gcell which bo_iters =
     let nl = netlist_of design scale seed in
     let ctx = Flow.make_context ~seed ~gcell_nx:gcell ~gcell_ny:gcell nl in
     let results =
@@ -240,7 +248,7 @@ let flow_cmd =
   Cmd.v
     (Cmd.info "flow" ~doc:"Run a full Pin-3D flow variant and report PPA.")
     Term.(
-      const run $ verbose_t $ design_t $ scale_t $ seed_t $ gcell_t $ which_t
+      const run $ setup_t $ design_t $ scale_t $ seed_t $ gcell_t $ which_t
       $ bo_t)
 
 (* ------------------------------------------------------------------ *)
@@ -248,8 +256,7 @@ let flow_cmd =
 (* ------------------------------------------------------------------ *)
 
 let train_cmd =
-  let run verbose design scale seed gcell n_samples epochs input_hw output =
-    setup_logs verbose;
+  let run () design scale seed gcell n_samples epochs input_hw output =
     let nl = netlist_of design scale seed in
     let ctx = Flow.make_context ~seed ~gcell_nx:gcell ~gcell_ny:gcell nl in
     let d =
@@ -300,7 +307,7 @@ let train_cmd =
        ~doc:"Build a congestion dataset and train the Siamese UNet \
              (Algorithm 1).")
     Term.(
-      const run $ verbose_t $ design_t $ scale_t $ seed_t $ gcell_t $ samples_t
+      const run $ setup_t $ design_t $ scale_t $ seed_t $ gcell_t $ samples_t
       $ epochs_t $ hw_t $ out_t)
 
 (* ------------------------------------------------------------------ *)
@@ -308,8 +315,7 @@ let train_cmd =
 (* ------------------------------------------------------------------ *)
 
 let optimize_cmd =
-  let run verbose design scale seed gcell n_samples epochs iterations tcl_out =
-    setup_logs verbose;
+  let run () design scale seed gcell n_samples epochs iterations tcl_out =
     let nl = netlist_of design scale seed in
     let ctx = Flow.make_context ~seed ~gcell_nx:gcell ~gcell_ny:gcell nl in
     let d =
@@ -361,7 +367,7 @@ let optimize_cmd =
        ~doc:"Full DCO-3D: train the predictor, optimize the placement \
              (Algorithm 2), finish the flow, compare against Pin-3D.")
     Term.(
-      const run $ verbose_t $ design_t $ scale_t $ seed_t $ gcell_t $ samples_t
+      const run $ setup_t $ design_t $ scale_t $ seed_t $ gcell_t $ samples_t
       $ epochs_t $ iters_t $ tcl_t)
 
 let main =

@@ -11,6 +11,20 @@ let nrmse pred truth =
 
 let mean_of a = T.mean a
 
+(* Strided window start positions over [0, extent - win], with the
+   final position clamped to [extent - win] so the last up-to-stride-1
+   rows/columns are always covered (without the clamp, a hotspot
+   hugging the die edge can fall outside every window).  Positions are
+   strictly increasing: the clamped tail is skipped when the regular
+   grid already ends flush. *)
+let window_positions extent win stride =
+  let last = extent - win in
+  let rec go p acc =
+    if p < last then go (p + stride) (p :: acc)
+    else List.rev (last :: acc)
+  in
+  go 0 []
+
 let ssim ?(window = 7) pred truth =
   if not (T.same_shape pred truth) then invalid_arg "Metrics.ssim: shape mismatch";
   if T.rank pred <> 2 then invalid_arg "Metrics.ssim: rank-2 maps expected";
@@ -20,23 +34,23 @@ let ssim ?(window = 7) pred truth =
   let c1 = (0.01 *. range) ** 2. and c2 = (0.03 *. range) ** 2. in
   let acc = ref 0. and count = ref 0 in
   let stride = max 1 (win / 2) in
-  let y = ref 0 in
-  while !y + win <= h do
-    let x = ref 0 in
-    while !x + win <= w do
+  let ys = window_positions h win stride in
+  let xs = window_positions w win stride in
+  List.iter (fun y ->
+    List.iter (fun x ->
       (* patch statistics *)
       let n = float_of_int (win * win) in
       let sum_a = ref 0. and sum_b = ref 0. in
-      for i = !y to !y + win - 1 do
-        for j = !x to !x + win - 1 do
+      for i = y to y + win - 1 do
+        for j = x to x + win - 1 do
           sum_a := !sum_a +. T.get2 pred i j;
           sum_b := !sum_b +. T.get2 truth i j
         done
       done;
       let mu_a = !sum_a /. n and mu_b = !sum_b /. n in
       let var_a = ref 0. and var_b = ref 0. and cov = ref 0. in
-      for i = !y to !y + win - 1 do
-        for j = !x to !x + win - 1 do
+      for i = y to y + win - 1 do
+        for j = x to x + win - 1 do
           let da = T.get2 pred i j -. mu_a and db = T.get2 truth i j -. mu_b in
           var_a := !var_a +. (da *. da);
           var_b := !var_b +. (db *. db);
@@ -50,11 +64,9 @@ let ssim ?(window = 7) pred truth =
         /. (((mu_a *. mu_a) +. (mu_b *. mu_b) +. c1) *. (var_a +. var_b +. c2))
       in
       acc := !acc +. s;
-      incr count;
-      x := !x + stride
-    done;
-    y := !y + stride
-  done;
+      incr count)
+      xs)
+    ys;
   if !count = 0 then 1. else !acc /. float_of_int !count
 
 let pearson a b =

@@ -12,8 +12,11 @@ val ssim :
   ?window:int -> Dco3d_tensor.Tensor.t -> Dco3d_tensor.Tensor.t -> float
 (** Mean structural similarity over sliding [window x window] patches
     (default 7), standard constants [k1 = 0.01], [k2 = 0.03] with the
-    dynamic range taken from the truth map.  Result in [\[-1, 1\]];
-    identical maps score 1. *)
+    dynamic range taken from the truth map.  Windows step by
+    [window / 2] and the final position along each axis is clamped to
+    the map edge, so every row and column — in particular a congestion
+    hotspot hugging the die boundary — is covered by at least one
+    window.  Result in [\[-1, 1\]]; identical maps score 1. *)
 
 val pearson : Dco3d_tensor.Tensor.t -> Dco3d_tensor.Tensor.t -> float
 (** Pearson correlation of the flattened maps (0 when either side is

@@ -7,6 +7,7 @@ module Placer = Dco3d_place.Placer
 module Router = Dco3d_route.Router
 module Fm = Dco3d_congestion.Feature_maps
 module Pool = Dco3d_parallel.Pool
+module Obs = Dco3d_obs.Obs
 
 let log_src = Logs.Src.create "dco3d.dataset" ~doc:"dataset construction"
 
@@ -38,7 +39,12 @@ let build ?(n_samples = 24) ?(seed = 0) ~route_cfg nl fp =
      regions queued helper closures behind the busy sample workers and
      the whole build serialized (PR 1's 0.31x dataset_build). *)
   let samples =
+    Obs.with_span "dataset/build" @@ fun () ->
     Pool.tabulate ~chunk:1 n_samples (fun i ->
+        (* on a pool worker the span stack is empty, so this span starts
+           a fresh root on the worker's trace track; on the caller it
+           nests under dataset/build *)
+        Obs.with_span (Printf.sprintf "sample:%d" i) @@ fun () ->
         let rng = Rng.create ((seed lxor 0x0d5e7) + (0x6a09e667 * (i + 1))) in
         let params = Params.sample rng in
         let sample_seed = seed + (1000 * i) + 17 in
@@ -206,15 +212,26 @@ let save d path =
       in
       Marshal.to_channel oc (d.design, d.nx, d.ny, flat) [])
 
+exception Load_error of string
+
+let load_error path cause =
+  raise (Load_error (Printf.sprintf "Dataset.load: %s: %s" path cause))
+
 let load path =
-  let ic = open_in_bin path in
+  let ic =
+    try open_in_bin path with Sys_error msg -> load_error path msg
+  in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      let tag = really_input_string ic (String.length magic) in
-      if tag <> magic then failwith "Dataset.load: bad file magic";
       let design, nx, ny, (flat : flat_sample array) =
-        Marshal.from_channel ic
+        try
+          let tag = really_input_string ic (String.length magic) in
+          if tag <> magic then load_error path "bad file magic";
+          Marshal.from_channel ic
+        with
+        | End_of_file -> load_error path "truncated file"
+        | Failure msg -> load_error path msg
       in
       {
         design;

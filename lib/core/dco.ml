@@ -9,6 +9,7 @@ module Placer = Dco3d_place.Placer
 module Csr = Dco3d_graph.Csr
 module SiaUNet = Dco3d_nn.Siamese_unet
 module Fm = Dco3d_congestion.Feature_maps
+module Obs = Dco3d_obs.Obs
 
 let log_src = Logs.Src.create "dco3d.dco" ~doc:"Algorithm 2 optimization"
 
@@ -95,7 +96,15 @@ let normalize_features v =
   in
   V.mul (V.const scales) v
 
+let c_iters = Obs.counter "dco/iterations"
+let h_total = Obs.histogram "dco/loss_total"
+let h_disp = Obs.histogram "dco/loss_disp"
+let h_ovlp = Obs.histogram "dco/loss_ovlp"
+let h_cut = Obs.histogram "dco/loss_cut"
+let h_cong = Obs.histogram "dco/loss_cong"
+
 let optimize ?(config = default_config) ~predictor (p_in : Pl.t) =
+  Obs.with_span "dco" @@ fun () ->
   let p = Pl.copy p_in in
   let nl = p.Pl.nl in
   let fp = p.Pl.fp in
@@ -153,6 +162,7 @@ let optimize ?(config = default_config) ~predictor (p_in : Pl.t) =
   let it = ref 0 in
   let stop = ref false in
   while (not !stop) && !it < config.iterations do
+    Obs.with_span (Printf.sprintf "iter:%d" !it) @@ fun () ->
     let _, _, _, total, l_disp, l_ovlp, l_cut, l_cong = forward_losses () in
     if !it = 0 then begin
       cong_start := sc l_cong;
@@ -162,6 +172,14 @@ let optimize ?(config = default_config) ~predictor (p_in : Pl.t) =
     stats.(!it) <-
       { total = sc total; disp = sc l_disp; ovlp = sc l_ovlp;
         cut = sc l_cut; cong = sc l_cong };
+    Obs.incr c_iters;
+    if Obs.enabled () then begin
+      Obs.observe h_total stats.(!it).total;
+      Obs.observe h_disp stats.(!it).disp;
+      Obs.observe h_ovlp stats.(!it).ovlp;
+      Obs.observe h_cut stats.(!it).cut;
+      Obs.observe h_cong stats.(!it).cong
+    end;
     if sc l_cong < !trust_floor then stop := true
     else begin
       V.backward total;

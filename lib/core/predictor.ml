@@ -5,6 +5,7 @@ module Opt = Dco3d_autodiff.Optimizer
 module SiaUNet = Dco3d_nn.Siamese_unet
 module Fm = Dco3d_congestion.Feature_maps
 module Metrics = Dco3d_congestion.Metrics
+module Obs = Dco3d_obs.Obs
 
 let log_src = Logs.Src.create "dco3d.predictor" ~doc:"Algorithm 1 training"
 
@@ -45,6 +46,7 @@ let dataset_loss net ~input_hw ~label_scale (d : Dataset.t) =
 
 let train ?(epochs = 12) ?(lr = 2e-3) ?(input_hw = 32) ?(base_channels = 8)
     ?(augment = true) ?(seed = 3) ~train ~test () =
+  Obs.with_span "predictor" @@ fun () ->
   let rng = Rng.create (seed lxor 0x9a7) in
   let net =
     SiaUNet.create rng
@@ -66,6 +68,7 @@ let train ?(epochs = 12) ?(lr = 2e-3) ?(input_hw = 32) ?(base_channels = 8)
   let test_loss = Array.make epochs 0. in
   let order = Array.init (Array.length prepped) Fun.id in
   for epoch = 0 to epochs - 1 do
+    Obs.with_span (Printf.sprintf "epoch:%d" epoch) @@ fun () ->
     (* step decay keeps late epochs from bouncing around the optimum *)
     if epoch = (2 * epochs) / 3 then Opt.set_lr opt (lr *. 0.3);
     Rng.shuffle rng order;
@@ -127,14 +130,31 @@ let save t path =
       Marshal.to_channel oc (t.input_hw, t.label_scale) []);
   SiaUNet.save t.net (path ^ ".net")
 
+exception Load_error of string
+
+let load_error path cause =
+  raise (Load_error (Printf.sprintf "Predictor.load: %s: %s" path cause))
+
 let load path =
-  let ic = open_in_bin path in
+  let ic =
+    try open_in_bin path with Sys_error msg -> load_error path msg
+  in
   let input_hw, label_scale =
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () ->
-        let tag = really_input_string ic (String.length magic) in
-        if tag <> magic then failwith "Predictor.load: bad file magic";
-        (Marshal.from_channel ic : int * float))
+        try
+          let tag = really_input_string ic (String.length magic) in
+          if tag <> magic then load_error path "bad file magic";
+          (Marshal.from_channel ic : int * float)
+        with
+        | End_of_file -> load_error path "truncated file"
+        | Failure msg -> load_error path msg)
   in
-  { net = SiaUNet.load (path ^ ".net"); input_hw; label_scale }
+  let net =
+    (* the companion weights file is part of the same on-disk artifact,
+       so its failures surface as this module's Load_error too *)
+    try SiaUNet.load (path ^ ".net")
+    with SiaUNet.Load_error msg -> raise (Load_error msg)
+  in
+  { net; input_hw; label_scale }

@@ -53,5 +53,13 @@ val eq4_loss :
   Dco3d_autodiff.Value.t
 (** Eq. 4: [1/2 * (rmse_F(c0, t0) + rmse_F(c1, t1))]. *)
 
+exception Load_error of string
+(** Raised by {!load} on a missing, truncated or corrupt file (either
+    the predictor file or its companion [.net] weights file); the
+    message names the offending path and the cause. *)
+
 val save : t -> string -> unit
+
 val load : string -> t
+(** Restore a predictor written by {!save}.
+    @raise Load_error on a missing, truncated or malformed file. *)

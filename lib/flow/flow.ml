@@ -8,6 +8,7 @@ module Router = Dco3d_route.Router
 module Sta = Dco3d_sta.Sta
 module Cts = Dco3d_cts.Cts
 module Bo = Dco3d_bayesopt.Bayesopt
+module Obs = Dco3d_obs.Obs
 
 let log_src = Logs.Src.create "dco3d.flow" ~doc:"Pin-3D flow emulation"
 
@@ -51,6 +52,7 @@ let net_is_3d_fn (p : Pl.t) nid = Pl.net_is_3d p p.Pl.nl.Nl.nets.(nid)
 
 let make_context ?(seed = 1) ?(utilization = 0.55) ?(gcell_nx = 48)
     ?(gcell_ny = 48) nl =
+  Obs.with_span "flow/calibrate" @@ fun () ->
   let fp = Fp.create ~utilization ~gcell_nx ~gcell_ny nl in
   (* calibrate the routing fabric and the clock on the Pin-3D baseline *)
   let base = Placer.global_place ~seed ~params:Params.default nl fp in
@@ -139,6 +141,9 @@ let signoff_optimize ctx nl ~net_length ~net_is_3d =
 (* Flow driver                                                         *)
 (* ------------------------------------------------------------------ *)
 
+(* The public entry points ({!run_with_params}, {!run_with_placement})
+   open the "flow" root span; this internal driver does not, so the
+   stage tree has a single flow root (flow/place, flow/route, ...). *)
 let run_with_placement_internal ctx ~name ~params (p : Pl.t) =
   (* placement-stage congestion evaluation (global route) *)
   let route = Router.route ~config:ctx.route_cfg p in
@@ -155,12 +160,13 @@ let run_with_placement_internal ctx ~name ~params (p : Pl.t) =
       m "%s: placement-stage overflow %d (%.1f%% gcells)" name
         place_stage.overflow place_stage.ovf_gcell_pct);
   (* CTS *)
-  let clock = Cts.synthesize p in
+  let clock = Obs.with_span "cts" (fun () -> Cts.synthesize p) in
   (* signoff ECO sizing on a private copy of the netlist *)
   let nl = Nl.copy ctx.nl in
   let net_is_3d = net_is_3d_fn p in
   let upsized =
-    signoff_optimize ctx nl ~net_length:route.Router.net_length ~net_is_3d
+    Obs.with_span "signoff" (fun () ->
+        signoff_optimize ctx nl ~net_length:route.Router.net_length ~net_is_3d)
   in
   let cfg = Sta.default_config ~clock_period_ps:ctx.clock_period_ps in
   let t = Sta.analyze cfg nl ~net_length:route.Router.net_length ~net_is_3d in
@@ -182,10 +188,12 @@ let run_with_placement_internal ctx ~name ~params (p : Pl.t) =
   { flow_name = name; placement = p; route; place_stage; signoff; params }
 
 let run_with_params ctx ~name params =
+  Obs.with_span "flow" ~args:[ ("name", name) ] @@ fun () ->
   let p = Placer.global_place ~seed:ctx.seed ~params ctx.nl ctx.fp in
   run_with_placement_internal ctx ~name ~params p
 
 let run_with_placement ctx ~name p =
+  Obs.with_span "flow" ~args:[ ("name", name) ] @@ fun () ->
   run_with_placement_internal ctx ~name ~params:Params.default p
 
 let run_pin3d ctx = run_with_params ctx ~name:"Pin3D" Params.default

@@ -164,14 +164,27 @@ let save net path =
       in
       Marshal.to_channel oc snap [])
 
+exception Load_error of string
+
+let load_error path cause =
+  raise (Load_error (Printf.sprintf "Siamese_unet.load: %s: %s" path cause))
+
 let load path =
-  let ic = open_in_bin path in
+  let ic =
+    try open_in_bin path with Sys_error msg -> load_error path msg
+  in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      let tag = really_input_string ic (String.length magic) in
-      if tag <> magic then failwith "Siamese_unet.load: bad file magic";
-      let snap : snapshot = Marshal.from_channel ic in
+      let snap : snapshot =
+        try
+          let tag = really_input_string ic (String.length magic) in
+          if tag <> magic then load_error path "bad file magic";
+          Marshal.from_channel ic
+        with
+        | End_of_file -> load_error path "truncated file"
+        | Failure msg -> load_error path msg
+      in
       let net = create (Dco3d_tensor.Rng.create 0) snap.s_cfg in
       load_state net
         (List.map (fun (shape, data) -> T.make shape data) snap.s_weights);

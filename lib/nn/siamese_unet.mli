@@ -51,9 +51,13 @@ val config : t -> config
 val state : t -> Dco3d_tensor.Tensor.t list
 val load_state : t -> Dco3d_tensor.Tensor.t list -> unit
 
+exception Load_error of string
+(** Raised by {!load} on a missing, truncated or corrupt file; the
+    message names the offending path and the cause. *)
+
 val save : t -> string -> unit
 (** Persist configuration and weights to a file. *)
 
 val load : string -> t
 (** Restore a network written by {!save}.
-    @raise Failure on a malformed file. *)
+    @raise Load_error on a missing, truncated or malformed file. *)

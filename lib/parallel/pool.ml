@@ -36,6 +36,8 @@
    is not — that is the determinism contract documented in the
    interface. *)
 
+module Obs = Dco3d_obs.Obs
+
 type region = {
   n_chunks : int;
   task : int -> unit;
@@ -210,11 +212,23 @@ let publish pool r =
     Mutex.unlock pool.mutex
   end
 
+(* Obs probes.  [pool/chunks] counts chunks at region entry, so its
+   total depends only on the work submitted (the decomposition is a
+   function of the range alone) — it is invariant under DCO3D_JOBS.
+   The region counters record how regions were actually executed and
+   *do* depend on the job count; they are diagnostics, not invariants. *)
+let c_chunks = Obs.counter "pool/chunks"
+let c_regions_parallel = Obs.counter "pool/regions_parallel"
+let c_regions_inline = Obs.counter "pool/regions_inline"
+let g_effective_jobs = Obs.gauge "pool/effective_jobs"
+
 (* Run [run_chunk c] for every [0 <= c < n_chunks], on the pool when one
    is available and the region is not nested inside another region. *)
 let run_region n_chunks run_chunk =
   if n_chunks > 0 then begin
+    Obs.incr ~by:n_chunks c_chunks;
     let inline () =
+      Obs.incr c_regions_inline;
       for c = 0 to n_chunks - 1 do
         run_chunk c
       done
@@ -232,6 +246,8 @@ let run_region n_chunks run_chunk =
         Fun.protect
           ~finally:(fun () -> Mutex.unlock pool.caller_lock)
           (fun () ->
+            Obs.incr c_regions_parallel;
+            Obs.set_gauge g_effective_jobs (float_of_int pool.size);
             let r =
               {
                 n_chunks;

@@ -2,6 +2,7 @@ module Nl = Dco3d_netlist.Netlist
 module Cl = Dco3d_netlist.Cell_lib
 module Rng = Dco3d_tensor.Rng
 module Linalg = Dco3d_tensor.Linalg
+module Obs = Dco3d_obs.Obs
 
 (* ------------------------------------------------------------------ *)
 (* Quadratic placement                                                 *)
@@ -77,6 +78,11 @@ let build_system (p : Placement.t) =
     f_y = Array.of_list !f_y;
   }
 
+(* CG iteration totals are jobs-invariant: the solve is sequential and
+   its trajectory depends only on the system being solved. *)
+let c_cg_iters = Obs.counter "place/cg_iters"
+let c_cg_solves = Obs.counter "place/cg_solves"
+
 let quadratic_place ?(anchor_weight = 0.) ?anchors ?(cg_iters = 60)
     (p : Placement.t) =
   let nl = p.nl in
@@ -130,7 +136,15 @@ let quadratic_place ?(anchor_weight = 0.) ?anchors ?(cg_iters = 60)
           b.(c) <- b.(c) +. (anchor_weight *. anchor_coord.(c))
         done
     | None -> ());
-    Linalg.conjugate_gradient ~max_iter:cg_iters ~tol:1e-6 matvec b init
+    Obs.with_span "cg_solve" (fun () ->
+        let iters = ref 0 in
+        let x =
+          Linalg.conjugate_gradient ~max_iter:cg_iters ~tol:1e-6
+            ~iterations_out:iters matvec b init
+        in
+        Obs.incr c_cg_solves;
+        Obs.incr ~by:!iters c_cg_iters;
+        x)
   in
   let ax, ay =
     match anchors with Some (ax, ay) -> (ax, ay) | None -> ([||], [||])
@@ -742,6 +756,7 @@ let congestion_mode (params : Params.t) =
   || params.Params.enable_irap
 
 let global_place ~seed ~params nl fp =
+  Obs.with_span "place" (fun () ->
   let p = Placement.create nl fp in
   let rng = Rng.create (seed lxor 0x9e3779b9) in
   (* tier assignment *)
@@ -767,7 +782,8 @@ let global_place ~seed ~params nl fp =
   in
   let anchor_w = ref 0.02 in
   for _round = 1 to rounds do
-    spread ~iterations:spread_iters ~target_density:target ~inflation:None p;
+    Obs.with_span "spread" (fun () ->
+        spread ~iterations:spread_iters ~target_density:target ~inflation:None p);
     let ax = Array.copy p.Placement.x and ay = Array.copy p.Placement.y in
     quadratic_place ~anchor_weight:!anchor_w ~anchors:(ax, ay) ~cg_iters:cg p;
     anchor_w := !anchor_w *. 2.
@@ -792,6 +808,9 @@ let global_place ~seed ~params nl fp =
     else None
   in
   let final_iters = spread_iters + (6 * params.Params.final_place_effort) in
-  spread ~iterations:final_iters ~target_density:target ~inflation:final_inflation p;
-  legalize ~max_row_search:(8 + (3 * params.Params.displacement_threshold)) p;
-  p
+  Obs.with_span "spread" (fun () ->
+      spread ~iterations:final_iters ~target_density:target
+        ~inflation:final_inflation p);
+  Obs.with_span "legalize" (fun () ->
+      legalize ~max_row_search:(8 + (3 * params.Params.displacement_threshold)) p);
+  p)

@@ -1,5 +1,6 @@
 module T = Dco3d_tensor.Tensor
 module Nl = Dco3d_netlist.Netlist
+module Obs = Dco3d_obs.Obs
 module Pl = Dco3d_place.Placement
 module Fp = Dco3d_place.Floorplan
 
@@ -450,6 +451,13 @@ let make_astar st =
     generation = 0;
   }
 
+(* Totals are a function of the routing problem (net order and cost
+   surfaces are deterministic), so they are jobs-invariant. *)
+let c_astar_pops = Obs.counter "route/astar_pops"
+let c_ripup_rounds = Obs.counter "route/ripup_rounds"
+let c_ripped_nets = Obs.counter "route/ripped_nets"
+let h_overflow_pass = Obs.histogram "route/overflow_per_pass"
+
 let astar_route st az marks src dst =
   az.generation <- az.generation + 1;
   let gen = az.generation in
@@ -482,8 +490,10 @@ let astar_route st az marks src dst =
   in
   visit src 0. (-1) (-1);
   let found = ref false in
+  let pops = ref 0 in
   while (not !found) && not (Heap.is_empty az.heap) do
     let _, n = Heap.pop az.heap in
+    incr pops;
     if n = dst then found := true
     else if az.closed.(n) <> gen then begin
       az.closed.(n) <- gen;
@@ -497,6 +507,8 @@ let astar_route st az marks src dst =
       try_edge (via_edge st gy gx) (node_of st (1 - t) gy gx)
     end
   done;
+  (* one flush per call keeps the per-pop cost to a local increment *)
+  Obs.incr ~by:!pops c_astar_pops;
   if not !found then None
   else begin
     (* walk parents back to the source *)
@@ -629,6 +641,7 @@ let route_net st az marks ~maze (p : Pl.t) net =
 let overflow_of st e = max 0 (st.demand.(e) - st.cap.(e))
 
 let route ?config (p : Pl.t) =
+  Obs.with_span "route" @@ fun () ->
   let fp = p.Pl.fp in
   let cfg = match config with Some c -> c | None -> default_config fp in
   let st = make_state cfg fp p in
@@ -643,38 +656,44 @@ let route ?config (p : Pl.t) =
   Array.sort (fun a b -> compare (half_perim a) (half_perim b)) order;
   let marks = make_marks st in
   let net_edges = Array.map (fun _ -> []) nets in
-  Array.iter
-    (fun k -> net_edges.(k) <- route_net st az marks ~maze:false p nets.(k))
-    order;
+  Obs.with_span "initial" (fun () ->
+      Array.iter
+        (fun k -> net_edges.(k) <- route_net st az marks ~maze:false p nets.(k))
+        order);
   (* negotiated-congestion repair *)
   let iterations_run = ref 0 in
   let continue_ = ref true in
   while !continue_ && !iterations_run < cfg.max_iterations do
     incr iterations_run;
+    Obs.with_span (Printf.sprintf "repair:%d" !iterations_run) (fun () ->
     (* bump history on overflowed edges *)
-    let any_overflow = ref false in
+    let total_overflow = ref 0 in
     for e = 0 to st.n_edges - 1 do
       let ov = overflow_of st e in
       if ov > 0 then begin
-        any_overflow := true;
+        total_overflow := !total_overflow + ov;
         st.history.(e) <- st.history.(e) +. (cfg.history_weight *. float_of_int ov)
       end
     done;
-    if not !any_overflow then continue_ := false
+    if Obs.enabled () then
+      Obs.observe h_overflow_pass (float_of_int !total_overflow);
+    if !total_overflow = 0 then continue_ := false
     else begin
       (* rip up and reroute every net crossing an overflowed edge *)
+      Obs.incr c_ripup_rounds;
       let victims = ref [] in
       Array.iteri
         (fun k edges ->
           if List.exists (fun e -> overflow_of st e > 0) edges then
             victims := k :: !victims)
         net_edges;
+      Obs.incr ~by:(List.length !victims) c_ripped_nets;
       List.iter
         (fun k ->
           rip_up st net_edges.(k);
           net_edges.(k) <- route_net st az marks ~maze:true p nets.(k))
         !victims
-    end
+    end)
   done;
   (* ---------------- results ---------------- *)
   let overflow_h = ref 0 and overflow_v = ref 0 and overflow_via = ref 0 in

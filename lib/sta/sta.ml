@@ -1,6 +1,7 @@
 module T = Dco3d_tensor.Tensor
 module Nl = Dco3d_netlist.Netlist
 module Cl = Dco3d_netlist.Cell_lib
+module Obs = Dco3d_obs.Obs
 
 type config = {
   clock_period_ps : float;
@@ -82,7 +83,11 @@ let topo_cells nl =
       Array.sort (fun a b -> compare levels.(a) levels.(b)) order;
       order
 
+let c_analyses = Obs.counter "sta/analyses"
+
 let analyze cfg nl ~net_length ~net_is_3d =
+  Obs.with_span "sta" @@ fun () ->
+  Obs.incr c_analyses;
   let n = Nl.n_cells nl in
   let nn = Nl.n_nets nl in
   let order = topo_cells nl in

@@ -46,7 +46,7 @@ let cholesky_solve l b =
   let y = solve_lower l b in
   solve_upper (Tensor.transpose2 l) y
 
-let conjugate_gradient ?(max_iter = 200) ?(tol = 1e-8) matvec b x0 =
+let conjugate_gradient ?(max_iter = 200) ?(tol = 1e-8) ?iterations_out matvec b x0 =
   let n = Array.length b in
   let x = Array.copy x0 in
   let ax = matvec x in
@@ -82,4 +82,5 @@ let conjugate_gradient ?(max_iter = 200) ?(tol = 1e-8) matvec b x0 =
       incr iter
     end
   done;
+  (match iterations_out with Some r -> r := !iter | None -> ());
   x

@@ -23,6 +23,7 @@ val cholesky_solve : Tensor.t -> Tensor.t -> Tensor.t
 val conjugate_gradient :
   ?max_iter:int ->
   ?tol:float ->
+  ?iterations_out:int ref ->
   (float array -> float array) ->
   float array ->
   float array ->
@@ -31,4 +32,6 @@ val conjugate_gradient :
     [a x = b] where [a] is only available as a matrix-vector product.
     Returns the (possibly early-stopped) iterate.  [x0] is the starting
     point and is not mutated.  Defaults: [max_iter = 200],
-    [tol = 1e-8] on the residual norm relative to [||b||]. *)
+    [tol = 1e-8] on the residual norm relative to [||b||].  When
+    [iterations_out] is given, the number of iterations actually run is
+    stored into it (callers use this to export solver telemetry). *)

@@ -47,7 +47,12 @@ let gaussian ?(mu = 0.) ?(sigma = 1.) t =
     let u1 = uniform t in
     if u1 <= 1e-300 then draw () else u1
   in
-  let u1 = draw () and u2 = uniform t in
+  (* Sequenced [let .. in], not [let .. and ..]: the evaluation order of
+     [and]-bound expressions is unspecified, and both draws advance [t],
+     so the stream layout would depend on the compiler.  The guarantee
+     (see the interface) is: u1's rejection loop first, then u2. *)
+  let u1 = draw () in
+  let u2 = uniform t in
   let r = sqrt (-2. *. log u1) in
   mu +. (sigma *. r *. cos (2. *. Float.pi *. u2))
 

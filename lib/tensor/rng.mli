@@ -39,7 +39,15 @@ val bool : t -> bool
 (** Fair coin flip. *)
 
 val gaussian : ?mu:float -> ?sigma:float -> t -> float
-(** Normal deviate via Box-Muller ([mu = 0.], [sigma = 1.] by default). *)
+(** Normal deviate via Box-Muller ([mu = 0.], [sigma = 1.] by default).
+
+    {b Stream-layout guarantee.}  Each call consumes exactly two
+    uniforms in a fixed, explicitly sequenced order: first the
+    rejection-sampled magnitude draw (re-drawn while [<= 1e-300], which
+    in practice never recurs), then the phase draw.  The layout is part
+    of this module's interface — seeded placements and datasets depend
+    on it bit-for-bit — and is pinned by a regression test, so it must
+    not change across compilers, flambda settings, or refactors. *)
 
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher-Yates shuffle. *)

@@ -165,6 +165,88 @@ let test_ssim_bounded_and_ordered () =
     (Printf.sprintf "close %.3f > far %.3f" s_close s_far)
     true (s_close > s_far)
 
+(* Brute-force reference: identical statistics, positions generated
+   naively (every multiple of the stride, plus the clamped edge
+   position).  Guards the window_positions fix: before it, windows
+   stopped at the last full multiple of the stride and up to stride-1
+   border rows/columns were invisible to the metric. *)
+let ssim_reference ?(window = 7) pred truth =
+  let h = T.dim pred 0 and w = T.dim pred 1 in
+  let win = max 2 (min window (min h w)) in
+  let range = Float.max 1e-12 (T.max_elt truth -. T.min_elt truth) in
+  let c1 = (0.01 *. range) ** 2. and c2 = (0.03 *. range) ** 2. in
+  let stride = max 1 (win / 2) in
+  let positions extent =
+    let rec go p acc = if p <= extent - win then go (p + stride) (p :: acc) else acc in
+    let ps = go 0 [] in
+    let ps = if List.mem (extent - win) ps then ps else (extent - win) :: ps in
+    List.rev ps
+  in
+  let patch y x =
+    let n = float_of_int (win * win) in
+    let stat m =
+      let s = ref 0. in
+      for i = y to y + win - 1 do
+        for j = x to x + win - 1 do
+          s := !s +. T.get2 m i j
+        done
+      done;
+      !s /. n
+    in
+    let mu_a = stat pred and mu_b = stat truth in
+    let va = ref 0. and vb = ref 0. and cov = ref 0. in
+    for i = y to y + win - 1 do
+      for j = x to x + win - 1 do
+        let da = T.get2 pred i j -. mu_a and db = T.get2 truth i j -. mu_b in
+        va := !va +. (da *. da);
+        vb := !vb +. (db *. db);
+        cov := !cov +. (da *. db)
+      done
+    done;
+    ((2. *. mu_a *. mu_b) +. c1)
+    *. ((2. *. !cov /. n) +. c2)
+    /. (((mu_a *. mu_a) +. (mu_b *. mu_b) +. c1)
+       *. ((!va /. n) +. (!vb /. n) +. c2))
+  in
+  let acc = ref 0. and count = ref 0 in
+  List.iter
+    (fun y ->
+      List.iter
+        (fun x ->
+          acc := !acc +. patch y x;
+          incr count)
+        (positions w))
+    (positions h);
+  !acc /. float_of_int (max 1 !count)
+
+let test_ssim_matches_bruteforce () =
+  List.iter
+    (fun (hh, ww, window, seed) ->
+      let rng = Rng.create seed in
+      let truth = T.rand_uniform rng [| hh; ww |] in
+      let pred = T.rand_uniform rng [| hh; ww |] in
+      Alcotest.(check (float 1e-12))
+        (Printf.sprintf "%dx%d win %d" hh ww window)
+        (ssim_reference ~window pred truth)
+        (M.ssim ~window pred truth))
+    [ (9, 9, 4, 1); (8, 8, 4, 2); (16, 16, 7, 3); (7, 11, 5, 4); (5, 5, 7, 5) ]
+
+let test_ssim_sees_edge_hotspot () =
+  (* 9x9 with win=4, stride=2: window starts were [0;2;4] pre-fix, so
+     row/column 8 was never sampled — a hotspot there left the score at
+     exactly 1.  The clamped position 5 must now pick it up. *)
+  let base = T.init [| 9; 9 |] (fun _ -> 0.1) in
+  let truth =
+    T.init [| 9; 9 |] (fun idx ->
+        if idx.(0) = 8 && idx.(1) = 8 then 5. else 0.1)
+  in
+  let s = M.ssim ~window:4 base truth in
+  Alcotest.(check bool)
+    (Printf.sprintf "edge hotspot lowers ssim (got %.6f)" s)
+    true (s < 0.999);
+  Alcotest.(check (float 1e-12)) "matches brute force"
+    (ssim_reference ~window:4 base truth) s
+
 let prop_ssim_range =
   QCheck.Test.make ~name:"ssim stays in [-1, 1]" ~count:30
     (QCheck.int_bound 100_000) (fun seed ->
@@ -224,6 +306,10 @@ let suites =
         Alcotest.test_case "nrmse known" `Quick test_nrmse_known;
         Alcotest.test_case "ssim identical" `Quick test_ssim_identical_one;
         Alcotest.test_case "ssim ordering" `Quick test_ssim_bounded_and_ordered;
+        Alcotest.test_case "ssim matches brute force" `Quick
+          test_ssim_matches_bruteforce;
+        Alcotest.test_case "ssim sees edge hotspot" `Quick
+          test_ssim_sees_edge_hotspot;
         Alcotest.test_case "pearson" `Quick test_pearson;
         Alcotest.test_case "normalize01" `Quick test_normalize01;
         Alcotest.test_case "histogram/fractions" `Quick test_histogram_and_fractions;

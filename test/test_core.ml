@@ -150,6 +150,49 @@ let test_predictor_save_load () =
       let b, _ = Predictor.predict t' s.Dataset.f_bottom s.Dataset.f_top in
       Alcotest.(check bool) "same predictions" true (T.approx_equal a b))
 
+let test_predictor_load_errors () =
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  (* missing file *)
+  (match Predictor.load "/nonexistent/dco3d-no-such-predictor.bin" with
+  | _ -> Alcotest.fail "expected Load_error on missing file"
+  | exception Predictor.Load_error msg ->
+      Alcotest.(check bool) "missing: names the file" true
+        (contains msg "no-such-predictor"));
+  (* well-formed header whose companion weights file is absent: the
+     SiaUNet failure must surface as Predictor.Load_error *)
+  let path = Filename.temp_file "dco3d_pred" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc "DCO3D-PREDICTOR-V1";
+      Marshal.to_channel oc ((32, 1.0) : int * float) [];
+      close_out oc;
+      match Predictor.load path with
+      | _ -> Alcotest.fail "expected Load_error on missing .net"
+      | exception Predictor.Load_error msg ->
+          Alcotest.(check bool)
+            (Printf.sprintf "error %S names the .net file" msg)
+            true
+            (contains msg (path ^ ".net")));
+  (* truncated header *)
+  let path = Filename.temp_file "dco3d_pred" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc "DCO3D-PREDICTOR-V1";
+      close_out oc;
+      match Predictor.load path with
+      | _ -> Alcotest.fail "expected Load_error on truncated file"
+      | exception Predictor.Load_error msg ->
+          Alcotest.(check bool) "truncated: names the file" true
+            (contains msg path))
+
 (* ------------------------------------------------------------------ *)
 (* Soft maps (section IV-A + Eq. 6)                                    *)
 (* ------------------------------------------------------------------ *)
@@ -550,6 +593,7 @@ let suites =
         Alcotest.test_case "prediction shapes" `Slow test_predict_shapes_and_sign;
         Alcotest.test_case "metric ranges" `Slow test_evaluate_metrics_range;
         Alcotest.test_case "save/load" `Slow test_predictor_save_load;
+        Alcotest.test_case "load errors" `Quick test_predictor_load_errors;
       ] );
     ( "core.soft_maps",
       [

@@ -95,6 +95,12 @@ let test_dataset_save_load_roundtrip () =
         (d.Dataset.samples.(0).Dataset.params
         = d'.Dataset.samples.(0).Dataset.params))
 
+(* substring check, used by the load-error tests *)
+let astr_contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
 let test_dataset_load_rejects_garbage () =
   let path = Filename.temp_file "dco3d_ds" ".bin" in
   Fun.protect
@@ -103,8 +109,49 @@ let test_dataset_load_rejects_garbage () =
       let oc = open_out_bin path in
       output_string oc "garbage-not-a-dataset";
       close_out oc;
-      Alcotest.check_raises "bad magic" (Failure "Dataset.load: bad file magic")
-        (fun () -> ignore (Dataset.load path)))
+      (match Dataset.load path with
+      | _ -> Alcotest.fail "expected Load_error"
+      | exception Dataset.Load_error msg ->
+          Alcotest.(check bool) "names the file" true
+            (astr_contains msg path);
+          Alcotest.(check bool) "names the cause" true
+            (astr_contains msg "bad file magic")))
+
+let test_dataset_load_truncated () =
+  let nl = Gen.generate ~scale:0.01 ~seed:5 (Gen.profile "DMA") in
+  let fp = Fp.create ~gcell_nx:12 ~gcell_ny:12 nl in
+  let base =
+    Dco3d_place.Placer.global_place ~seed:1 ~params:Dco3d_place.Params.default
+      nl fp
+  in
+  let route_cfg = Dco3d_route.Router.calibrated_config base in
+  let d = Dataset.build ~n_samples:1 ~seed:3 ~route_cfg nl fp in
+  let path = Filename.temp_file "dco3d_ds" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Dataset.save d path;
+      (* keep the magic plus a sliver of the Marshal image *)
+      let ic = open_in_bin path in
+      let keep = min (in_channel_length ic) 40 in
+      let prefix = really_input_string ic keep in
+      close_in ic;
+      let oc = open_out_bin path in
+      output_string oc prefix;
+      close_out oc;
+      match Dataset.load path with
+      | _ -> Alcotest.fail "expected Load_error on truncated file"
+      | exception Dataset.Load_error msg ->
+          Alcotest.(check bool)
+            (Printf.sprintf "error %S names the file" msg)
+            true (astr_contains msg path))
+
+let test_dataset_load_missing_file () =
+  match Dataset.load "/nonexistent/dco3d-no-such-dataset.bin" with
+  | _ -> Alcotest.fail "expected Load_error on missing file"
+  | exception Dataset.Load_error msg ->
+      Alcotest.(check bool) "names the file" true
+        (astr_contains msg "no-such-dataset")
 
 (* ------------------------------------------------------------------ *)
 (* Critical path                                                       *)
@@ -226,6 +273,8 @@ let suites =
       [
         Alcotest.test_case "save/load roundtrip" `Quick test_dataset_save_load_roundtrip;
         Alcotest.test_case "rejects garbage" `Quick test_dataset_load_rejects_garbage;
+        Alcotest.test_case "rejects truncated" `Quick test_dataset_load_truncated;
+        Alcotest.test_case "rejects missing" `Quick test_dataset_load_missing_file;
       ] );
     ( "extras.critical_path",
       [

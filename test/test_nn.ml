@@ -199,9 +199,40 @@ let test_unet_load_rejects_garbage () =
       let oc = open_out_bin path in
       output_string oc "NOT-A-UNET-FILE-AT-ALL";
       close_out oc;
-      Alcotest.check_raises "bad magic"
-        (Failure "Siamese_unet.load: bad file magic") (fun () ->
-          ignore (SiaUNet.load path)))
+      (match SiaUNet.load path with
+      | _ -> Alcotest.fail "expected Load_error"
+      | exception SiaUNet.Load_error msg ->
+          let contains hay needle =
+            let nh = String.length hay and nn = String.length needle in
+            let rec go i =
+              i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+            in
+            go 0
+          in
+          Alcotest.(check bool) "names the file" true (contains msg path);
+          Alcotest.(check bool) "names the cause" true
+            (contains msg "bad file magic")))
+
+let test_unet_load_truncated () =
+  let path = Filename.temp_file "dco3d_unet" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      (* valid magic, no snapshot behind it *)
+      output_string oc "DCO3D-SIAUNET-V1";
+      close_out oc;
+      match SiaUNet.load path with
+      | _ -> Alcotest.fail "expected Load_error on truncated file"
+      | exception SiaUNet.Load_error msg ->
+          let contains hay needle =
+            let nh = String.length hay and nn = String.length needle in
+            let rec go i =
+              i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+            in
+            go 0
+          in
+          Alcotest.(check bool) "names the file" true (contains msg path))
 
 let suites =
   [
@@ -224,5 +255,6 @@ let suites =
         Alcotest.test_case "overfits one sample" `Slow test_unet_trains;
         Alcotest.test_case "save/load roundtrip" `Quick test_unet_save_load;
         Alcotest.test_case "load rejects garbage" `Quick test_unet_load_rejects_garbage;
+        Alcotest.test_case "load rejects truncated" `Quick test_unet_load_truncated;
       ] );
   ]

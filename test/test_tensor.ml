@@ -360,6 +360,57 @@ let test_rng_gaussian_moments () =
   Alcotest.(check bool) "mean ~ 0" true (abs_float mean < 0.05);
   Alcotest.(check bool) "var ~ 1" true (abs_float (var -. 1.) < 0.05)
 
+(* Pins the gaussian stream layout (the interface guarantee added with
+   the explicit u1-then-u2 sequencing fix): the first 8 deviates of two
+   fixed seeds, bit-for-bit.  If this test fails, every seeded
+   placement and dataset in the repo has silently shifted. *)
+let test_rng_gaussian_stream_pinned () =
+  let expect_42 =
+    [|
+      0x1.160aff434622bp-1;
+      0x1.ceecb24eab8c2p+0;
+      0x1.2d06dee17728ap-6;
+      0x1.d4877725ed293p-1;
+      0x1.d7dd2fc70572bp-6;
+      0x1.1b615727bb0e3p-1;
+      0x1.9b685848f051cp-2;
+      0x1.8e04e447870d2p+0;
+    |]
+  in
+  let expect_7 =
+    [|
+      -0x1.766856aa9a2d2p-2;
+      0x1.093de7eb90b17p-2;
+      -0x1.03a2c761b72c9p-1;
+      -0x1.12ce2e86f41a7p+0;
+      0x1.1a42e8c18845fp-1;
+      0x1.a59127bd87728p-3;
+      -0x1.9184060107012p-4;
+      0x1.0d64f49dddc1p-1;
+    |]
+  in
+  List.iter
+    (fun (seed, expect) ->
+      let rng = Rng.create seed in
+      Array.iteri
+        (fun i e ->
+          let got = Rng.gaussian rng in
+          Alcotest.(check (float 0.))
+            (Printf.sprintf "seed %d deviate %d" seed i)
+            e got)
+        expect)
+    [ (42, expect_42); (7, expect_7) ];
+  (* mu/sigma are an affine map of the same underlying stream *)
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for i = 0 to 7 do
+    let plain = Rng.gaussian a in
+    let scaled = Rng.gaussian ~mu:3. ~sigma:0.5 b in
+    Alcotest.(check (float 1e-12))
+      (Printf.sprintf "affine deviate %d" i)
+      (3. +. (0.5 *. plain))
+      scaled
+  done
+
 let test_rng_permutation () =
   let rng = Rng.create 5 in
   let p = Rng.permutation rng 50 in
@@ -475,6 +526,8 @@ let suites =
         Alcotest.test_case "split independence" `Quick test_rng_split_independence;
         Alcotest.test_case "uniform range" `Quick test_rng_uniform_range;
         Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+        Alcotest.test_case "gaussian stream pinned" `Quick
+          test_rng_gaussian_stream_pinned;
         Alcotest.test_case "permutation" `Quick test_rng_permutation;
       ] );
     ( "tensor.linalg",
