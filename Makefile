@@ -22,15 +22,15 @@ bench:
 bench-log:
 	dune exec bench/main.exe 2>&1 | tee bench_output.txt
 
-# Determinism guard: the kernels bench must produce bit-identical
-# results at DCO3D_JOBS=1 and DCO3D_JOBS=$(JOBS).  The bench writes
-# BENCH_kernels.digest (timing-free content digests of every kernel's
-# numeric output); the two runs' digest files must match exactly.
+# Determinism guard: the kernels and route benches must produce
+# bit-identical results at DCO3D_JOBS=1 and DCO3D_JOBS=$(JOBS).  The
+# bench writes BENCH_kernels.digest (timing-free content digests of
+# every section's numeric output); the two runs' files must match.
 bench-deterministic:
 	dune build bench/main.exe
-	DCO3D_ONLY=kernels DCO3D_JOBS=1 dune exec --no-build bench/main.exe > /dev/null
+	DCO3D_ONLY=kernels,route DCO3D_JOBS=1 dune exec --no-build bench/main.exe > /dev/null
 	mv BENCH_kernels.digest BENCH_kernels.jobs1.digest
-	DCO3D_ONLY=kernels DCO3D_JOBS=$(JOBS) dune exec --no-build bench/main.exe > /dev/null
+	DCO3D_ONLY=kernels,route DCO3D_JOBS=$(JOBS) dune exec --no-build bench/main.exe > /dev/null
 	sha256sum BENCH_kernels.jobs1.digest BENCH_kernels.digest
 	cmp BENCH_kernels.jobs1.digest BENCH_kernels.digest
 	@rm -f BENCH_kernels.jobs1.digest
@@ -45,7 +45,7 @@ bench-deterministic:
 #   DCO3D_BENCH_REGRESS  par_ms regression cap    (default 0.15)
 bench-check:
 	dune build bench/main.exe bench/bench_check.exe
-	DCO3D_ONLY=kernels DCO3D_JOBS=$(JOBS) dune exec --no-build bench/main.exe > /dev/null
+	DCO3D_ONLY=kernels,route DCO3D_JOBS=$(JOBS) dune exec --no-build bench/main.exe > /dev/null
 	dune exec --no-build bench/bench_check.exe
 
 examples:

@@ -11,7 +11,7 @@
      DCO3D_DESIGNS    comma-separated subset     (default all six)
      DCO3D_ONLY       comma-separated experiment subset
                       (table1,table2,fig2,fig5a,fig5b,fig5c,alg2,fig6,fig7,
-                       table3,ablation,kernels)
+                       table3,ablation,kernels,route)
 
    Usage: dune exec bench/main.exe *)
 
@@ -697,7 +697,82 @@ let kernels () =
         })
       cases
   in
-  (* machine-readable perf trajectory across PRs *)
+  if List.exists (fun k -> not k.k_ok) rows then begin
+    prerr_endline
+      "kernels: parallel result diverged from sequential result (digest \
+       mismatch)";
+    exit 1
+  end;
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* Route benchmark: sequential vs parallel repair waves                 *)
+(* ------------------------------------------------------------------ *)
+
+let route_bench () =
+  section "Route benchmark (sequential vs parallel repair waves)";
+  let target_jobs = Pool.jobs () in
+  let e = env_of (List.hd designs) in
+  let r = pin3d_of e in
+  let p = r.Flow.placement in
+  let cfg = e.ctx.Flow.route_cfg in
+  let fp = e.ctx.Flow.fp in
+  let size =
+    Printf.sprintf "%s, %dx%dx2 gcells" e.name fp.P.Floorplan.gcell_nx
+      fp.P.Floorplan.gcell_ny
+  in
+  let effective = Pool.effective_jobs () in
+  Printf.printf "  jobs: sequential=1 parallel=%d (effective %d of %d cores)\n"
+    target_jobs effective
+    (Domain.recommended_domain_count ());
+  let reps = max 3 (env_int "DCO3D_BENCH_REPS" 3) in
+  let run () = Router.route ~config:cfg p in
+  Pool.set_jobs 1;
+  let seq_t, seq_r = time_best reps run in
+  Pool.set_jobs target_jobs;
+  let par_t, par_r = time_best reps run in
+  (* same honest-reporting rule as the kernels: one effective job means
+     both legs ran the identical inline schedule *)
+  let seq_t, par_t =
+    if effective = 1 then
+      let best = Float.min seq_t par_t in
+      (best, best)
+    else (seq_t, par_t)
+  in
+  let dseq = Router.digest seq_r and dpar = Router.digest par_r in
+  let ok = String.equal dseq dpar in
+  Printf.printf "  %-24s %-28s %9s %9s %8s %s\n" "op" "size" "seq ms" "par ms"
+    "speedup" "digest match";
+  Printf.printf "  %-24s %-28s %9.2f %9.2f %7.2fx %s\n%!" "route" size
+    (seq_t *. 1e3) (par_t *. 1e3) (seq_t /. par_t)
+    (if ok then "ok" else "MISMATCH");
+  Printf.printf "    overflow %d (%.2f%% gcells), wirelength %.1f um, %d \
+                 repair passes\n"
+    seq_r.Router.overflow_total seq_r.Router.overflow_gcell_pct
+    seq_r.Router.wirelength seq_r.Router.iterations_run;
+  if not ok then begin
+    prerr_endline
+      "route: parallel repair diverged from sequential repair (digest \
+       mismatch)";
+    exit 1
+  end;
+  [
+    {
+      k_name = "route";
+      k_size = size;
+      k_flops = None;
+      k_seq_ms = seq_t *. 1e3;
+      k_par_ms = par_t *. 1e3;
+      k_digest = dseq;
+      k_ok = ok;
+    };
+  ]
+
+(* machine-readable perf trajectory across PRs: one combined file over
+   every benchmarked section (kernels + route) *)
+let write_bench_files rows =
+  let target_jobs = Pool.jobs () in
+  let effective = Pool.effective_jobs () in
   let oc = open_out "BENCH_kernels.json" in
   Printf.fprintf oc "{\n  \"jobs\": %d,\n  \"jobs_effective\": %d,\n  \"kernels\": [\n"
     target_jobs effective;
@@ -720,13 +795,7 @@ let kernels () =
   let oc = open_out "BENCH_kernels.digest" in
   List.iter (fun k -> Printf.fprintf oc "%s\t%s\n" k.k_name k.k_digest) rows;
   close_out oc;
-  Printf.printf "  [wrote BENCH_kernels.json and BENCH_kernels.digest]\n";
-  if List.exists (fun k -> not k.k_ok) rows then begin
-    prerr_endline
-      "kernels: parallel result diverged from sequential result (digest \
-       mismatch)";
-    exit 1
-  end
+  Printf.printf "  [wrote BENCH_kernels.json and BENCH_kernels.digest]\n"
 
 (* ------------------------------------------------------------------ *)
 (* main                                                                 *)
@@ -754,7 +823,10 @@ let () =
   if enabled "fig7" then fig7 ();
   if enabled "table3" then table3 ();
   if enabled "ablation" then ablation ();
-  if enabled "kernels" then kernels ();
+  let kernel_rows = if enabled "kernels" then kernels () else [] in
+  let route_rows = if enabled "route" then route_bench () else [] in
+  let bench_rows = kernel_rows @ route_rows in
+  if bench_rows <> [] then write_bench_files bench_rows;
   Obs.write_profile "BENCH_stage_profile.txt";
   Printf.printf "  [wrote BENCH_stage_profile.txt]\n";
   Printf.printf "\n[total runtime %.1f s]\n" (Unix.gettimeofday () -. t0)

@@ -17,14 +17,16 @@ module Predictor = Dco3d_core.Predictor
 module Dco = Dco3d_core.Dco
 module Tcl = Dco3d_core.Tcl_export
 module Obs = Dco3d_obs.Obs
+module Pool = Dco3d_parallel.Pool
 
 open Cmdliner
 
-let setup verbose trace_out =
+let setup verbose trace_out jobs =
   Fmt_tty.setup_std_outputs ();
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning));
-  Option.iter Obs.set_trace_path trace_out
+  Option.iter Obs.set_trace_path trace_out;
+  Option.iter Pool.set_jobs jobs
 
 let verbose_t =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Chatty progress output.")
@@ -37,8 +39,17 @@ let trace_t =
         ~doc:
           "Record stage spans and write a Chrome-trace JSON to $(docv) at            exit (open in chrome://tracing or Perfetto).  Equivalent to            setting DCO3D_TRACE=$(docv).")
 
-(* every subcommand shares logging + tracing setup as its first term *)
-let setup_t = Term.(const setup $ verbose_t $ trace_t)
+let jobs_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel kernels and routing repair            (overrides DCO3D_JOBS; clamped to the hardware core count).")
+
+(* every subcommand shares logging + tracing + pool setup as its first
+   term *)
+let setup_t = Term.(const setup $ verbose_t $ trace_t $ jobs_t)
 
 let design_t =
   Arg.(

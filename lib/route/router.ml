@@ -3,6 +3,7 @@ module Nl = Dco3d_netlist.Netlist
 module Obs = Dco3d_obs.Obs
 module Pl = Dco3d_place.Placement
 module Fp = Dco3d_place.Floorplan
+module Pool = Dco3d_parallel.Pool
 
 type config = {
   cap_h : int;
@@ -167,48 +168,68 @@ module Heap = struct
       h.keys <- keys;
       h.vals <- vals
     end;
+    (* sift indices stay below [len] <= capacity, so the sift loops
+       use unchecked accesses (this and [pop_min] are the A* loop's
+       biggest single cost) *)
+    let keys = h.keys and vals = h.vals in
     let i = ref h.len in
     h.len <- h.len + 1;
-    h.keys.(!i) <- k;
-    h.vals.(!i) <- v;
+    Array.unsafe_set keys !i k;
+    Array.unsafe_set vals !i v;
     let continue_ = ref true in
     while !continue_ && !i > 0 do
       let parent = (!i - 1) / 2 in
-      if h.keys.(parent) > h.keys.(!i) then begin
-        let tk = h.keys.(parent) and tv = h.vals.(parent) in
-        h.keys.(parent) <- h.keys.(!i);
-        h.vals.(parent) <- h.vals.(!i);
-        h.keys.(!i) <- tk;
-        h.vals.(!i) <- tv;
+      let kp = Array.unsafe_get keys parent in
+      if kp > Array.unsafe_get keys !i then begin
+        let tv = Array.unsafe_get vals parent in
+        Array.unsafe_set keys parent (Array.unsafe_get keys !i);
+        Array.unsafe_set vals parent (Array.unsafe_get vals !i);
+        Array.unsafe_set keys !i kp;
+        Array.unsafe_set vals !i tv;
         i := parent
       end
       else continue_ := false
     done
 
-  let pop h =
-    let k = h.keys.(0) and v = h.vals.(0) in
+  (* [pop_min] returns the value alone: the A* loop discards the key,
+     and skipping it keeps the million-pop hot path allocation-free
+     (the [(key, value)] pair of [pop] is two heap blocks per call). *)
+  let pop_min h =
+    if h.len = 0 then invalid_arg "Heap.pop: empty heap";
+    let keys = h.keys and vals = h.vals in
+    let v = Array.unsafe_get vals 0 in
     h.len <- h.len - 1;
-    if h.len > 0 then begin
-      h.keys.(0) <- h.keys.(h.len);
-      h.vals.(0) <- h.vals.(h.len);
+    let len = h.len in
+    if len > 0 then begin
+      Array.unsafe_set keys 0 (Array.unsafe_get keys len);
+      Array.unsafe_set vals 0 (Array.unsafe_get vals len);
       let i = ref 0 in
       let continue_ = ref true in
       while !continue_ do
         let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
         let smallest = ref !i in
-        if l < h.len && h.keys.(l) < h.keys.(!smallest) then smallest := l;
-        if r < h.len && h.keys.(r) < h.keys.(!smallest) then smallest := r;
+        if l < len && Array.unsafe_get keys l < Array.unsafe_get keys !smallest
+        then smallest := l;
+        if r < len && Array.unsafe_get keys r < Array.unsafe_get keys !smallest
+        then smallest := r;
         if !smallest <> !i then begin
-          let tk = h.keys.(!smallest) and tv = h.vals.(!smallest) in
-          h.keys.(!smallest) <- h.keys.(!i);
-          h.vals.(!smallest) <- h.vals.(!i);
-          h.keys.(!i) <- tk;
-          h.vals.(!i) <- tv;
+          let tk = Array.unsafe_get keys !smallest in
+          let tv = Array.unsafe_get vals !smallest in
+          Array.unsafe_set keys !smallest (Array.unsafe_get keys !i);
+          Array.unsafe_set vals !smallest (Array.unsafe_get vals !i);
+          Array.unsafe_set keys !i tk;
+          Array.unsafe_set vals !i tv;
           i := !smallest
         end
         else continue_ := false
       done
     end;
+    v
+
+  let pop h =
+    if h.len = 0 then invalid_arg "Heap.pop: empty heap";
+    let k = h.keys.(0) in
+    let v = pop_min h in
     (k, v)
 end
 
@@ -229,8 +250,25 @@ type state = {
   demand : int array;
   history : float array;
   base_cost : float array;  (** routing cost units *)
+  pass_cost : float array;
+      (** [base_cost.(e) *. (1. +. history.(e))], refreshed once per
+          repair pass — the history term only moves between passes, so
+          hoisting it keeps the A* inner loop (millions of pops) to one
+          load plus the overflow term *)
   phys_len : float array;  (** physical length, um *)
+  node_tier : int array;
+      (** per-node coordinate tables: the A* loop decodes every popped
+          node and each of its neighbours, and the div/mod decode
+          against non-constant grid dims costs more than the rest of
+          the expansion — three L1-resident lookups replace it *)
+  node_gy : int array;
+  node_gx : int array;
 }
+
+let refresh_pass_cost st =
+  for e = 0 to st.n_edges - 1 do
+    st.pass_cost.(e) <- st.base_cost.(e) *. (1. +. st.history.(e))
+  done
 
 let make_state cfg fp (p : Pl.t) =
   let pin_density = pin_density_bins p in
@@ -279,21 +317,37 @@ let make_state cfg fp (p : Pl.t) =
     base_cost.(e) <- 0.4;
     phys_len.(e) <- 0.5 (* hybrid-bond stub *)
   done;
-  {
-    cfg; nx; ny; gw; gh; n_h; n_v; n_edges; cap;
-    demand = Array.make n_edges 0;
-    history = Array.make n_edges 0.;
-    base_cost; phys_len;
-  }
+  let n_nodes = 2 * ny * nx in
+  let node_tier = Array.make n_nodes 0 in
+  let node_gy = Array.make n_nodes 0 in
+  let node_gx = Array.make n_nodes 0 in
+  for n = 0 to n_nodes - 1 do
+    node_tier.(n) <- n / (ny * nx);
+    node_gy.(n) <- n mod (ny * nx) / nx;
+    node_gx.(n) <- n mod nx
+  done;
+  let st =
+    {
+      cfg; nx; ny; gw; gh; n_h; n_v; n_edges; cap;
+      demand = Array.make n_edges 0;
+      history = Array.make n_edges 0.;
+      base_cost;
+      pass_cost = Array.make n_edges 0.;
+      phys_len;
+      node_tier; node_gy; node_gx;
+    }
+  in
+  refresh_pass_cost st;
+  st
 
 let h_edge st tier gy gx = (((tier * st.ny) + gy) * (st.nx - 1)) + gx
 let v_edge st tier gy gx = (2 * st.n_h) + (((tier * (st.ny - 1)) + gy) * st.nx) + gx
 let via_edge st gy gx = (2 * st.n_h) + (2 * st.n_v) + (gy * st.nx) + gx
 
 let node_of st tier gy gx = (((tier * st.ny) + gy) * st.nx) + gx
-let tier_of_node st n = n / (st.ny * st.nx)
-let gy_of_node st n = n mod (st.ny * st.nx) / st.nx
-let gx_of_node st n = n mod st.nx
+let tier_of_node st n = st.node_tier.(n)
+let gy_of_node st n = st.node_gy.(n)
+let gx_of_node st n = st.node_gx.(n)
 
 (* Edges already used by the net being routed are marked with the
    current generation in [net_mark]: reuse is free because demand is
@@ -302,13 +356,16 @@ type net_marks = { mark : int array; mutable gen : int }
 
 let make_marks st = { mark = Array.make st.n_edges (-1); gen = 0 }
 
-(* Congestion-aware edge cost. *)
+(* Congestion-aware edge cost.  [pass_cost] already folds in the
+   history term (bit-identically: it is the same product, computed once
+   per pass instead of once per query).  Unchecked accesses as in the
+   tensor kernels: [e] comes from the edge-id formulas over in-range
+   coordinates, and this runs ~5x per A* pop. *)
 let edge_cost st marks e =
-  if marks.mark.(e) = marks.gen then 0.001
+  if Array.unsafe_get marks.mark e = marks.gen then 0.001
   else begin
-    let over = st.demand.(e) + 1 - st.cap.(e) in
-    st.base_cost.(e)
-    *. (1. +. st.history.(e))
+    let over = Array.unsafe_get st.demand e + 1 - Array.unsafe_get st.cap e in
+    Array.unsafe_get st.pass_cost e
     +. (if over > 0 then st.cfg.overflow_penalty *. float_of_int over else 0.)
   end
 
@@ -458,6 +515,11 @@ let c_ripup_rounds = Obs.counter "route/ripup_rounds"
 let c_ripped_nets = Obs.counter "route/ripped_nets"
 let h_overflow_pass = Obs.histogram "route/overflow_per_pass"
 
+(* Wave structure is a function of the victim set alone, so both
+   histograms are jobs-invariant. *)
+let h_waves_per_pass = Obs.histogram "route/waves_per_pass"
+let h_wave_size = Obs.histogram "route/wave_size"
+
 let astar_route st az marks src dst =
   az.generation <- az.generation + 1;
   let gen = az.generation in
@@ -470,21 +532,31 @@ let astar_route st az marks src dst =
   let margin = 2 + (max st.nx st.ny / 6) in
   let wx0 = max 0 (min sx dx1 - margin) and wx1 = min (st.nx - 1) (max sx dx1 + margin) in
   let wy0 = max 0 (min sy dy1 - margin) and wy1 = min (st.ny - 1) (max sy dy1 + margin) in
+  (* node ids are in range by construction (they come from [node_of]
+     over clamped coordinates), so the per-pop decode and the visit
+     bookkeeping use unchecked accesses, as in the tensor kernels *)
+  let node_gx = st.node_gx and node_gy = st.node_gy in
   let in_window n =
-    let gx = gx_of_node st n and gy = gy_of_node st n in
+    let gx = Array.unsafe_get node_gx n and gy = Array.unsafe_get node_gy n in
     gx >= wx0 && gx <= wx1 && gy >= wy0 && gy <= wy1
   in
   (* mildly weighted heuristic: faster, near-optimal *)
   let heuristic n =
     1.15
-    *. float_of_int (abs (gx_of_node st n - dx1) + abs (gy_of_node st n - dy1))
+    *. float_of_int
+         (abs (Array.unsafe_get node_gx n - dx1)
+         + abs (Array.unsafe_get node_gy n - dy1))
   in
   let visit n g pn pe =
-    if in_window n && (az.stamp.(n) <> gen || g < az.gscore.(n)) then begin
-      az.stamp.(n) <- gen;
-      az.gscore.(n) <- g;
-      az.parent_node.(n) <- pn;
-      az.parent_edge.(n) <- pe;
+    if
+      in_window n
+      && (Array.unsafe_get az.stamp n <> gen
+         || g < Array.unsafe_get az.gscore n)
+    then begin
+      Array.unsafe_set az.stamp n gen;
+      Array.unsafe_set az.gscore n g;
+      Array.unsafe_set az.parent_node n pn;
+      Array.unsafe_set az.parent_edge n pe;
       Heap.push az.heap (g +. heuristic n) n
     end
   in
@@ -492,13 +564,14 @@ let astar_route st az marks src dst =
   let found = ref false in
   let pops = ref 0 in
   while (not !found) && not (Heap.is_empty az.heap) do
-    let _, n = Heap.pop az.heap in
+    let n = Heap.pop_min az.heap in
     incr pops;
     if n = dst then found := true
-    else if az.closed.(n) <> gen then begin
-      az.closed.(n) <- gen;
-      let g = az.gscore.(n) in
-      let t = tier_of_node st n and gy = gy_of_node st n and gx = gx_of_node st n in
+    else if Array.unsafe_get az.closed n <> gen then begin
+      Array.unsafe_set az.closed n gen;
+      let g = Array.unsafe_get az.gscore n in
+      let t = tier_of_node st n in
+      let gy = Array.unsafe_get node_gy n and gx = Array.unsafe_get node_gx n in
       let try_edge e n' = visit n' (g +. edge_cost st marks e) n e in
       if gx > 0 then try_edge (h_edge st t gy (gx - 1)) (node_of st t gy (gx - 1));
       if gx < st.nx - 1 then try_edge (h_edge st t gy gx) (node_of st t gy (gx + 1));
@@ -582,18 +655,54 @@ let prim_pairs st nodes =
       done;
       List.rev !pairs
 
-let commit st marks acc path =
-  List.iter
+(* Routing a net touches shared state in two phases: [trace_net]
+   computes the net's deduplicated edge set reading (but never writing)
+   [st.demand], and [apply_net] / [rip_up_net] commit or retract the
+   demand deltas and keep the edge→net incidence index in sync.  The
+   split is what lets a repair wave route window-disjoint nets
+   concurrently and still commit in fixed net order.
+
+   Note that deferring the demand writes cannot change a net's own
+   routing: edges the net has already committed are generation-marked,
+   and marked edges cost a flat 0.001 regardless of demand, so a net
+   never observes its own increments. *)
+
+(* Unordered growable int bag — the per-edge incidence set.  Swap
+   removal keeps both maintenance directions allocation-free on the
+   hot rip-up/commit path (victim collection sorts, so the order in a
+   bag never reaches a result). *)
+type bag = { mutable data : int array; mutable len : int }
+
+let bag_add b k =
+  if b.len = Array.length b.data then begin
+    let d = Array.make (max 4 (2 * b.len)) 0 in
+    Array.blit b.data 0 d 0 b.len;
+    b.data <- d
+  end;
+  b.data.(b.len) <- k;
+  b.len <- b.len + 1
+
+let bag_remove b k =
+  let i = ref 0 in
+  while b.data.(!i) <> k do
+    incr i
+  done;
+  b.len <- b.len - 1;
+  b.data.(!i) <- b.data.(b.len)
+
+let apply_net st idx k path =
+  Array.iter
     (fun e ->
-      if marks.mark.(e) <> marks.gen then begin
-        marks.mark.(e) <- marks.gen;
-        st.demand.(e) <- st.demand.(e) + 1;
-        acc := e :: !acc
-      end)
+      st.demand.(e) <- st.demand.(e) + 1;
+      bag_add idx.(e) k)
     path
 
-let rip_up st edges =
-  List.iter (fun e -> st.demand.(e) <- st.demand.(e) - 1) edges
+let rip_up_net st idx k path =
+  Array.iter
+    (fun e ->
+      st.demand.(e) <- st.demand.(e) - 1;
+      bag_remove idx.(e) k)
+    path
 
 (* Two-pin decomposition of a net's pin GCells.  Same-tier nets with a
    handful of pins get a rectilinear Steiner topology (shorter trees);
@@ -619,82 +728,256 @@ let decompose st nodes =
       end
       else prim_pairs st nodes
 
-(* Route one net; returns the committed edge list. *)
-let route_net st az marks ~maze (p : Pl.t) net =
+(* Per-domain routing scratch: the A* state, heap and net marks are
+   mutable and net-sized, so each domain executing repair-wave chunks
+   owns its own set (all fields are generation-stamped — a reused
+   scratch can never leak state into a result). *)
+type scratch = { az : astar; marks : net_marks }
+
+let make_scratch st = { az = make_astar st; marks = make_marks st }
+
+(* Route one net against the current demand without mutating anything
+   shared; returns the deduplicated edge array in discovery order. *)
+let trace_net st sc ~maze (p : Pl.t) net =
+  let marks = sc.marks in
   marks.gen <- marks.gen + 1;
   let nodes = net_nodes st p net in
   let pairs = decompose st nodes in
-  let acc = ref [] in
+  let acc = ref [] and n = ref 0 in
   List.iter
     (fun (a, b) ->
       let path =
         if maze then
-          match astar_route st az marks a b with
+          match astar_route st sc.az marks a b with
           | Some path -> path
           | None -> pattern_route st marks a b
         else pattern_route st marks a b
       in
-      commit st marks acc path)
+      List.iter
+        (fun e ->
+          if marks.mark.(e) <> marks.gen then begin
+            marks.mark.(e) <- marks.gen;
+            acc := e :: !acc;
+            incr n
+          end)
+        path)
     pairs;
-  !acc
+  let arr = Array.make !n (-1) in
+  List.iteri (fun i e -> arr.(!n - 1 - i) <- e) !acc;
+  arr
 
 let overflow_of st e = max 0 (st.demand.(e) - st.cap.(e))
 
-let route ?config (p : Pl.t) =
+(* ------------------------------------------------------------------ *)
+(* Repair waves                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* A net's search window: its pin-GCell bounding box plus the A* detour
+   margin (same formula as [astar_route]).  Every edge the net can ever
+   commit — pattern or maze, any pass — has both endpoints inside the
+   window, so two nets with disjoint windows never read or write the
+   same edge.  That independence relation is what a repair wave
+   exploits. *)
+let net_window st fp (p : Pl.t) net =
+  let x0 = ref max_int and y0 = ref max_int in
+  let x1 = ref min_int and y1 = ref min_int in
+  let add e =
+    let x, y, _ = Pl.endpoint_position p e in
+    let gx, gy = Fp.gcell_of fp x y in
+    if gx < !x0 then x0 := gx;
+    if gx > !x1 then x1 := gx;
+    if gy < !y0 then y0 := gy;
+    if gy > !y1 then y1 := gy
+  in
+  add net.Nl.driver;
+  Array.iter add net.Nl.sinks;
+  let margin = 2 + (max st.nx st.ny / 6) in
+  ( max 0 (!x0 - margin),
+    max 0 (!y0 - margin),
+    min (st.nx - 1) (!x1 + margin),
+    min (st.ny - 1) (!y1 + margin) )
+
+(* Greedy first-fit partition of the victim list into waves of pairwise
+   window-disjoint nets.  A pure function of the victim order and the
+   windows — never of DCO3D_JOBS — so the wave structure, and with it
+   the routing result, is identical at any job count (executing a wave
+   concurrently is equivalent to executing it sequentially, precisely
+   because its members touch disjoint edge sets). *)
+type wave_acc = {
+  mutable rects : int array;  (** 4 ints (x0 y0 x1 y1) per member *)
+  mutable members : int array;
+  mutable n : int;
+}
+
+let partition_waves windows victims =
+  let nv = List.length victims in
+  let waves =
+    Array.init (max 1 nv) (fun _ -> { rects = [||]; members = [||]; n = 0 })
+  in
+  let n_waves = ref 0 in
+  List.iter
+    (fun k ->
+      let x0, y0, x1, y1 = windows.(k) in
+      (* first wave whose members' windows all miss this one; the scan
+         is flat int comparisons, no allocation *)
+      let w = ref 0 in
+      let placed = ref false in
+      while not !placed do
+        if !w = !n_waves then begin
+          incr n_waves;
+          placed := true
+        end
+        else begin
+          let wv = waves.(!w) in
+          let r = wv.rects in
+          let n4 = 4 * wv.n in
+          let conflict = ref false in
+          let i = ref 0 in
+          while (not !conflict) && !i < n4 do
+            if
+              x0 <= r.(!i + 2) && r.(!i) <= x1 && y0 <= r.(!i + 3)
+              && r.(!i + 1) <= y1
+            then conflict := true
+            else i := !i + 4
+          done;
+          if !conflict then incr w else placed := true
+        end
+      done;
+      let wv = waves.(!w) in
+      if 4 * wv.n = Array.length wv.rects then begin
+        let cap = max 4 (2 * wv.n) in
+        let rects = Array.make (4 * cap) 0 and members = Array.make cap 0 in
+        Array.blit wv.rects 0 rects 0 (4 * wv.n);
+        Array.blit wv.members 0 members 0 wv.n;
+        wv.rects <- rects;
+        wv.members <- members
+      end;
+      let b = 4 * wv.n in
+      wv.rects.(b) <- x0;
+      wv.rects.(b + 1) <- y0;
+      wv.rects.(b + 2) <- x1;
+      wv.rects.(b + 3) <- y1;
+      wv.members.(wv.n) <- k;
+      wv.n <- wv.n + 1)
+    victims;
+  Array.init !n_waves (fun w -> Array.sub waves.(w).members 0 waves.(w).n)
+
+let route ?config ?(validate = false) (p : Pl.t) =
   Obs.with_span "route" @@ fun () ->
   let fp = p.Pl.fp in
   let cfg = match config with Some c -> c | None -> default_config fp in
   let st = make_state cfg fp p in
-  let az = make_astar st in
   let nets = Array.of_list (Nl.signal_nets p.Pl.nl) in
-  (* small nets first: they have the least routing freedom *)
-  let order = Array.init (Array.length nets) Fun.id in
-  let half_perim k =
-    let x0, y0, x1, y1 = Pl.net_bbox p nets.(k) in
-    x1 -. x0 +. (y1 -. y0)
+  let n_nets = Array.length nets in
+  (* small nets first: they have the least routing freedom.  The sort
+     keys are precomputed once — comparing on the fly recomputes each
+     net's bbox O(n log n) times. *)
+  let order = Array.init n_nets Fun.id in
+  let half_perim =
+    Array.init n_nets (fun k ->
+        let x0, y0, x1, y1 = Pl.net_bbox p nets.(k) in
+        x1 -. x0 +. (y1 -. y0))
   in
-  Array.sort (fun a b -> compare (half_perim a) (half_perim b)) order;
-  let marks = make_marks st in
-  let net_edges = Array.map (fun _ -> []) nets in
+  Array.sort (fun a b -> compare half_perim.(a) half_perim.(b)) order;
+  let spool = Pool.scratch_pool (fun () -> make_scratch st) in
+  (* edge→net incidence: which nets currently commit each edge.  Kept
+     in sync by [apply_net]/[rip_up_net] so each repair pass collects
+     its victims from the overflowed edges alone instead of scanning
+     every net's full edge list. *)
+  let idx = Array.init st.n_edges (fun _ -> { data = [||]; len = 0 }) in
+  let net_edges = Array.make n_nets [||] in
   Obs.with_span "initial" (fun () ->
-      Array.iter
-        (fun k -> net_edges.(k) <- route_net st az marks ~maze:false p nets.(k))
-        order);
-  (* negotiated-congestion repair *)
+      Pool.with_scratch spool (fun sc ->
+          Array.iter
+            (fun k ->
+              let path = trace_net st sc ~maze:false p nets.(k) in
+              net_edges.(k) <- path;
+              apply_net st idx k path)
+            order));
+  (* negotiated-congestion repair: each pass bumps history, collects
+     the victim nets, partitions them into waves of window-disjoint
+     nets, and routes each wave's nets concurrently against a frozen
+     demand surface — deltas commit in fixed net order afterwards, so
+     the result is bit-identical at DCO3D_JOBS=1 and N *)
+  let windows = Array.map (net_window st fp p) nets in
+  let seen = Array.make n_nets (-1) in
   let iterations_run = ref 0 in
   let continue_ = ref true in
   while !continue_ && !iterations_run < cfg.max_iterations do
     incr iterations_run;
     Obs.with_span (Printf.sprintf "repair:%d" !iterations_run) (fun () ->
-    (* bump history on overflowed edges *)
+    (* bump history on overflowed edges, collecting the nets that
+       cross them in the same sweep *)
     let total_overflow = ref 0 in
+    let victims = ref [] and n_victims = ref 0 in
+    let pass = !iterations_run in
     for e = 0 to st.n_edges - 1 do
       let ov = overflow_of st e in
       if ov > 0 then begin
         total_overflow := !total_overflow + ov;
-        st.history.(e) <- st.history.(e) +. (cfg.history_weight *. float_of_int ov)
+        st.history.(e) <- st.history.(e) +. (cfg.history_weight *. float_of_int ov);
+        let b = idx.(e) in
+        for j = 0 to b.len - 1 do
+          let k = b.data.(j) in
+          if seen.(k) <> pass then begin
+            seen.(k) <- pass;
+            incr n_victims;
+            victims := k :: !victims
+          end
+        done
       end
     done;
+    refresh_pass_cost st;
     if Obs.enabled () then
       Obs.observe h_overflow_pass (float_of_int !total_overflow);
     if !total_overflow = 0 then continue_ := false
     else begin
       (* rip up and reroute every net crossing an overflowed edge *)
       Obs.incr c_ripup_rounds;
-      let victims = ref [] in
-      Array.iteri
-        (fun k edges ->
-          if List.exists (fun e -> overflow_of st e > 0) edges then
-            victims := k :: !victims)
-        net_edges;
-      Obs.incr ~by:(List.length !victims) c_ripped_nets;
-      List.iter
-        (fun k ->
-          rip_up st net_edges.(k);
-          net_edges.(k) <- route_net st az marks ~maze:true p nets.(k))
-        !victims
+      Obs.incr ~by:!n_victims c_ripped_nets;
+      let victims = List.sort (fun a b -> compare b a) !victims in
+      let waves = Obs.with_span "partition" (fun () -> partition_waves windows victims) in
+      if Obs.enabled () then begin
+        Obs.observe h_waves_per_pass (float_of_int (Array.length waves));
+        Array.iter
+          (fun w -> Obs.observe h_wave_size (float_of_int (Array.length w)))
+          waves
+      end;
+      Obs.with_span "waves" (fun () -> Array.iter
+        (fun wave ->
+          Array.iter (fun k -> rip_up_net st idx k net_edges.(k)) wave;
+          let paths = Array.make (Array.length wave) [||] in
+          Pool.parallel_for ~chunk:1 0 (Array.length wave) (fun i ->
+              Pool.with_scratch spool (fun sc ->
+                  paths.(i) <- trace_net st sc ~maze:true p nets.(wave.(i))));
+          Array.iteri
+            (fun i k ->
+              net_edges.(k) <- paths.(i);
+              apply_net st idx k paths.(i))
+            wave)
+        waves)
     end)
   done;
+  if validate then begin
+    (* conservation: demand must equal the per-edge sum over committed
+       paths (and the incidence index must agree) *)
+    let expect = Array.make st.n_edges 0 in
+    Array.iter (Array.iter (fun e -> expect.(e) <- expect.(e) + 1)) net_edges;
+    for e = 0 to st.n_edges - 1 do
+      if expect.(e) <> st.demand.(e) then
+        failwith
+          (Printf.sprintf
+             "Router.route: demand conservation violated at edge %d: demand \
+              %d, committed %d"
+             e st.demand.(e) expect.(e));
+      if idx.(e).len <> expect.(e) then
+        failwith
+          (Printf.sprintf
+             "Router.route: incidence index inconsistent at edge %d: %d nets \
+              indexed, %d committed"
+             e idx.(e).len expect.(e))
+    done
+  end;
   (* ---------------- results ---------------- *)
   let overflow_h = ref 0 and overflow_v = ref 0 and overflow_via = ref 0 in
   for e = 0 to st.n_edges - 1 do
@@ -752,7 +1035,7 @@ let route ?config (p : Pl.t) =
   let wirelength = ref 0. in
   Array.iteri
     (fun k edges ->
-      let len = List.fold_left (fun acc e -> acc +. st.phys_len.(e)) 0. edges in
+      let len = Array.fold_left (fun acc e -> acc +. st.phys_len.(e)) 0. edges in
       (* single-GCell nets still have a local stub *)
       let len = if len = 0. then 0.5 *. (st.gw +. st.gh) else len in
       net_length.(nets.(k).Nl.net_id) <- len;
@@ -770,3 +1053,29 @@ let route ?config (p : Pl.t) =
     net_length;
     iterations_run = !iterations_run;
   }
+
+(* Content digest of everything a routing result asserts: overflow
+   totals, wirelength, per-net lengths and the congestion/utilization
+   maps.  Used by the determinism tests and the bench gate to compare
+   runs across DCO3D_JOBS values bit-for-bit. *)
+let digest (r : result) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "%d %d %d %d %.17g %.17g %d" r.overflow_total r.overflow_h
+       r.overflow_v r.overflow_via r.overflow_gcell_pct r.wirelength
+       r.iterations_run);
+  Array.iter
+    (fun l -> Buffer.add_string buf (Printf.sprintf " %.17g" l))
+    r.net_length;
+  let add_maps ms =
+    Array.iter
+      (fun m ->
+        Buffer.add_string buf
+          (Marshal.to_string
+             (T.shape m, Array.init (T.numel m) (T.get_flat m))
+             []))
+      ms
+  in
+  add_maps r.congestion;
+  add_maps r.utilization;
+  Digest.to_hex (Digest.string (Buffer.contents buf))

@@ -11,6 +11,15 @@
     negotiated-congestion rip-up-and-reroute (PathFinder-style history
     costs) with A* maze routing.
 
+    The repair passes are parallel and deterministic: each pass
+    partitions the victim nets into waves whose A* search windows
+    (bounding box plus detour margin) are pairwise disjoint, routes
+    each wave's nets concurrently on the domain pool with per-domain
+    scratch (no shared writes — demand deltas commit afterwards in
+    fixed net order), and the wave construction depends only on the
+    victim set, never on [DCO3D_JOBS].  Routing results are
+    bit-identical at any job count.
+
     Clock nets are excluded (CTS owns them). *)
 
 type config = {
@@ -58,5 +67,36 @@ type result = {
   iterations_run : int;
 }
 
-val route : ?config:config -> Dco3d_place.Placement.t -> result
-(** Route all signal nets of a placement.  Deterministic. *)
+val route :
+  ?config:config -> ?validate:bool -> Dco3d_place.Placement.t -> result
+(** Route all signal nets of a placement.  Deterministic, including
+    across [DCO3D_JOBS] values.  [~validate:true] additionally checks
+    the router's internal invariants after routing — the demand array
+    must equal the per-edge sum over committed net paths, and the
+    edge→net incidence index must agree — raising [Failure] on any
+    violation (used by tests; default off). *)
+
+val digest : result -> string
+(** Hex content digest of a result (overflow totals, wirelength,
+    per-net lengths, congestion and utilization maps).  Two results
+    digest equal iff they are bit-identical — the property the
+    determinism tests and the bench gate compare across job counts. *)
+
+(** Binary min-heap keyed by float, used by the A* search.  Exposed for
+    unit tests. *)
+module Heap : sig
+  type t
+
+  val create : unit -> t
+  val clear : t -> unit
+  val is_empty : t -> bool
+  val push : t -> float -> int -> unit
+
+  val pop : t -> float * int
+  (** Smallest key with its value.
+      @raise Invalid_argument on an empty heap. *)
+
+  val pop_min : t -> int
+  (** Value of the smallest key, without allocating the pair.
+      @raise Invalid_argument on an empty heap. *)
+end

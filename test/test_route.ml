@@ -127,6 +127,47 @@ let test_congestion_maps_nonneg () =
       Alcotest.(check bool) "overflow map >= 0" true (T.min_elt c >= 0.))
     r.R.congestion
 
+let test_heap_pop_empty_raises () =
+  let h = R.Heap.create () in
+  let raises f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  raises (fun () -> R.Heap.pop h);
+  raises (fun () -> R.Heap.pop_min h);
+  (* and again after a push/drain cycle *)
+  R.Heap.push h 1.5 7;
+  R.Heap.push h 0.5 3;
+  Alcotest.(check int) "min value" 3 (R.Heap.pop_min h);
+  let k, v = R.Heap.pop h in
+  Alcotest.(check (float 0.)) "min key" 1.5 k;
+  Alcotest.(check int) "value" 7 v;
+  Alcotest.(check bool) "drained" true (R.Heap.is_empty h);
+  raises (fun () -> R.Heap.pop h)
+
+let with_jobs n f =
+  Dco3d_parallel.Pool.set_jobs ~exact:true n;
+  Fun.protect ~finally:(fun () -> Dco3d_parallel.Pool.set_jobs 1) f
+
+(* [~validate:true] makes the router itself check that demand equals
+   the per-edge sum over committed paths and that the incidence index
+   agrees — run it under both a sequential and a true multi-domain
+   schedule *)
+let test_demand_conservation () =
+  let p = placed "DMA" in
+  ignore (R.route ~validate:true p);
+  with_jobs 4 (fun () -> ignore (R.route ~validate:true p))
+
+(* the whole point of the wave construction: routing results are
+   bit-identical at any job count *)
+let test_jobs_invariant_digest () =
+  let p = placed "AES" ~scale:0.03 in
+  let seq = R.route p in
+  let par = with_jobs 4 (fun () -> R.route p) in
+  Alcotest.(check string) "digest jobs=1 == jobs=4" (R.digest seq)
+    (R.digest par)
+
 let suites =
   [
     ( "route.router",
@@ -140,5 +181,8 @@ let suites =
         Alcotest.test_case "spread placement routes better" `Slow test_spread_placement_routes_better;
         Alcotest.test_case "utilization maps" `Quick test_utilization_maps;
         Alcotest.test_case "congestion maps non-negative" `Quick test_congestion_maps_nonneg;
+        Alcotest.test_case "heap pop on empty raises" `Quick test_heap_pop_empty_raises;
+        Alcotest.test_case "demand conservation" `Quick test_demand_conservation;
+        Alcotest.test_case "jobs-invariant digest" `Quick test_jobs_invariant_digest;
       ] );
   ]
