@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples clean bench-deterministic bench-check
+.PHONY: all build test bench examples clean bench-deterministic bench-check serve-smoke
 
 # Parallel jobs used for the determinism check's "parallel" leg.
 JOBS ?= 4
@@ -47,6 +47,37 @@ bench-check:
 	dune build bench/main.exe bench/bench_check.exe
 	DCO3D_ONLY=kernels,route DCO3D_JOBS=$(JOBS) dune exec --no-build bench/main.exe > /dev/null
 	dune exec --no-build bench/bench_check.exe
+
+# End-to-end daemon smoke: start `dco3d serve` (untrained model), fire
+# predict requests (the repeats must hit the result cache), run a tiny
+# flow job through the async job queue, then drain with SIGTERM.  The
+# daemon writes its stage profile to serve-profile.txt at exit.
+serve-smoke:
+	dune build bin/dco3d.exe
+	rm -f serve-smoke.sock serve-profile.txt
+	DCO3D_PROFILE=serve-profile.txt \
+	  dune exec --no-build bin/dco3d.exe -- serve --socket serve-smoke.sock \
+	  > serve-smoke.log 2>&1 & \
+	SERVE_PID=$$!; \
+	for i in $$(seq 1 50); do [ -S serve-smoke.sock ] && break; sleep 0.1; done; \
+	[ -S serve-smoke.sock ] || { cat serve-smoke.log; exit 1; }; \
+	dune exec --no-build bin/dco3d.exe -- client ping --socket serve-smoke.sock && \
+	dune exec --no-build bin/dco3d.exe -- client predict --socket serve-smoke.sock \
+	  -s 0.05 --gcell 16 --repeat 3 | tee serve-predict.log && \
+	grep -q "cache hit" serve-predict.log && \
+	dune exec --no-build bin/dco3d.exe -- client flow --socket serve-smoke.sock \
+	  -d DMA -s 0.02 --gcell 12 && \
+	dune exec --no-build bin/dco3d.exe -- client stats --socket serve-smoke.sock && \
+	kill -TERM $$SERVE_PID && wait $$SERVE_PID; \
+	STATUS=$$?; cat serve-smoke.log; \
+	[ $$STATUS -eq 0 ] && [ -f serve-profile.txt ] && \
+	  grep -q "serve/batch " serve-profile.txt && \
+	  grep -q "serve/flow_job" serve-profile.txt && \
+	  grep -q "serve/cache_hit" serve-profile.txt && \
+	  grep -q "serve/requests" serve-profile.txt && \
+	  grep -q "drained and stopped" serve-smoke.log && \
+	  echo "serve-smoke: OK" || { echo "serve-smoke: FAILED"; exit 1; }
+	@rm -f serve-smoke.sock serve-predict.log
 
 examples:
 	dune exec examples/quickstart.exe

@@ -18,8 +18,17 @@ module Dco = Dco3d_core.Dco
 module Tcl = Dco3d_core.Tcl_export
 module Obs = Dco3d_obs.Obs
 module Pool = Dco3d_parallel.Pool
+module SiaUNet = Dco3d_nn.Siamese_unet
+module Fm = Dco3d_congestion.Feature_maps
+module Server = Dco3d_serve.Server
+module Client = Dco3d_serve.Client
+module Proto = Dco3d_serve.Protocol
 
 open Cmdliner
+
+(* A dying client must surface as a per-connection EPIPE, not kill the
+   daemon (or any other subcommand writing to a closed pipe). *)
+let () = Sys.set_signal Sys.sigpipe Sys.Signal_ignore
 
 let setup verbose trace_out jobs =
   Fmt_tty.setup_std_outputs ();
@@ -381,11 +390,227 @@ let optimize_cmd =
       const run $ setup_t $ design_t $ scale_t $ seed_t $ gcell_t $ samples_t
       $ epochs_t $ iters_t $ tcl_t)
 
+(* ------------------------------------------------------------------ *)
+(* serve / client                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let socket_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path (default dco3d.sock unless --port            is given).")
+
+let port_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"N"
+        ~doc:"Listen on (or connect to) TCP 127.0.0.1:$(docv) instead of            a Unix-domain socket.  0 picks a free port.")
+
+let address_of socket port =
+  match (socket, port) with
+  | Some _, Some _ ->
+      prerr_endline "dco3d: --socket and --port are mutually exclusive";
+      exit 2
+  | _, Some p -> Server.Tcp ("127.0.0.1", p)
+  | Some s, None -> Server.Unix_path s
+  | None, None -> Server.Unix_path "dco3d.sock"
+
+let pp_address = function
+  | Server.Unix_path p -> Printf.sprintf "unix:%s" p
+  | Server.Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
+
+let serve_cmd =
+  let run () socket port model seed input_hw queue_cap max_batch linger_ms
+      cache_cap =
+    let predictor =
+      match model with
+      | Some path -> Predictor.load path
+      | None ->
+          (* No trained weights: serve a freshly initialized network.
+             Exercises the full daemon (batching, caching, flow jobs)
+             without a training run — what the CI smoke test uses. *)
+          let net = SiaUNet.create (Dco3d_tensor.Rng.create seed)
+              { SiaUNet.default_config with SiaUNet.base_channels = 8 }
+          in
+          { Predictor.net; input_hw; label_scale = 1.0 }
+    in
+    let cfg =
+      {
+        (Server.default_config (address_of socket port)) with
+        Server.queue_capacity = queue_cap;
+        max_batch;
+        batch_linger_ms = linger_ms;
+        cache_capacity = cache_cap;
+      }
+    in
+    let srv = Server.start cfg predictor in
+    let on_signal _ = Server.request_stop srv in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+    Printf.printf "dco3d serve: listening on %s (model %s)\n%!"
+      (pp_address (Server.bound_addr srv))
+      (match model with Some p -> p | None -> "untrained");
+    Server.wait srv;
+    print_endline "dco3d serve: drained and stopped";
+    List.iter
+      (fun (k, v) -> Printf.printf "  %-16s %.0f\n" k v)
+      (List.filter (fun (k, _) -> k <> "uptime_s") (Server.stats srv))
+  in
+  let model_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "model" ] ~docv:"FILE"
+          ~doc:"Trained predictor from $(b,dco3d train).  Without it the            daemon serves an untrained network (CI smoke mode).")
+  in
+  let hw_t =
+    Arg.(
+      value & opt int 32
+      & info [ "input-hw" ] ~docv:"N"
+          ~doc:"Network resolution for the untrained fallback model.")
+  in
+  let queue_t =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-capacity" ] ~docv:"N"
+          ~doc:"Predict-queue high-water mark; beyond it requests are            refused with Overloaded.")
+  in
+  let batch_t =
+    Arg.(
+      value & opt int 8
+      & info [ "max-batch" ] ~docv:"N"
+          ~doc:"Most requests coalesced into one forward pass.")
+  in
+  let linger_t =
+    Arg.(
+      value & opt float 2.0
+      & info [ "linger-ms" ] ~docv:"MS"
+          ~doc:"How long the batcher waits for companion requests.")
+  in
+  let cache_t =
+    Arg.(
+      value & opt int 128
+      & info [ "cache-capacity" ] ~docv:"N"
+          ~doc:"LRU result-cache entries (0 disables caching).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the persistent inference/flow daemon: load the model \
+             once, micro-batch concurrent predict requests, cache \
+             results, run flow jobs asynchronously.  SIGTERM/SIGINT \
+             drain and stop.")
+    Term.(
+      const run $ setup_t $ socket_t $ port_t $ model_t $ seed_t $ hw_t
+      $ queue_t $ batch_t $ linger_t $ cache_t)
+
+let client_cmd =
+  let run () socket port action design scale seed gcell repeat timeout_ms =
+    let addr = address_of socket port in
+    let c = Client.connect addr in
+    Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+    match action with
+    | `Ping ->
+        let t0 = Unix.gettimeofday () in
+        Client.ping c;
+        Printf.printf "pong (%.2f ms)\n" ((Unix.gettimeofday () -. t0) *. 1000.)
+    | `Stats ->
+        List.iter
+          (fun (k, v) -> Printf.printf "%-16s %g\n" k v)
+          (Client.stats c)
+    | `Predict ->
+        let nl = netlist_of design scale seed in
+        let fp = P.Floorplan.create ~gcell_nx:gcell ~gcell_ny:gcell nl in
+        let p = P.Placer.global_place ~seed ~params:P.Params.default nl fp in
+        let f_bottom, f_top = Fm.both_dies p ~nx:gcell ~ny:gcell in
+        for i = 1 to repeat do
+          let t0 = Unix.gettimeofday () in
+          match Client.predict ?timeout_ms c f_bottom f_top with
+          | Client.Ok { c_bottom; c_top; cache_hit } ->
+              let sum t = Array.fold_left ( +. ) 0. t.Dco3d_tensor.Tensor.data in
+              Printf.printf
+                "predict %d/%d: %.2f ms, cache %s, sum(bottom) %.4f, \
+                 sum(top) %.4f\n"
+                i repeat
+                ((Unix.gettimeofday () -. t0) *. 1000.)
+                (if cache_hit then "hit" else "miss")
+                (sum c_bottom) (sum c_top)
+          | Client.Overloaded { queue_len; capacity } ->
+              Printf.printf "predict %d/%d: overloaded (%d/%d queued)\n" i
+                repeat queue_len capacity
+          | Client.Timed_out ->
+              Printf.printf "predict %d/%d: timed out\n" i repeat
+        done
+    | `Flow ->
+        let spec =
+          {
+            Proto.fl_design = design;
+            fl_scale = scale;
+            fl_seed = seed;
+            fl_gcell = gcell;
+            fl_variant = Proto.Pin3d;
+          }
+        in
+        let id = Client.submit_flow c spec in
+        Printf.printf "job %d accepted, polling...\n%!" id;
+        let s = Client.wait_flow c id in
+        Printf.printf
+          "%s: overflow %d, WL %.1f um, WNS %.1f ps, TNS %.1f ps, power \
+           %.2f mW\n"
+          s.Proto.fs_name s.Proto.fs_overflow s.Proto.fs_wirelength_um
+          s.Proto.fs_wns_ps s.Proto.fs_tns_ps s.Proto.fs_power_mw
+  in
+  let action_t =
+    Arg.(
+      required
+      & pos 0
+          (some
+             (enum
+                [
+                  ("ping", `Ping);
+                  ("stats", `Stats);
+                  ("predict", `Predict);
+                  ("flow", `Flow);
+                ]))
+          None
+      & info [] ~docv:"ACTION"
+          ~doc:"$(b,ping), $(b,stats), $(b,predict) (build features for            --design locally, request congestion maps) or $(b,flow)            (submit a flow job and poll it).")
+  in
+  let repeat_t =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:"Send the predict request $(docv) times (the repeats hit            the daemon's result cache).")
+  in
+  let timeout_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout-ms" ] ~docv:"MS" ~doc:"Per-request deadline.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Talk to a running $(b,dco3d serve) daemon.")
+    Term.(
+      const run $ setup_t $ socket_t $ port_t $ action_t $ design_t $ scale_t
+      $ seed_t $ gcell_t $ repeat_t $ timeout_t)
+
 let main =
   Cmd.group
     (Cmd.info "dco3d" ~version:"1.0.0"
        ~doc:"Differentiable congestion optimization for 3D ICs (DAC'25 \
              reproduction).")
-    [ gen_cmd; place_cmd; route_cmd; timing_cmd; flow_cmd; train_cmd; optimize_cmd ]
+    [
+      gen_cmd;
+      place_cmd;
+      route_cmd;
+      timing_cmd;
+      flow_cmd;
+      train_cmd;
+      optimize_cmd;
+      serve_cmd;
+      client_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

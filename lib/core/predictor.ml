@@ -104,6 +104,29 @@ let predict t f_bottom f_top =
   in
   (post c0, post c1)
 
+let predict_batch t pairs =
+  if Array.length pairs = 0 then [||]
+  else begin
+    let fmap stack =
+      Fm.resize_stack (Fm.normalize stack) t.input_hw t.input_hw
+    in
+    let prepped = Array.map (fun (f0, f1) -> (fmap f0, fmap f1)) pairs in
+    let outs = SiaUNet.predict_batch t.net prepped in
+    Array.map2
+      (fun (f_bottom, _) (c0, c1) ->
+        let nx = T.dim f_bottom 2 and ny = T.dim f_bottom 1 in
+        let post m = T.relu (T.scale t.label_scale (T.resize_nearest m ny nx)) in
+        (post c0, post c1))
+      pairs outs
+  end
+
+let fingerprint t =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string
+          (t.input_hw, t.label_scale, SiaUNet.fingerprint t.net)
+          []))
+
 let evaluate t (d : Dataset.t) =
   (* metrics at the network resolution H x W, as the paper evaluates at
      its fixed 224x224 — comparing an upsampled low-resolution
@@ -135,7 +158,7 @@ exception Load_error of string
 let load_error path cause =
   raise (Load_error (Printf.sprintf "Predictor.load: %s: %s" path cause))
 
-let load path =
+let load ?expect path =
   let ic =
     try open_in_bin path with Sys_error msg -> load_error path msg
   in
@@ -151,10 +174,30 @@ let load path =
         | End_of_file -> load_error path "truncated file"
         | Failure msg -> load_error path msg)
   in
+  if input_hw < 1 then
+    load_error path (Printf.sprintf "invalid network resolution %d" input_hw);
+  if not (Float.is_finite label_scale) || label_scale <= 0. then
+    load_error path (Printf.sprintf "invalid label scale %g" label_scale);
   let net =
     (* the companion weights file is part of the same on-disk artifact,
        so its failures surface as this module's Load_error too *)
-    try SiaUNet.load (path ^ ".net")
+    try SiaUNet.load ?expect (path ^ ".net")
     with SiaUNet.Load_error msg -> raise (Load_error msg)
   in
+  (* Cross-check the pair of files: a swapped-in weights file that
+     Marshal-decodes fine must still agree with the data pipeline and
+     the stored network resolution, or [predict] would blow up inside
+     a conv long after loading "succeeded". *)
+  let cfg = SiaUNet.config net in
+  if cfg.SiaUNet.in_channels <> Fm.n_channels then
+    load_error path
+      (Printf.sprintf
+         "weights expect %d input channels but the feature pipeline produces %d"
+         cfg.SiaUNet.in_channels Fm.n_channels);
+  let granularity = 1 lsl cfg.SiaUNet.depth in
+  if input_hw mod granularity <> 0 then
+    load_error path
+      (Printf.sprintf
+         "network resolution %d is not divisible by 2^depth = %d" input_hw
+         granularity);
   { net; input_hw; label_scale }

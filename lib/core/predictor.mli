@@ -41,6 +41,22 @@ val predict :
     feature stacks and returns the predicted congestion maps at the
     same [ny; nx] resolution, in ground-truth (overflow) units. *)
 
+val predict_batch :
+  t ->
+  (Dco3d_tensor.Tensor.t * Dco3d_tensor.Tensor.t) array ->
+  (Dco3d_tensor.Tensor.t * Dco3d_tensor.Tensor.t) array
+(** [predict_batch t pairs] runs {!predict} for a whole batch of
+    [(f_bottom, f_top)] stacks in one batched forward pass (one
+    im2col/GEMM call per conv layer for the entire batch).  Element [i]
+    is bit-identical to [predict t (fst pairs.(i)) (snd pairs.(i))] at
+    every [DCO3D_JOBS] value — the serve micro-batcher coalesces
+    requests on the strength of this guarantee. *)
+
+val fingerprint : t -> string
+(** Hex digest covering the network architecture, every weight bit, the
+    network resolution and the label scale — the model component of the
+    serve result-cache key. *)
+
 val evaluate :
   t -> Dataset.t -> (float * float) list
 (** Per-die [(nrmse, ssim)] of every sample in the dataset (two entries
@@ -60,6 +76,13 @@ exception Load_error of string
 
 val save : t -> string -> unit
 
-val load : string -> t
-(** Restore a predictor written by {!save}.
-    @raise Load_error on a missing, truncated or malformed file. *)
+val load : ?expect:Dco3d_nn.Siamese_unet.config -> string -> t
+(** Restore a predictor written by {!save}.  When [expect] is given,
+    weight files whose stored architecture disagrees with it are
+    rejected with a message naming both configurations.  Regardless of
+    [expect], the loaded pair of files is cross-checked (channel count
+    against the feature pipeline, resolution divisibility, weight
+    shapes against the declared architecture) so that a mismatched or
+    swapped file fails here instead of deep inside a convolution later.
+    @raise Load_error on a missing, truncated, malformed or mismatched
+    file. *)

@@ -1,7 +1,14 @@
 module T = Dco3d_tensor.Tensor
 module V = Dco3d_autodiff.Value
 
-type t = { params : V.t list; forward : V.t -> V.t }
+type t = {
+  params : V.t list;
+  forward : V.t -> V.t;
+  forward_batch : T.t -> T.t;
+}
+
+let no_batch name _ =
+  invalid_arg (Printf.sprintf "Layer.forward_batch: %s has no batched path" name)
 
 let conv2d rng ?(stride = 1) ?(pad = 0) ?(bias = true) ~in_channels
     ~out_channels ~ksize () =
@@ -9,7 +16,14 @@ let conv2d rng ?(stride = 1) ?(pad = 0) ?(bias = true) ~in_channels
   let w = V.param (T.kaiming rng ~fan_in [| out_channels; in_channels; ksize; ksize |]) in
   let b = if bias then Some (V.param (T.zeros [| out_channels |])) else None in
   let params = w :: Option.to_list b in
-  { params; forward = (fun x -> V.conv2d ~stride ~pad x ~weight:w ~bias:b) }
+  {
+    params;
+    forward = (fun x -> V.conv2d ~stride ~pad x ~weight:w ~bias:b);
+    forward_batch =
+      (fun x ->
+        T.conv2d_batch ~stride ~pad x ~weight:(V.data w)
+          ~bias:(Option.map V.data b));
+  }
 
 let conv2d_transpose rng ?(stride = 1) ?(pad = 0) ?(bias = true) ~in_channels
     ~out_channels ~ksize () =
@@ -20,10 +34,25 @@ let conv2d_transpose rng ?(stride = 1) ?(pad = 0) ?(bias = true) ~in_channels
   {
     params;
     forward = (fun x -> V.conv2d_transpose ~stride ~pad x ~weight:w ~bias:b);
+    forward_batch =
+      (fun x ->
+        T.conv2d_transpose_batch ~stride ~pad x ~weight:(V.data w)
+          ~bias:(Option.map V.data b));
   }
 
 let pointwise rng ~in_channels ~out_channels () =
   conv2d rng ~in_channels ~out_channels ~ksize:1 ()
+
+(* Same per-row bias addition as [V.add_bias_rows], on plain tensors. *)
+let add_bias_rows_t x b =
+  let n = T.dim x 0 and f = T.dim x 1 in
+  let y = T.copy x in
+  for i = 0 to n - 1 do
+    for j = 0 to f - 1 do
+      T.set2 y i j (T.get2 y i j +. T.get_flat b j)
+    done
+  done;
+  y
 
 let linear rng ?(bias = true) ~in_dim ~out_dim () =
   let w = V.param (T.kaiming rng ~fan_in:in_dim [| in_dim; out_dim |]) in
@@ -35,19 +64,37 @@ let linear rng ?(bias = true) ~in_dim ~out_dim () =
       (fun x ->
         let y = V.matmul x w in
         match b with Some b -> V.add_bias_rows y b | None -> y);
+    forward_batch =
+      (fun x ->
+        let y = T.matmul x (V.data w) in
+        match b with Some b -> add_bias_rows_t y (V.data b) | None -> y);
   }
 
-let activation f = { params = []; forward = f }
-let relu = activation V.relu
-let leaky_relu slope = activation (V.leaky_relu slope)
-let sigmoid = activation V.sigmoid
-let tanh_ = activation V.tanh_
-let maxpool2 = activation V.maxpool2
+let activation ?batch f =
+  {
+    params = [];
+    forward = f;
+    forward_batch =
+      (match batch with Some fb -> fb | None -> no_batch "activation");
+  }
+
+let relu = activation ~batch:T.relu V.relu
+
+let leaky_relu slope =
+  activation
+    ~batch:(T.map (fun x -> if x > 0. then x else slope *. x))
+    (V.leaky_relu slope)
+
+let sigmoid = activation ~batch:T.sigmoid V.sigmoid
+let tanh_ = activation ~batch:T.tanh_ V.tanh_
+let maxpool2 = activation ~batch:T.maxpool2_batch V.maxpool2
 
 let seq layers =
   {
     params = List.concat_map (fun l -> l.params) layers;
     forward = (fun x -> List.fold_left (fun acc l -> l.forward acc) x layers);
+    forward_batch =
+      (fun x -> List.fold_left (fun acc l -> l.forward_batch acc) x layers);
   }
 
 let num_params l = List.fold_left (fun acc p -> acc + V.numel p) 0 l.params

@@ -9,6 +9,12 @@
 type t = {
   params : Dco3d_autodiff.Value.t list;  (** trainable leaves *)
   forward : Dco3d_autodiff.Value.t -> Dco3d_autodiff.Value.t;
+  forward_batch : Dco3d_tensor.Tensor.t -> Dco3d_tensor.Tensor.t;
+      (** Inference-only batched forward over rank-4 [[n; c; h; w]]
+          tensors (rank-2 [[n; f]] for {!linear}).  Bit-identical to
+          applying {!forward} to each sample separately — the contract
+          the serve micro-batcher relies on.  Layers built with a bare
+          {!activation} (no [?batch]) raise [Invalid_argument]. *)
 }
 
 val conv2d :
@@ -43,8 +49,13 @@ val linear :
   Dco3d_tensor.Rng.t -> ?bias:bool -> in_dim:int -> out_dim:int -> unit -> t
 (** Dense layer on rank-2 inputs [[n; in_dim]] (row-wise). *)
 
-val activation : (Dco3d_autodiff.Value.t -> Dco3d_autodiff.Value.t) -> t
-(** Parameter-free layer from any differentiable function. *)
+val activation :
+  ?batch:(Dco3d_tensor.Tensor.t -> Dco3d_tensor.Tensor.t) ->
+  (Dco3d_autodiff.Value.t -> Dco3d_autodiff.Value.t) ->
+  t
+(** Parameter-free layer from any differentiable function.  [?batch]
+    supplies the batched inference path; omitted, [forward_batch]
+    raises. *)
 
 val relu : t
 val leaky_relu : float -> t

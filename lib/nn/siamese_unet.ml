@@ -107,6 +107,69 @@ let predict net f0 f1 =
   in
   (to_map c0, to_map c1)
 
+(* ------------------------------------------------------------------ *)
+(* Batched inference.                                                  *)
+(*                                                                     *)
+(* The same network applied to a rank-4 [n; c; h; w] batch through the *)
+(* Layer.forward_batch path: one im2col/GEMM per conv layer for the    *)
+(* whole batch.  Every step is bit-identical to the per-sample         *)
+(* forward (the batched kernels only add GEMM columns, the elementwise *)
+(* steps use the same scalar formulas), which is what lets the serve   *)
+(* micro-batcher coalesce requests without changing any reply bit.     *)
+(* ------------------------------------------------------------------ *)
+
+let leaky_batch slope = T.map (fun v -> if v > 0. then v else slope *. v)
+
+let encode_batch net x =
+  let skips = Array.make (Array.length net.levels) x in
+  let cur = ref x in
+  Array.iteri
+    (fun l level ->
+      let a = level.enc.Layer.forward_batch !cur in
+      skips.(l) <- a;
+      cur := T.maxpool2_batch a)
+    net.levels;
+  (skips, net.bottleneck.Layer.forward_batch !cur)
+
+let decode_batch net skips bottom =
+  let cur = ref bottom in
+  for l = Array.length net.levels - 1 downto 0 do
+    let level = net.levels.(l) in
+    let up = level.up.Layer.forward_batch !cur in
+    let cat = T.concat_channels_batch [ up; skips.(l) ] in
+    cur := level.dec.Layer.forward_batch cat
+  done;
+  net.head.Layer.forward_batch !cur
+
+let forward_batch net x0 x1 =
+  let skips0, b0 = encode_batch net x0 in
+  let skips1, b1 = encode_batch net x1 in
+  let communicate own other =
+    leaky_batch 0.1
+      (T.add
+         (net.comm_self.Layer.forward_batch own)
+         (net.comm_cross.Layer.forward_batch other))
+  in
+  let b0' = communicate b0 b1 in
+  let b1' = communicate b1 b0 in
+  (decode_batch net skips0 b0', decode_batch net skips1 b1')
+
+let predict_batch net pairs =
+  if Array.length pairs = 0 then [||]
+  else begin
+    let x0 = T.stack (Array.map fst pairs) in
+    let x1 = T.stack (Array.map snd pairs) in
+    let c0, c1 = forward_batch net x0 x1 in
+    (* each sample comes back as [1; h; w]; flatten to the rank-2 map
+       [predict] returns *)
+    let split c =
+      Array.map
+        (fun m -> T.reshape m [| T.dim m 1; T.dim m 2 |])
+        (T.unstack c)
+    in
+    Array.map2 (fun a b -> (a, b)) (split c0) (split c1)
+  end
+
 let all_layers net =
   List.concat
     [
@@ -120,6 +183,16 @@ let num_params net = List.fold_left (fun acc p -> acc + V.numel p) 0 (params net
 let config net = net.cfg
 
 let state net = List.map (fun p -> T.copy (V.data p)) (params net)
+
+let fingerprint net =
+  let weights =
+    List.map
+      (fun p ->
+        let d = V.data p in
+        (T.shape d, Array.init (T.numel d) (T.get_flat d)))
+      (params net)
+  in
+  Digest.to_hex (Digest.string (Marshal.to_string (net.cfg, weights) []))
 
 let load_state net snapshot =
   let ps = params net in
@@ -169,7 +242,11 @@ exception Load_error of string
 let load_error path cause =
   raise (Load_error (Printf.sprintf "Siamese_unet.load: %s: %s" path cause))
 
-let load path =
+let config_string c =
+  Printf.sprintf "{in_channels=%d; base_channels=%d; depth=%d}" c.in_channels
+    c.base_channels c.depth
+
+let load ?expect path =
   let ic =
     try open_in_bin path with Sys_error msg -> load_error path msg
   in
@@ -185,7 +262,26 @@ let load path =
         | End_of_file -> load_error path "truncated file"
         | Failure msg -> load_error path msg
       in
-      let net = create (Dco3d_tensor.Rng.create 0) snap.s_cfg in
-      load_state net
-        (List.map (fun (shape, data) -> T.make shape data) snap.s_weights);
-      net)
+      (* Reject before building anything: a wrong-architecture file must
+         fail here with a clear message, not deep inside a conv once a
+         wrong-shaped network is already in use. *)
+      let cfg = snap.s_cfg in
+      if cfg.in_channels < 1 || cfg.base_channels < 1 || cfg.depth < 1
+         || cfg.depth > 2
+      then load_error path ("invalid architecture " ^ config_string cfg);
+      (match expect with
+      | Some e when e <> cfg ->
+          load_error path
+            (Printf.sprintf
+               "architecture mismatch: file holds weights for %s, requested %s"
+               (config_string cfg) (config_string e))
+      | _ -> ());
+      try
+        let net = create (Dco3d_tensor.Rng.create 0) cfg in
+        load_state net
+          (List.map (fun (shape, data) -> T.make shape data) snap.s_weights);
+        net
+      with Invalid_argument msg ->
+        load_error path
+          (Printf.sprintf "weights disagree with the declared architecture %s (%s)"
+             (config_string cfg) msg))

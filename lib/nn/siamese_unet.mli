@@ -44,12 +44,30 @@ val predict :
   Dco3d_tensor.Tensor.t * Dco3d_tensor.Tensor.t
 (** Inference on plain tensors; returns rank-2 [[h; w]] maps. *)
 
+val predict_batch :
+  t ->
+  (Dco3d_tensor.Tensor.t * Dco3d_tensor.Tensor.t) array ->
+  (Dco3d_tensor.Tensor.t * Dco3d_tensor.Tensor.t) array
+(** [predict_batch net pairs] is {!predict} over a whole batch in one
+    network pass: the [(f0, f1)] stacks are packed into rank-4
+    [[n; c; h; w]] tensors and every conv layer runs as a single
+    batched im2col/GEMM call.  Element [i] of the result is
+    bit-identical to [predict net (fst pairs.(i)) (snd pairs.(i))] at
+    every [DCO3D_JOBS] value — the contract the serve micro-batcher
+    and its result cache depend on. *)
+
 val params : t -> Dco3d_autodiff.Value.t list
 val num_params : t -> int
 val config : t -> config
 
 val state : t -> Dco3d_tensor.Tensor.t list
 val load_state : t -> Dco3d_tensor.Tensor.t list -> unit
+
+val fingerprint : t -> string
+(** Hex digest of the architecture plus every weight bit.  Two networks
+    share a fingerprint iff they compute the same function; the serve
+    result cache keys on it so stale entries can never survive a model
+    swap. *)
 
 exception Load_error of string
 (** Raised by {!load} on a missing, truncated or corrupt file; the
@@ -58,6 +76,12 @@ exception Load_error of string
 val save : t -> string -> unit
 (** Persist configuration and weights to a file. *)
 
-val load : string -> t
-(** Restore a network written by {!save}.
-    @raise Load_error on a missing, truncated or malformed file. *)
+val load : ?expect:config -> string -> t
+(** Restore a network written by {!save}.  When [expect] is given, a
+    file whose stored architecture hyperparameters disagree with it is
+    rejected up front with a message naming both configurations.  Files
+    whose weight list disagrees with their own declared architecture
+    (count or shapes) are likewise rejected here rather than failing
+    deep inside a convolution later.
+    @raise Load_error on a missing, truncated, malformed or mismatched
+    file. *)

@@ -1,0 +1,87 @@
+module P = Protocol
+
+type t = { fd : Unix.file_descr; mutable open_ : bool }
+
+exception Error of string
+
+let connect (addr : Server.address) =
+  (* A daemon that dies mid-request must surface as an exception on
+     this connection, not as a process-killing SIGPIPE. *)
+  if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let fd, sockaddr =
+    match addr with
+    | Server.Unix_path path ->
+        (Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0, Unix.ADDR_UNIX path)
+    | Server.Tcp (host, port) ->
+        ( Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0,
+          Unix.ADDR_INET (Unix.inet_addr_of_string host, port) )
+  in
+  (try Unix.connect fd sockaddr
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; open_ = true }
+
+let close c =
+  if c.open_ then begin
+    c.open_ <- false;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  end
+
+let roundtrip c req timeout_ms =
+  if not c.open_ then raise (Error "client closed");
+  P.send_request c.fd { P.req; timeout_ms };
+  P.recv_reply c.fd
+
+let fail_reply what = function
+  | P.Server_error msg -> raise (Error (what ^ ": server error: " ^ msg))
+  | _ -> raise (Error (what ^ ": unexpected reply"))
+
+let ping c =
+  match roundtrip c P.Ping None with
+  | P.Pong -> ()
+  | r -> fail_reply "ping" r
+
+type predict_outcome =
+  | Ok of {
+      c_bottom : Dco3d_tensor.Tensor.t;
+      c_top : Dco3d_tensor.Tensor.t;
+      cache_hit : bool;
+    }
+  | Overloaded of { queue_len : int; capacity : int }
+  | Timed_out
+
+let predict ?timeout_ms c f_bottom f_top =
+  match roundtrip c (P.Predict { P.f_bottom; f_top }) timeout_ms with
+  | P.Predicted { c_bottom; c_top; cache_hit } ->
+      Ok { c_bottom; c_top; cache_hit }
+  | P.Overloaded { queue_len; capacity } -> Overloaded { queue_len; capacity }
+  | P.Timed_out -> Timed_out
+  | r -> fail_reply "predict" r
+
+let submit_flow c spec =
+  match roundtrip c (P.Flow_submit spec) None with
+  | P.Accepted id -> id
+  | r -> fail_reply "submit_flow" r
+
+let poll_flow c id =
+  match roundtrip c (P.Flow_poll id) None with
+  | P.Status s -> s
+  | r -> fail_reply "poll_flow" r
+
+let wait_flow ?(poll_interval_s = 0.05) c id =
+  let rec go () =
+    match poll_flow c id with
+    | P.Job_done summary -> summary
+    | P.Job_failed msg ->
+        raise (Error (Printf.sprintf "flow job %d failed: %s" id msg))
+    | P.Job_queued | P.Job_running ->
+        Thread.delay poll_interval_s;
+        go ()
+  in
+  go ()
+
+let stats c =
+  match roundtrip c P.Stats None with
+  | P.Stats_reply kv -> kv
+  | r -> fail_reply "stats" r

@@ -1,0 +1,53 @@
+(** Blocking client for the [dco3d serve] daemon.
+
+    One {!t} wraps one connection; requests on it are answered in
+    order.  Not thread-safe — give each concurrent caller (e.g. each
+    pool worker in the e2e test) its own connection. *)
+
+type t
+
+exception Error of string
+(** Unexpected reply shape, [Server_error], or a failed flow job. *)
+
+val connect : Server.address -> t
+(** Also ignores SIGPIPE for the process, so a daemon dying mid-request
+    raises on this connection instead of killing the caller.
+    @raise Unix.Unix_error when nothing listens at the address. *)
+
+val close : t -> unit
+
+val ping : t -> unit
+(** Round-trip liveness check. @raise Error on anything but [Pong]. *)
+
+type predict_outcome =
+  | Ok of {
+      c_bottom : Dco3d_tensor.Tensor.t;
+      c_top : Dco3d_tensor.Tensor.t;
+      cache_hit : bool;
+    }
+  | Overloaded of { queue_len : int; capacity : int }
+  | Timed_out
+
+val predict :
+  ?timeout_ms:float ->
+  t ->
+  Dco3d_tensor.Tensor.t ->
+  Dco3d_tensor.Tensor.t ->
+  predict_outcome
+(** [predict c f_bottom f_top] sends the raw [[7; ny; nx]] feature
+    stacks and returns the daemon's congestion maps — bit-identical to
+    a local [Predictor.predict] with the served model, whatever batch
+    the daemon coalesced the request into.  [Overloaded] and
+    [Timed_out] are expected backpressure outcomes, not errors. *)
+
+val submit_flow : t -> Protocol.flow_spec -> int
+(** Enqueue a flow job; returns its id immediately. *)
+
+val poll_flow : t -> int -> Protocol.job_status
+
+val wait_flow :
+  ?poll_interval_s:float -> t -> int -> Protocol.flow_summary
+(** Poll until the job finishes (default every 50 ms).
+    @raise Error if the job failed or the id is unknown. *)
+
+val stats : t -> (string * float) list

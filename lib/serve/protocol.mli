@@ -1,0 +1,93 @@
+(** Wire protocol of the [dco3d serve] daemon.
+
+    Every message travels as one length-prefixed binary frame, mirroring
+    the framing discipline of the on-disk model files (magic + version +
+    digest + Marshal payload):
+
+    {v
+    "DCO3D-SERVE-V1" | u8 version | u32_be payload length
+                     | 16-byte MD5(payload) | payload
+    v}
+
+    The digest makes truncated or corrupted frames fail loudly at the
+    receiver instead of Marshal-decoding garbage; for [Predict] requests
+    the {e content} digest ({!predict_key}) doubles as the daemon's
+    result-cache key.  Frames are capped at {!max_frame_bytes}. *)
+
+type predict_payload = {
+  f_bottom : Dco3d_tensor.Tensor.t;  (** raw [[7; ny; nx]] stack, bottom die *)
+  f_top : Dco3d_tensor.Tensor.t;
+}
+
+type flow_variant = Pin3d | Pin3d_cong
+
+type flow_spec = {
+  fl_design : string;  (** benchmark name, e.g. "DMA" *)
+  fl_scale : float;
+  fl_seed : int;
+  fl_gcell : int;
+  fl_variant : flow_variant;
+}
+
+type request =
+  | Ping
+  | Predict of predict_payload
+  | Flow_submit of flow_spec
+  | Flow_poll of int
+  | Stats
+
+type envelope = {
+  req : request;
+  timeout_ms : float option;
+      (** per-request deadline, measured by the server from arrival;
+          a request still queued past it is answered [Timed_out] *)
+}
+
+type flow_summary = {
+  fs_name : string;
+  fs_overflow : int;
+  fs_wirelength_um : float;
+  fs_wns_ps : float;
+  fs_tns_ps : float;
+  fs_power_mw : float;
+}
+
+type job_status =
+  | Job_queued
+  | Job_running
+  | Job_done of flow_summary
+  | Job_failed of string
+
+type reply =
+  | Pong
+  | Predicted of {
+      c_bottom : Dco3d_tensor.Tensor.t;
+      c_top : Dco3d_tensor.Tensor.t;
+      cache_hit : bool;
+    }
+  | Accepted of int  (** flow job id *)
+  | Status of job_status
+  | Stats_reply of (string * float) list
+  | Overloaded of { queue_len : int; capacity : int }
+      (** backpressure: the predict queue is past its high-water mark *)
+  | Timed_out
+  | Server_error of string
+
+exception Protocol_error of string
+(** Bad magic, unsupported version, oversized frame, or digest
+    mismatch. *)
+
+val max_frame_bytes : int
+
+val send_request : Unix.file_descr -> envelope -> unit
+val recv_request : Unix.file_descr -> envelope
+(** @raise End_of_file on a clean peer disconnect before any byte of a
+    frame; {!Protocol_error} on a malformed frame. *)
+
+val send_reply : Unix.file_descr -> reply -> unit
+val recv_reply : Unix.file_descr -> reply
+
+val predict_key : predict_payload -> string
+(** Hex digest of the feature-map content alone (no envelope fields),
+    combined by the server with the model fingerprint to key the result
+    cache. *)

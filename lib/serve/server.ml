@@ -1,0 +1,550 @@
+module P = Protocol
+module Obs = Dco3d_obs.Obs
+module Predictor = Dco3d_core.Predictor
+module T = Dco3d_tensor.Tensor
+
+type address = Unix_path of string | Tcp of string * int
+
+type config = {
+  address : address;
+  queue_capacity : int;
+  max_batch : int;
+  batch_linger_ms : float;
+  cache_capacity : int;
+}
+
+let default_config address =
+  {
+    address;
+    queue_capacity = 64;
+    max_batch = 8;
+    batch_linger_ms = 2.0;
+    cache_capacity = 128;
+  }
+
+(* Obs probes (interning is idempotent, handles live at module level). *)
+let c_requests = Obs.counter "serve/requests"
+let c_cache_hit = Obs.counter "serve/cache_hit"
+let c_cache_miss = Obs.counter "serve/cache_miss"
+let c_overloaded = Obs.counter "serve/overloaded"
+let c_timeout = Obs.counter "serve/timeout"
+let c_epipe = Obs.counter "serve/epipe"
+let g_queue_depth = Obs.gauge "serve/queue_depth"
+let h_batch_size = Obs.histogram "serve/batch_size"
+
+(* A predict request parked between its connection handler and the
+   batcher.  The handler blocks on [cv] until the batcher (or the
+   cache, or the deadline) fills [outcome]. *)
+type pending = {
+  payload : P.predict_payload;
+  key : string;
+  deadline : float option;  (** absolute, [Unix.gettimeofday] clock *)
+  mutable outcome : P.reply option;
+  pm : Mutex.t;
+  pcv : Condition.t;
+}
+
+type stats_acc = {
+  mutable n_requests : int;
+  mutable n_cache_hits : int;
+  mutable n_cache_misses : int;
+  mutable n_overloaded : int;
+  mutable n_timeouts : int;
+  mutable n_batches : int;
+  mutable max_batch_seen : int;
+  mutable n_epipe : int;
+  mutable jobs_submitted : int;
+  mutable jobs_done : int;
+  mutable jobs_failed : int;
+}
+
+type t = {
+  cfg : config;
+  predictor : Predictor.t;
+  fingerprint : string;
+  listen_fd : Unix.file_descr;
+  bound : address;
+  started_at : float;
+  (* All mutable server state below is guarded by [m]. *)
+  m : Mutex.t;
+  queue_cv : Condition.t;  (* batcher wakeup *)
+  flow_cv : Condition.t;  (* flow-worker wakeup *)
+  queue : pending Queue.t;
+  cache : (T.t * T.t) Lru.t;
+  jobs : (int, P.job_status) Hashtbl.t;
+  flow_queue : (int * P.flow_spec) Queue.t;
+  mutable next_job_id : int;
+  mutable stopping : bool;
+  mutable conns : Unix.file_descr list;  (* live connection sockets *)
+  stats : stats_acc;
+  mutable accept_thread : Thread.t option;
+  mutable batcher_thread : Thread.t option;
+  mutable flow_thread : Thread.t option;
+  mutable handler_threads : Thread.t list;
+}
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let now () = Unix.gettimeofday ()
+
+let deadline_of arrival = function
+  | None -> None
+  | Some ms -> Some (arrival +. (ms /. 1000.))
+
+let expired deadline = match deadline with Some d -> now () > d | None -> false
+
+let resolve_pending p reply =
+  Mutex.lock p.pm;
+  p.outcome <- Some reply;
+  Condition.signal p.pcv;
+  Mutex.unlock p.pm
+
+let await_pending p =
+  Mutex.lock p.pm;
+  while p.outcome = None do
+    Condition.wait p.pcv p.pm
+  done;
+  let r = Option.get p.outcome in
+  Mutex.unlock p.pm;
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Micro-batcher                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Pop up to [max_batch] pending requests.  Called with [t.m] held and
+   the queue non-empty. *)
+let take_batch t =
+  let n = min t.cfg.max_batch (Queue.length t.queue) in
+  let batch = Array.init n (fun _ -> Queue.pop t.queue) in
+  Obs.set_gauge g_queue_depth (float_of_int (Queue.length t.queue));
+  batch
+
+let run_batch t batch =
+  (* Late cache check: an identical request may have been answered (and
+     cached) since this one queued; and identical requests inside one
+     batch should run the forward pass once. *)
+  let misses = ref [] in
+  let by_key : (string, pending list) Hashtbl.t = Hashtbl.create 8 in
+  locked t (fun () ->
+      Array.iter
+        (fun p ->
+          if expired p.deadline then begin
+            t.stats.n_timeouts <- t.stats.n_timeouts + 1;
+            Obs.incr c_timeout;
+            resolve_pending p P.Timed_out
+          end
+          else
+            match Lru.find t.cache p.key with
+            | Some (cb, ct) ->
+                t.stats.n_cache_hits <- t.stats.n_cache_hits + 1;
+                Obs.incr c_cache_hit;
+                resolve_pending p
+                  (P.Predicted { c_bottom = cb; c_top = ct; cache_hit = true })
+            | None ->
+                if not (Hashtbl.mem by_key p.key) then misses := p :: !misses;
+                Hashtbl.replace by_key p.key
+                  (p :: Option.value ~default:[] (Hashtbl.find_opt by_key p.key)))
+        batch);
+  let misses = Array.of_list (List.rev !misses) in
+  let n = Array.length misses in
+  if n > 0 then begin
+    Obs.observe h_batch_size (float_of_int n);
+    let results =
+      Obs.with_span "serve/batch"
+        ~args:[ ("size", string_of_int n) ]
+        (fun () ->
+          Predictor.predict_batch t.predictor
+            (Array.map (fun p -> (p.payload.P.f_bottom, p.payload.P.f_top)) misses))
+    in
+    locked t (fun () ->
+        t.stats.n_batches <- t.stats.n_batches + 1;
+        if n > t.stats.max_batch_seen then t.stats.max_batch_seen <- n;
+        Array.iteri
+          (fun i p ->
+            let cb, ct = results.(i) in
+            Lru.put t.cache p.key (cb, ct);
+            t.stats.n_cache_misses <-
+              t.stats.n_cache_misses + List.length (Hashtbl.find by_key p.key);
+            List.iter
+              (fun q ->
+                Obs.incr c_cache_miss;
+                resolve_pending q
+                  (P.Predicted { c_bottom = cb; c_top = ct; cache_hit = false }))
+              (Hashtbl.find by_key p.key))
+          misses)
+  end
+
+let batcher_loop t =
+  let running = ref true in
+  while !running do
+    let batch =
+      locked t (fun () ->
+          while Queue.is_empty t.queue && not t.stopping do
+            Condition.wait t.queue_cv t.m
+          done;
+          if Queue.is_empty t.queue then begin
+            running := false;
+            [||]
+          end
+          else if
+            Queue.length t.queue < t.cfg.max_batch
+            && t.cfg.batch_linger_ms > 0. && not t.stopping
+          then [||] (* linger outside the lock, then retry *)
+          else take_batch t)
+    in
+    if !running then
+      if Array.length batch = 0 then begin
+        (* Linger: give concurrent clients a moment to pile on, then
+           take whatever is there.  OCaml's [Condition] has no timed
+           wait, so this is a plain sleep. *)
+        Thread.delay (t.cfg.batch_linger_ms /. 1000.);
+        let batch =
+          locked t (fun () ->
+              if Queue.is_empty t.queue then [||] else take_batch t)
+        in
+        if Array.length batch > 0 then run_batch t batch
+      end
+      else run_batch t batch
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Flow worker                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run_flow_spec (spec : P.flow_spec) =
+  let profile = Dco3d_netlist.Generator.profile spec.P.fl_design in
+  let nl = Dco3d_netlist.Generator.generate ~scale:spec.P.fl_scale ~seed:spec.P.fl_seed profile in
+  let ctx =
+    Dco3d_flow.Flow.make_context ~seed:spec.P.fl_seed ~gcell_nx:spec.P.fl_gcell
+      ~gcell_ny:spec.P.fl_gcell nl
+  in
+  let result =
+    match spec.P.fl_variant with
+    | P.Pin3d -> Dco3d_flow.Flow.run_pin3d ctx
+    | P.Pin3d_cong -> Dco3d_flow.Flow.run_pin3d_cong ctx
+  in
+  {
+    P.fs_name = result.Dco3d_flow.Flow.flow_name;
+    fs_overflow = result.place_stage.overflow;
+    fs_wirelength_um = result.signoff.wirelength_um;
+    fs_wns_ps = result.signoff.wns_ps;
+    fs_tns_ps = result.signoff.tns_ps;
+    fs_power_mw = result.signoff.power_mw;
+  }
+
+let flow_loop t =
+  let running = ref true in
+  while !running do
+    let job =
+      locked t (fun () ->
+          while Queue.is_empty t.flow_queue && not t.stopping do
+            Condition.wait t.flow_cv t.m
+          done;
+          if Queue.is_empty t.flow_queue then begin
+            running := false;
+            None
+          end
+          else Some (Queue.pop t.flow_queue))
+    in
+    match job with
+    | None -> ()
+    | Some (id, spec) ->
+        locked t (fun () -> Hashtbl.replace t.jobs id P.Job_running);
+        let status =
+          try
+            let summary =
+              Obs.with_span "serve/flow_job"
+                ~args:[ ("design", spec.P.fl_design) ]
+                (fun () -> run_flow_spec spec)
+            in
+            P.Job_done summary
+          with
+          | Not_found ->
+              P.Job_failed (Printf.sprintf "unknown design %S" spec.P.fl_design)
+          | e -> P.Job_failed (Printexc.to_string e)
+        in
+        locked t (fun () ->
+            Hashtbl.replace t.jobs id status;
+            match status with
+            | P.Job_done _ -> t.stats.jobs_done <- t.stats.jobs_done + 1
+            | _ -> t.stats.jobs_failed <- t.stats.jobs_failed + 1)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let stats_snapshot t =
+  locked t (fun () ->
+      let s = t.stats in
+      [
+        ("queue_depth", float_of_int (Queue.length t.queue));
+        ("queue_capacity", float_of_int t.cfg.queue_capacity);
+        ("cache_len", float_of_int (Lru.length t.cache));
+        ("cache_capacity", float_of_int (Lru.capacity t.cache));
+        ("requests", float_of_int s.n_requests);
+        ("cache_hits", float_of_int s.n_cache_hits);
+        ("cache_misses", float_of_int s.n_cache_misses);
+        ("overloaded", float_of_int s.n_overloaded);
+        ("timeouts", float_of_int s.n_timeouts);
+        ("batches", float_of_int s.n_batches);
+        ("max_batch", float_of_int s.max_batch_seen);
+        ("epipe", float_of_int s.n_epipe);
+        ("jobs_submitted", float_of_int s.jobs_submitted);
+        ("jobs_done", float_of_int s.jobs_done);
+        ("jobs_failed", float_of_int s.jobs_failed);
+        ("uptime_s", now () -. t.started_at);
+      ])
+
+let stats = stats_snapshot
+
+(* ------------------------------------------------------------------ *)
+(* Connection handling                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let handle_predict t payload timeout_ms =
+  let key = P.predict_key payload ^ ":" ^ t.fingerprint in
+  let arrival = now () in
+  let action =
+    locked t (fun () ->
+        match Lru.find t.cache key with
+        | Some (cb, ct) ->
+            (* Fast path: answered from the cache on the connection
+               thread, no queueing, no forward pass. *)
+            t.stats.n_cache_hits <- t.stats.n_cache_hits + 1;
+            Obs.incr c_cache_hit;
+            `Reply (P.Predicted { c_bottom = cb; c_top = ct; cache_hit = true })
+        | None ->
+            if t.stopping then `Reply (P.Server_error "server shutting down")
+            else if Queue.length t.queue >= t.cfg.queue_capacity then begin
+              t.stats.n_overloaded <- t.stats.n_overloaded + 1;
+              Obs.incr c_overloaded;
+              `Reply
+                (P.Overloaded
+                   {
+                     queue_len = Queue.length t.queue;
+                     capacity = t.cfg.queue_capacity;
+                   })
+            end
+            else begin
+              let p =
+                {
+                  payload;
+                  key;
+                  deadline = deadline_of arrival timeout_ms;
+                  outcome = None;
+                  pm = Mutex.create ();
+                  pcv = Condition.create ();
+                }
+              in
+              Queue.push p t.queue;
+              Obs.set_gauge g_queue_depth (float_of_int (Queue.length t.queue));
+              Condition.signal t.queue_cv;
+              `Wait p
+            end)
+  in
+  match action with `Reply r -> r | `Wait p -> await_pending p
+
+let handle_request t (env : P.envelope) =
+  locked t (fun () -> t.stats.n_requests <- t.stats.n_requests + 1);
+  Obs.incr c_requests;
+  match env.P.req with
+  | P.Ping -> P.Pong
+  | P.Stats -> P.Stats_reply (stats_snapshot t)
+  | P.Predict payload -> handle_predict t payload env.P.timeout_ms
+  | P.Flow_submit spec ->
+      let id =
+        locked t (fun () ->
+            if t.stopping then -1
+            else begin
+              let id = t.next_job_id in
+              t.next_job_id <- id + 1;
+              Hashtbl.replace t.jobs id P.Job_queued;
+              Queue.push (id, spec) t.flow_queue;
+              t.stats.jobs_submitted <- t.stats.jobs_submitted + 1;
+              Condition.signal t.flow_cv;
+              id
+            end)
+      in
+      if id < 0 then P.Server_error "server shutting down" else P.Accepted id
+  | P.Flow_poll id -> (
+      match locked t (fun () -> Hashtbl.find_opt t.jobs id) with
+      | Some status -> P.Status status
+      | None -> P.Server_error (Printf.sprintf "unknown job id %d" id))
+
+let handler_loop t fd =
+  let finished = ref false in
+  (try
+     while not !finished do
+       match P.recv_request fd with
+       | env -> (
+           let reply =
+             try handle_request t env
+             with e -> P.Server_error (Printexc.to_string e)
+           in
+           try P.send_reply fd reply with
+           | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+               (* The client went away mid-reply: a per-connection
+                  error, not a daemon failure (SIGPIPE is ignored). *)
+               locked t (fun () -> t.stats.n_epipe <- t.stats.n_epipe + 1);
+               Obs.incr c_epipe;
+               finished := true)
+       | exception End_of_file -> finished := true
+       | exception P.Protocol_error msg ->
+           (try P.send_reply fd (P.Server_error ("protocol error: " ^ msg))
+            with _ -> ());
+           finished := true
+       | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _)
+         ->
+           locked t (fun () -> t.stats.n_epipe <- t.stats.n_epipe + 1);
+           Obs.incr c_epipe;
+           finished := true
+     done
+   with _ -> ());
+  locked t (fun () ->
+      t.conns <- List.filter (fun c -> c != fd) t.conns);
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_loop t =
+  let stop = ref false in
+  while not !stop do
+    if locked t (fun () -> t.stopping) then stop := true
+    else
+      (* Poll with a timeout instead of blocking in [accept]: closing a
+         socket does not reliably wake a thread already blocked on it. *)
+      match Unix.select [ t.listen_fd ] [] [] 0.1 with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+          match Unix.accept t.listen_fd with
+          | fd, _ ->
+              let admit =
+                locked t (fun () ->
+                    if t.stopping then false
+                    else begin
+                      t.conns <- fd :: t.conns;
+                      true
+                    end)
+              in
+              if admit then
+                locked t (fun () ->
+                    t.handler_threads <-
+                      Thread.create (fun () -> handler_loop t fd) ()
+                      :: t.handler_threads)
+              else Unix.close fd
+          | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+              ()
+          | exception Unix.Unix_error (Unix.EBADF, _, _) -> stop := true)
+      | exception Unix.Unix_error ((Unix.EINTR | Unix.EBADF), _, _) -> ()
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let bind_listen = function
+  | Unix_path path ->
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      (fd, Unix_path path)
+  | Tcp (host, port) ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      let addr = Unix.inet_addr_of_string host in
+      Unix.bind fd (Unix.ADDR_INET (addr, port));
+      Unix.listen fd 64;
+      let bound_port =
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> port
+      in
+      (fd, Tcp (host, bound_port))
+
+(* A peer that disappears mid-write must surface as EPIPE on that
+   connection, not as a process-killing SIGPIPE. *)
+let ignore_sigpipe () =
+  if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+
+let start cfg predictor =
+  ignore_sigpipe ();
+  if cfg.queue_capacity < 1 then invalid_arg "Server.start: queue_capacity < 1";
+  if cfg.max_batch < 1 then invalid_arg "Server.start: max_batch < 1";
+  let listen_fd, bound = bind_listen cfg.address in
+  let t =
+    {
+      cfg;
+      predictor;
+      fingerprint = Predictor.fingerprint predictor;
+      listen_fd;
+      bound;
+      started_at = now ();
+      m = Mutex.create ();
+      queue_cv = Condition.create ();
+      flow_cv = Condition.create ();
+      queue = Queue.create ();
+      cache = Lru.create ~capacity:cfg.cache_capacity;
+      jobs = Hashtbl.create 16;
+      flow_queue = Queue.create ();
+      next_job_id = 0;
+      stopping = false;
+      conns = [];
+      stats =
+        {
+          n_requests = 0;
+          n_cache_hits = 0;
+          n_cache_misses = 0;
+          n_overloaded = 0;
+          n_timeouts = 0;
+          n_batches = 0;
+          max_batch_seen = 0;
+          n_epipe = 0;
+          jobs_submitted = 0;
+          jobs_done = 0;
+          jobs_failed = 0;
+        };
+      accept_thread = None;
+      batcher_thread = None;
+      flow_thread = None;
+      handler_threads = [];
+    }
+  in
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t.batcher_thread <- Some (Thread.create (fun () -> batcher_loop t) ());
+  t.flow_thread <- Some (Thread.create (fun () -> flow_loop t) ());
+  t
+
+let bound_addr t = t.bound
+
+let request_stop t =
+  locked t (fun () ->
+      t.stopping <- true;
+      Condition.broadcast t.queue_cv;
+      Condition.broadcast t.flow_cv)
+
+let wait t =
+  Option.iter Thread.join t.accept_thread;
+  (* Unblock handlers parked in [recv_request] (receive side only:
+     handlers waiting on a queued predict must still be able to send
+     the reply once the batcher drains it below). *)
+  locked t (fun () -> t.conns)
+  |> List.iter (fun fd ->
+         try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
+         with Unix.Unix_error _ -> ());
+  (* The batcher drains the remaining queue before exiting (its loop
+     only stops on [stopping && queue empty]); same for the flow
+     worker.  Handlers waiting on pending outcomes therefore finish. *)
+  Option.iter Thread.join t.batcher_thread;
+  List.iter Thread.join (locked t (fun () -> t.handler_threads));
+  Option.iter Thread.join t.flow_thread;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  match t.bound with
+  | Unix_path path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ -> ()
+
+let stop t =
+  request_stop t;
+  wait t

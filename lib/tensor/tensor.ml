@@ -954,6 +954,184 @@ let upsample_nearest2 x =
   make [| c; oh; ow |] out
 
 (* ------------------------------------------------------------------ *)
+(* Batched kernels (rank-4 [n; c; h; w]).                              *)
+(*                                                                     *)
+(* The batched forward convolution folds the whole batch into one      *)
+(* im2col/GEMM call (kdim x n*oh*ow columns), so weight packing and    *)
+(* the parallel-region dispatch amortize over the batch — the payoff   *)
+(* the serve micro-batcher is built on.  Bit-exactness with the        *)
+(* per-sample kernels is preserved because each output element is      *)
+(* still one ascending-p dot chain: batching only adds columns to the  *)
+(* GEMM, never reorders an accumulation.                               *)
+(* ------------------------------------------------------------------ *)
+
+let check_rank4 name t =
+  if rank t <> 4 then invalid_arg (name ^ ": expected a rank-4 tensor")
+
+let stack ts =
+  if Array.length ts = 0 then invalid_arg "Tensor.stack: empty batch";
+  let s0 = ts.(0).shape in
+  Array.iter
+    (fun t ->
+      if t.shape <> s0 then invalid_arg "Tensor.stack: shape mismatch")
+    ts;
+  let per = Array.length ts.(0).data in
+  let n = Array.length ts in
+  let out = Array.make (n * per) 0. in
+  Array.iteri (fun i t -> Array.blit t.data 0 out (i * per) per) ts;
+  make (Array.append [| n |] s0) out
+
+let unstack t =
+  if rank t < 1 then invalid_arg "Tensor.unstack: rank must be >= 1";
+  let n = t.shape.(0) in
+  let rest = Array.sub t.shape 1 (rank t - 1) in
+  let per = numel_of_shape rest in
+  Array.init n (fun i -> make rest (Array.sub t.data (i * per) per))
+
+let conv2d_batch ?(stride = 1) ?(pad = 0) ?(engine = `Auto) x ~weight ~bias =
+  check_rank4 "Tensor.conv2d_batch" x;
+  if rank weight <> 4 then
+    invalid_arg "Tensor.conv2d_batch: weight must be rank 4";
+  let n = x.shape.(0) and ci = x.shape.(1) in
+  let h = x.shape.(2) and w = x.shape.(3) in
+  let co = weight.shape.(0) in
+  if weight.shape.(1) <> ci then
+    invalid_arg "Tensor.conv2d_batch: channel mismatch between input and weight";
+  let kh = weight.shape.(2) and kw = weight.shape.(3) in
+  let oh = ((h + (2 * pad) - kh) / stride) + 1 in
+  let ow = ((w + (2 * pad) - kw) / stride) + 1 in
+  if oh <= 0 || ow <= 0 then invalid_arg "Tensor.conv2d_batch: empty output";
+  let sample_macs = co * ci * kh * kw * oh * ow in
+  if n > 0 && stride >= 1 && gemm_selected engine (n * sample_macs) then begin
+    (* One GEMM for the whole batch: column j = (b, oy, ox). *)
+    let kdim = ci * kh * kw in
+    let ohw = oh * ow in
+    let ncol = n * ohw in
+    let g = Array.make (co * ncol) 0. in
+    let xd = x.data in
+    Workspace.with_floats (kdim * ncol) (fun pb ->
+        Workspace.with_floats ncol (fun row ->
+            for p = 0 to kdim - 1 do
+              let c = p / (kh * kw) in
+              let rem = p mod (kh * kw) in
+              let ky = rem / kw and kx = rem mod kw in
+              let pos = ref 0 in
+              for b = 0 to n - 1 do
+                let xbase = (((b * ci) + c) * h) * w in
+                for oy = 0 to oh - 1 do
+                  let iy = (oy * stride) + ky - pad in
+                  if iy < 0 || iy >= h then begin
+                    Array.fill row !pos ow 0.;
+                    pos := !pos + ow
+                  end
+                  else begin
+                    let xrow = xbase + (iy * w) in
+                    if stride = 1 then begin
+                      fill_line_s1 row !pos xd xrow ~shift:(kx - pad)
+                        ~len_src:w ~len_dst:ow;
+                      pos := !pos + ow
+                    end
+                    else
+                      for ox = 0 to ow - 1 do
+                        let ix = (ox * stride) + kx - pad in
+                        Array.unsafe_set row !pos
+                          (if ix >= 0 && ix < w then
+                             Array.unsafe_get xd (xrow + ix)
+                           else 0.);
+                        incr pos
+                      done
+                  end
+                done
+              done;
+              pack_row ~k:kdim ~n:ncol pb p row 0
+            done);
+        gemm ~par_macs:conv_par_macs ~m:co ~k:kdim ~n:ncol weight.data pb g);
+    add_channel_bias g ~n:ncol bias;
+    (* [co; n; oh*ow] -> [n; co; oh*ow] *)
+    let out = Array.make (n * co * ohw) 0. in
+    for o = 0 to co - 1 do
+      let grow = o * ncol in
+      for b = 0 to n - 1 do
+        Array.blit g (grow + (b * ohw)) out ((((b * co) + o) * ohw)) ohw
+      done
+    done;
+    make [| n; co; oh; ow |] out
+  end
+  else begin
+    let sample_in = ci * h * w in
+    let sample_out = co * oh * ow in
+    let out = Array.make (n * sample_out) 0. in
+    for b = 0 to n - 1 do
+      let xb = make [| ci; h; w |] (Array.sub x.data (b * sample_in) sample_in) in
+      let yb = conv2d ~stride ~pad ~engine xb ~weight ~bias in
+      Array.blit yb.data 0 out (b * sample_out) sample_out
+    done;
+    make [| n; co; oh; ow |] out
+  end
+
+(* Per-sample dispatch: the decoder's stride-2 up-convolutions live on
+   the direct path anyway (see [gemm_selected_dilated]), so there is no
+   batched lowering to win — correctness and bit-identity come free. *)
+let conv2d_transpose_batch ?(stride = 1) ?(pad = 0) ?(engine = `Auto) x
+    ~weight ~bias =
+  check_rank4 "Tensor.conv2d_transpose_batch" x;
+  if rank weight <> 4 then
+    invalid_arg "Tensor.conv2d_transpose_batch: weight must be rank 4";
+  let n = x.shape.(0) and ci = x.shape.(1) in
+  let h = x.shape.(2) and w = x.shape.(3) in
+  if weight.shape.(0) <> ci then
+    invalid_arg "Tensor.conv2d_transpose_batch: channel mismatch";
+  let co = weight.shape.(1) in
+  let kh = weight.shape.(2) and kw = weight.shape.(3) in
+  let oh = ((h - 1) * stride) - (2 * pad) + kh in
+  let ow = ((w - 1) * stride) - (2 * pad) + kw in
+  if oh <= 0 || ow <= 0 then
+    invalid_arg "Tensor.conv2d_transpose_batch: empty output";
+  let sample_in = ci * h * w in
+  let sample_out = co * oh * ow in
+  let out = Array.make (n * sample_out) 0. in
+  for b = 0 to n - 1 do
+    let xb = make [| ci; h; w |] (Array.sub x.data (b * sample_in) sample_in) in
+    let yb = conv2d_transpose ~stride ~pad ~engine xb ~weight ~bias in
+    Array.blit yb.data 0 out (b * sample_out) sample_out
+  done;
+  make [| n; co; oh; ow |] out
+
+let maxpool2_batch x =
+  check_rank4 "Tensor.maxpool2_batch" x;
+  let n = x.shape.(0) and c = x.shape.(1) in
+  let h = x.shape.(2) and w = x.shape.(3) in
+  (* pooling is per channel, so the batch and channel axes fold *)
+  let y, _ = maxpool2 (reshape x [| n * c; h; w |]) in
+  reshape y [| n; c; h / 2; w / 2 |]
+
+let concat_channels_batch ts =
+  match ts with
+  | [] -> invalid_arg "Tensor.concat_channels_batch: empty list"
+  | first :: _ ->
+      List.iter (check_rank4 "Tensor.concat_channels_batch") ts;
+      let n = first.shape.(0) in
+      let h = first.shape.(2) and w = first.shape.(3) in
+      List.iter
+        (fun t ->
+          if t.shape.(0) <> n || t.shape.(2) <> h || t.shape.(3) <> w then
+            invalid_arg "Tensor.concat_channels_batch: batch/spatial mismatch")
+        ts;
+      let ctot = List.fold_left (fun acc t -> acc + t.shape.(1)) 0 ts in
+      let hw = h * w in
+      let out = Array.make (n * ctot * hw) 0. in
+      for b = 0 to n - 1 do
+        let pos = ref (b * ctot * hw) in
+        List.iter
+          (fun t ->
+            let span = t.shape.(1) * hw in
+            Array.blit t.data (b * span) out !pos span;
+            pos := !pos + span)
+          ts
+      done;
+      make [| n; ctot; h; w |] out
+
+(* ------------------------------------------------------------------ *)
 (* Map utilities.                                                      *)
 (* ------------------------------------------------------------------ *)
 

@@ -181,6 +181,44 @@ val avgpool2 : t -> t
 val upsample_nearest2 : t -> t
 (** 2x nearest-neighbour upsampling of a rank-3 tensor. *)
 
+(** {1 Batched kernels (rank 4 activations [[n; c; h; w]])}
+
+    Inference-time batching for the serve micro-batcher: a batch of [n]
+    samples runs as {e one} kernel call, so the im2col/GEMM engine packs
+    the weight matrix once and its parallel region covers [n] times the
+    work.  Every batched kernel is bit-identical to [n] independent
+    per-sample calls — batching adds GEMM columns, it never reorders a
+    floating-point accumulation. *)
+
+val stack : t array -> t
+(** [stack [|t0; ...; t_{n-1}|]] concatenates [n] same-shaped tensors
+    into a tensor of shape [n :: shape t0] (fresh storage).
+    @raise Invalid_argument on an empty array or a shape mismatch. *)
+
+val unstack : t -> t array
+(** Inverse of {!stack}: split the leading axis into [n] independently
+    owned tensors. *)
+
+val conv2d_batch :
+  ?stride:int -> ?pad:int -> ?engine:conv_engine -> t -> weight:t ->
+  bias:t option -> t
+(** {!conv2d} over a batch: [x : [n; ci; h; w]] -> [[n; co; oh; ow]].
+    Under [`Auto]/[`Gemm] the whole batch is lowered to a single
+    im2col/GEMM with [n * oh * ow] columns. *)
+
+val conv2d_transpose_batch :
+  ?stride:int -> ?pad:int -> ?engine:conv_engine -> t -> weight:t ->
+  bias:t option -> t
+(** {!conv2d_transpose} over a batch ([x : [n; ci; h; w]]). *)
+
+val maxpool2_batch : t -> t
+(** 2x2, stride-2 max pooling over a rank-4 batch (no argmax — this is
+    an inference-only kernel). *)
+
+val concat_channels_batch : t list -> t
+(** Concatenate rank-4 tensors along the channel axis; batch and
+    spatial dimensions must agree. *)
+
 (** {1 Map utilities (rank 2 and 3)} *)
 
 val resize_nearest : t -> int -> int -> t
