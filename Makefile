@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples clean bench-deterministic bench-check serve-smoke
+.PHONY: all build test bench examples clean bench-deterministic bench-check serve-smoke quantize-smoke
 
 # Parallel jobs used for the determinism check's "parallel" leg.
 JOBS ?= 4
@@ -28,9 +28,9 @@ bench-log:
 # every section's numeric output); the two runs' files must match.
 bench-deterministic:
 	dune build bench/main.exe
-	DCO3D_ONLY=kernels,route DCO3D_JOBS=1 dune exec --no-build bench/main.exe > /dev/null
+	DCO3D_ONLY=kernels,route,predict DCO3D_JOBS=1 dune exec --no-build bench/main.exe > /dev/null
 	mv BENCH_kernels.digest BENCH_kernels.jobs1.digest
-	DCO3D_ONLY=kernels,route DCO3D_JOBS=$(JOBS) dune exec --no-build bench/main.exe > /dev/null
+	DCO3D_ONLY=kernels,route,predict DCO3D_JOBS=$(JOBS) dune exec --no-build bench/main.exe > /dev/null
 	sha256sum BENCH_kernels.jobs1.digest BENCH_kernels.digest
 	cmp BENCH_kernels.jobs1.digest BENCH_kernels.digest
 	@rm -f BENCH_kernels.jobs1.digest
@@ -45,7 +45,7 @@ bench-deterministic:
 #   DCO3D_BENCH_REGRESS  par_ms regression cap    (default 0.15)
 bench-check:
 	dune build bench/main.exe bench/bench_check.exe
-	DCO3D_ONLY=kernels,route DCO3D_JOBS=$(JOBS) dune exec --no-build bench/main.exe > /dev/null
+	DCO3D_ONLY=kernels,route,predict DCO3D_JOBS=$(JOBS) dune exec --no-build bench/main.exe > /dev/null
 	dune exec --no-build bench/bench_check.exe
 
 # End-to-end daemon smoke: start `dco3d serve` (untrained model), fire
@@ -78,6 +78,31 @@ serve-smoke:
 	  grep -q "drained and stopped" serve-smoke.log && \
 	  echo "serve-smoke: OK" || { echo "serve-smoke: FAILED"; exit 1; }
 	@rm -f serve-smoke.sock serve-predict.log
+
+# Quantized-path smoke: `dco3d quantize` must produce a loadable int8
+# model that passes its own golden-parity gate (BENCH_parity_smoke.json
+# is the uploadable artifact), and `dco3d serve --numeric i8` must
+# serve predictions from it end to end.
+quantize-smoke:
+	dune build bin/dco3d.exe
+	rm -f quantize-smoke.sock predictor.i8.bin predictor.i8.bin.qnet BENCH_parity_smoke.json
+	dune exec --no-build bin/dco3d.exe -- quantize --gcell 24 --samples 2 \
+	  -o predictor.i8.bin --report BENCH_parity_smoke.json
+	cat BENCH_parity_smoke.json
+	dune exec --no-build bin/dco3d.exe -- serve --socket quantize-smoke.sock \
+	  --model predictor.i8.bin --numeric i8 > quantize-smoke.log 2>&1 & \
+	SERVE_PID=$$!; \
+	for i in $$(seq 1 50); do [ -S quantize-smoke.sock ] && break; sleep 0.1; done; \
+	[ -S quantize-smoke.sock ] || { cat quantize-smoke.log; exit 1; }; \
+	dune exec --no-build bin/dco3d.exe -- client predict --socket quantize-smoke.sock \
+	  -s 0.05 --gcell 16 --repeat 2 | tee quantize-predict.log && \
+	grep -q "cache hit" quantize-predict.log && \
+	kill -TERM $$SERVE_PID && wait $$SERVE_PID; \
+	STATUS=$$?; cat quantize-smoke.log; \
+	[ $$STATUS -eq 0 ] && grep -q "numeric i8" quantize-smoke.log && \
+	  grep -q "drained and stopped" quantize-smoke.log && \
+	  echo "quantize-smoke: OK" || { echo "quantize-smoke: FAILED"; exit 1; }
+	@rm -f quantize-smoke.sock quantize-predict.log predictor.i8.bin predictor.i8.bin.qnet
 
 examples:
 	dune exec examples/quickstart.exe

@@ -19,6 +19,12 @@
                          DCO3D_BENCH_REGRESS (default 0.15 = 15 %).
                          Catches "the new engine is slower than the one
                          we shipped" even when speedup still looks fine.
+     4. per-op floors  - some rows promise more than "parallel is not
+                         slower": predict_i8's speedup column is int8
+                         time vs the float32 reference, and the
+                         quantized engine ships with a >= 2x contract.
+                         Floors are gated with the same noise
+                         tolerance: speedup < floor * (1 - tol) fails.
 
    Usage: dune exec bench/bench_check.exe [fresh.json [baseline.json]]
    With no arguments the fresh file is ./BENCH_kernels.json and the
@@ -161,9 +167,13 @@ let () =
         match b with Some b -> Printf.sprintf "%9.2f" b.par_ms | None -> "        -"
       in
       let verdicts = ref [] in
-      if r.speedup < 1.0 -. tol then begin
-        fail "%s: speedup %.2fx < %.2fx floor" r.op r.speedup (1.0 -. tol);
-        verdicts := "slow-parallel" :: !verdicts
+      let floor = match r.op with "predict_i8" -> 2.0 | _ -> 1.0 in
+      if r.speedup < floor *. (1.0 -. tol) then begin
+        fail "%s: speedup %.2fx < %.2fx floor" r.op r.speedup
+          (floor *. (1.0 -. tol));
+        verdicts :=
+          (if floor > 1.0 then "below-contract" else "slow-parallel")
+          :: !verdicts
       end;
       (match b with
       | Some b when b.digest <> "" && r.digest <> b.digest ->

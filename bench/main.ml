@@ -11,7 +11,7 @@
      DCO3D_DESIGNS    comma-separated subset     (default all six)
      DCO3D_ONLY       comma-separated experiment subset
                       (table1,table2,fig2,fig5a,fig5b,fig5c,alg2,fig6,fig7,
-                       table3,ablation,kernels,route)
+                       table3,ablation,kernels,route,predict)
 
    Usage: dune exec bench/main.exe *)
 
@@ -28,6 +28,7 @@ module Dataset = Dco3d_core.Dataset
 module Predictor = Dco3d_core.Predictor
 module Dco = Dco3d_core.Dco
 module Spreader = Dco3d_core.Spreader
+module SiaUNet = Dco3d_nn.Siamese_unet
 module Obs = Dco3d_obs.Obs
 
 let env_int name default =
@@ -768,6 +769,111 @@ let route_bench () =
     };
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Predict benchmark: float32 vs int8 inference                         *)
+(* ------------------------------------------------------------------ *)
+
+let predict_bench () =
+  section "Predict benchmark (float32 vs quantized int8 inference)";
+  let target_jobs = Pool.jobs () in
+  let effective = Pool.effective_jobs () in
+  (* An untrained network exercises the identical kernel mix as a
+     trained one (weights are random either way here), so the bench
+     needs no training run — same trick as the serve smoke test. *)
+  let net =
+    SiaUNet.create (Rng.create 3)
+      { SiaUNet.default_config with SiaUNet.base_channels = 8 }
+  in
+  let predictor = { Predictor.net; input_hw = 32; label_scale = 1.0 } in
+  let rng = Rng.create 11 in
+  let batch = 8 and hw = 48 in
+  let pairs =
+    Array.init batch (fun _ ->
+        ( T.rand_uniform rng [| Fm.n_channels; hw; hw |],
+          T.rand_uniform rng [| Fm.n_channels; hw; hw |] ))
+  in
+  let size = Printf.sprintf "batch %d, %dx%d gcells" batch hw hw in
+  let digest_preds r =
+    digest_tensors
+      (Array.to_list r |> List.concat_map (fun (a, b) -> [ a; b ]))
+  in
+  (* the predict legs are long (~100 ms) but the headline ratio rides
+     on both legs' minima; seven reps keep those minima stable on a
+     noisy host *)
+  let reps = max 7 (env_int "DCO3D_BENCH_REPS" 7) in
+  let run numeric () = Predictor.predict_batch ~numeric predictor pairs in
+  Pool.set_jobs 1;
+  let f32_seq_t, f32_seq = time_best reps (run `F32) in
+  let i8_seq_t, i8_seq = time_best reps (run `I8) in
+  Pool.set_jobs target_jobs;
+  let f32_par_t, f32_par = time_best reps (run `F32) in
+  let i8_par_t, i8_par = time_best reps (run `I8) in
+  let fold seq par = if effective = 1 then
+      let best = Float.min seq par in (best, best)
+    else (seq, par)
+  in
+  let f32_seq_t, f32_par_t = fold f32_seq_t f32_par_t in
+  let _, i8_par_t = fold i8_seq_t i8_par_t in
+  let df32_seq = digest_preds f32_seq and df32_par = digest_preds f32_par in
+  let di8_seq = digest_preds i8_seq and di8_par = digest_preds i8_par in
+  let f32_ok = String.equal df32_seq df32_par in
+  let i8_ok = String.equal di8_seq di8_par in
+  Printf.printf "  jobs: sequential=1 parallel=%d (effective %d of %d cores)\n"
+    target_jobs effective
+    (Domain.recommended_domain_count ());
+  Printf.printf "  %-24s %-28s %9s %9s %8s %s\n" "op" "size" "seq ms" "par ms"
+    "speedup" "digest match";
+  Printf.printf "  %-24s %-28s %9.2f %9.2f %7.2fx %s\n%!" "predict_f32" size
+    (f32_seq_t *. 1e3) (f32_par_t *. 1e3) (f32_seq_t /. f32_par_t)
+    (if f32_ok then "ok" else "MISMATCH");
+  (* the int8 row's "speedup" column is the headline ratio: float32
+     time over int8 time on the same schedule *)
+  Printf.printf "  %-24s %-28s %9.2f %9.2f %7.2fx %s\n%!" "predict_i8" size
+    (f32_par_t *. 1e3) (i8_par_t *. 1e3) (f32_par_t /. i8_par_t)
+    (if i8_ok then "ok" else "MISMATCH");
+  if not (f32_ok && i8_ok) then begin
+    prerr_endline
+      "predict: parallel result diverged from sequential result (digest \
+       mismatch)";
+    exit 1
+  end;
+  let parity = Dco3d_core.Parity.compare ~f32:f32_par ~i8:i8_par in
+  Printf.printf "  ";
+  Dco3d_core.Parity.pp stdout parity;
+  print_newline ();
+  let oc = open_out "BENCH_parity.json" in
+  output_string oc (Dco3d_core.Parity.to_json parity);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  [wrote BENCH_parity.json]\n%!";
+  (match Dco3d_core.Parity.check parity with
+  | Ok () -> ()
+  | Error msg ->
+      prerr_endline ("predict: parity violation: " ^ msg);
+      exit 1);
+  [
+    {
+      k_name = "predict_f32";
+      k_size = size;
+      k_flops = None;
+      k_seq_ms = f32_seq_t *. 1e3;
+      k_par_ms = f32_par_t *. 1e3;
+      k_digest = df32_seq;
+      k_ok = f32_ok;
+    };
+    {
+      k_name = "predict_i8";
+      k_size = size;
+      k_flops = None;
+      (* seq_ms = float32 time, par_ms = int8 time: the row's speedup
+         is the quantization payoff, gated at >= 2x by bench_check *)
+      k_seq_ms = f32_par_t *. 1e3;
+      k_par_ms = i8_par_t *. 1e3;
+      k_digest = di8_seq;
+      k_ok = i8_ok;
+    };
+  ]
+
 (* machine-readable perf trajectory across PRs: one combined file over
    every benchmarked section (kernels + route) *)
 let write_bench_files rows =
@@ -825,7 +931,8 @@ let () =
   if enabled "ablation" then ablation ();
   let kernel_rows = if enabled "kernels" then kernels () else [] in
   let route_rows = if enabled "route" then route_bench () else [] in
-  let bench_rows = kernel_rows @ route_rows in
+  let predict_rows = if enabled "predict" then predict_bench () else [] in
+  let bench_rows = kernel_rows @ route_rows @ predict_rows in
   if bench_rows <> [] then write_bench_files bench_rows;
   Obs.write_profile "BENCH_stage_profile.txt";
   Printf.printf "  [wrote BENCH_stage_profile.txt]\n";

@@ -421,20 +421,48 @@ let pp_address = function
   | Server.Unix_path p -> Printf.sprintf "unix:%s" p
   | Server.Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
 
+(* A model file on disk is either a float32 predictor ("DCO3D-PRED…")
+   or a pre-quantized one ("DCO3D-QPRED…"); sniff the magic so every
+   subcommand accepts both without a format flag. *)
+let sniff_quantized path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let want = "DCO3D-QPRED" in
+      let n = String.length want in
+      try really_input_string ic n = want with End_of_file -> false)
+
+let load_any_model path =
+  if sniff_quantized path then Predictor.load_quantized path
+  else Predictor.load path
+
+let untrained_predictor ~seed ~input_hw =
+  let net =
+    SiaUNet.create (Dco3d_tensor.Rng.create seed)
+      { SiaUNet.default_config with SiaUNet.base_channels = 8 }
+  in
+  { Predictor.net; input_hw; label_scale = 1.0 }
+
+let numeric_t =
+  let numeric_conv = Arg.enum [ ("f32", `F32); ("i8", `I8) ] in
+  Arg.(
+    value & opt numeric_conv `F32
+    & info [ "numeric" ] ~docv:"PATH"
+        ~doc:
+          "Inference numeric path: $(b,f32) (reference) or $(b,i8)            (quantized engine; weights are quantized at startup unless            the model file is already quantized).")
+
 let serve_cmd =
   let run () socket port model seed input_hw queue_cap max_batch linger_ms
-      cache_cap =
+      cache_cap numeric =
     let predictor =
       match model with
-      | Some path -> Predictor.load path
+      | Some path -> load_any_model path
       | None ->
           (* No trained weights: serve a freshly initialized network.
              Exercises the full daemon (batching, caching, flow jobs)
              without a training run — what the CI smoke test uses. *)
-          let net = SiaUNet.create (Dco3d_tensor.Rng.create seed)
-              { SiaUNet.default_config with SiaUNet.base_channels = 8 }
-          in
-          { Predictor.net; input_hw; label_scale = 1.0 }
+          untrained_predictor ~seed ~input_hw
     in
     let cfg =
       {
@@ -443,15 +471,17 @@ let serve_cmd =
         max_batch;
         batch_linger_ms = linger_ms;
         cache_capacity = cache_cap;
+        numeric;
       }
     in
     let srv = Server.start cfg predictor in
     let on_signal _ = Server.request_stop srv in
     Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
     Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
-    Printf.printf "dco3d serve: listening on %s (model %s)\n%!"
+    Printf.printf "dco3d serve: listening on %s (model %s, numeric %s)\n%!"
       (pp_address (Server.bound_addr srv))
-      (match model with Some p -> p | None -> "untrained");
+      (match model with Some p -> p | None -> "untrained")
+      (match numeric with `F32 -> "f32" | `I8 -> "i8");
     Server.wait srv;
     print_endline "dco3d serve: drained and stopped";
     List.iter
@@ -503,7 +533,99 @@ let serve_cmd =
              drain and stop.")
     Term.(
       const run $ setup_t $ socket_t $ port_t $ model_t $ seed_t $ hw_t
-      $ queue_t $ batch_t $ linger_t $ cache_t)
+      $ queue_t $ batch_t $ linger_t $ cache_t $ numeric_t)
+
+(* ------------------------------------------------------------------ *)
+(* quantize                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let quantize_cmd =
+  let run () model seed input_hw output report design scale gcell samples =
+    let predictor =
+      match model with
+      | Some path -> Predictor.load path
+      | None -> untrained_predictor ~seed ~input_hw
+    in
+    Predictor.save_quantized predictor output;
+    (* Reload what was just written: the parity check below then
+       covers the persisted artifact, not the in-memory compilation. *)
+    let q = Predictor.load_quantized output in
+    Printf.printf "quantized model written to %s\n" output;
+    Printf.printf "  f32 fingerprint %s\n"
+      (Predictor.fingerprint ~numeric:`F32 predictor);
+    Printf.printf "  i8  fingerprint %s\n"
+      (Predictor.fingerprint ~numeric:`I8 q);
+    (* Golden parity on real feature stacks: place the design at a few
+       seeds and compare the quantized predictions against the float32
+       reference on both dies. *)
+    let pairs =
+      Array.init samples (fun i ->
+          let s = seed + i in
+          let nl = netlist_of design scale s in
+          let fp = P.Floorplan.create ~gcell_nx:gcell ~gcell_ny:gcell nl in
+          let p = P.Placer.global_place ~seed:s ~params:P.Params.default nl fp in
+          Fm.both_dies p ~nx:gcell ~ny:gcell)
+    in
+    let f32 = Predictor.predict_batch ~numeric:`F32 predictor pairs in
+    let i8 = Predictor.predict_batch ~numeric:`I8 q pairs in
+    let rep = Dco3d_core.Parity.compare ~f32 ~i8 in
+    Dco3d_core.Parity.pp stdout rep;
+    print_newline ();
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc (Dco3d_core.Parity.to_json rep);
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "parity report written to %s\n" path)
+      report;
+    match Dco3d_core.Parity.check rep with
+    | Ok () -> ()
+    | Error msg ->
+        Printf.eprintf "dco3d quantize: parity violation: %s\n" msg;
+        exit 1
+  in
+  let model_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "model" ] ~docv:"FILE"
+          ~doc:"Float32 predictor from $(b,dco3d train).  Without it an            untrained network is quantized (CI smoke mode).")
+  in
+  let hw_t =
+    Arg.(
+      value & opt int 32
+      & info [ "input-hw" ] ~docv:"N"
+          ~doc:"Network resolution for the untrained fallback model.")
+  in
+  let out_t =
+    Arg.(
+      value
+      & opt string "predictor.i8.bin"
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Where to save the quantized model.")
+  in
+  let report_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:"Write the golden-parity report as one-line JSON to $(docv).")
+  in
+  let samples_t =
+    Arg.(
+      value & opt int 2
+      & info [ "samples" ] ~docv:"N"
+          ~doc:"Placements (consecutive seeds) used for the parity check.")
+  in
+  Cmd.v
+    (Cmd.info "quantize"
+       ~doc:"Quantize a trained predictor to the int8 inference format \
+             and gate it against its own float32 golden reference \
+             (non-zero exit on a parity violation).")
+    Term.(
+      const run $ setup_t $ model_t $ seed_t $ hw_t $ out_t $ report_t
+      $ design_t $ scale_t $ gcell_t $ samples_t)
 
 let client_cmd =
   let run () socket port action design scale seed gcell repeat timeout_ms =
@@ -609,6 +731,7 @@ let main =
       flow_cmd;
       train_cmd;
       optimize_cmd;
+      quantize_cmd;
       serve_cmd;
       client_cmd;
     ]

@@ -1,0 +1,129 @@
+module T = Dco3d_tensor.Tensor
+module Rng = Dco3d_tensor.Rng
+
+(* Golden-parity metrics between a float32 reference prediction and its
+   int8 counterpart.  Two views of the same question ("is the quantized
+   model still the model?"):
+
+   - [normalized_divergence]: worst absolute output error, normalized
+     by the largest reference magnitude — the per-pixel bound.
+   - [rank_agreement]: over sampled pixel pairs, how often the int8 map
+     agrees with the reference about which pixel is more congested.
+     The downstream consumer (Algorithm 2's spreading, hotspot
+     triage) acts on orderings, not absolute values, so preserved
+     ranks matter more than preserved digits.
+
+   The pair sample is drawn from a fixed-seed stream, so the report is
+   reproducible run to run. *)
+
+type report = {
+  samples : int;
+  maps : int;
+  max_abs : float;
+  ref_magnitude : float;
+  normalized_divergence : float;
+  rank_agreement : float;
+  rank_pairs : int;
+}
+
+let pairs_per_map = 4096
+
+let compare ~f32 ~i8 =
+  if Array.length f32 <> Array.length i8 then
+    invalid_arg "Parity.compare: sample counts differ";
+  let maps = ref [] in
+  Array.iteri
+    (fun k (r0, r1) ->
+      let q0, q1 = i8.(k) in
+      if T.shape r0 <> T.shape q0 || T.shape r1 <> T.shape q1 then
+        invalid_arg "Parity.compare: output shapes differ";
+      maps := (r0, q0) :: (r1, q1) :: !maps)
+    f32;
+  let maps = List.rev !maps in
+  let ref_magnitude =
+    List.fold_left
+      (fun acc (r, _) ->
+        let m = ref acc in
+        for i = 0 to T.numel r - 1 do
+          m := Float.max !m (Float.abs (T.get_flat r i))
+        done;
+        !m)
+      0. maps
+  in
+  let max_abs =
+    List.fold_left
+      (fun acc (r, q) ->
+        let m = ref acc in
+        for i = 0 to T.numel r - 1 do
+          m := Float.max !m (Float.abs (T.get_flat r i -. T.get_flat q i))
+        done;
+        !m)
+      0. maps
+  in
+  let denom = if ref_magnitude < 1e-12 then 1.0 else ref_magnitude in
+  (* who-wins agreement over a deterministic pair sample; pairs the
+     reference itself calls a tie carry no ranking information *)
+  let tie_eps = 1e-6 *. denom in
+  let rng = Rng.create 0xC0DE in
+  let counted = ref 0 and agreed = ref 0 in
+  List.iter
+    (fun (r, q) ->
+      let n = T.numel r in
+      if n > 1 then
+        for _ = 1 to pairs_per_map do
+          let i = Rng.int rng n in
+          let j = Rng.int rng n in
+          if i <> j then begin
+            let df = T.get_flat r i -. T.get_flat r j in
+            if Float.abs df > tie_eps then begin
+              incr counted;
+              let dq = T.get_flat q i -. T.get_flat q j in
+              if df *. dq > 0. then incr agreed
+            end
+          end
+        done)
+    maps;
+  {
+    samples = Array.length f32;
+    maps = List.length maps;
+    max_abs;
+    ref_magnitude;
+    normalized_divergence = max_abs /. denom;
+    rank_agreement =
+      (if !counted = 0 then 1.0
+       else float_of_int !agreed /. float_of_int !counted);
+    rank_pairs = !counted;
+  }
+
+let default_max_divergence = 5e-2
+let default_min_rank_agreement = 0.95
+
+let check ?(max_divergence = default_max_divergence)
+    ?(min_rank_agreement = default_min_rank_agreement) r =
+  if r.normalized_divergence > max_divergence then
+    Error
+      (Printf.sprintf
+         "normalized divergence %.4f exceeds the %.4f bound (max abs %.6f \
+          over reference magnitude %.6f)"
+         r.normalized_divergence max_divergence r.max_abs r.ref_magnitude)
+  else if r.rank_agreement < min_rank_agreement then
+    Error
+      (Printf.sprintf
+         "rank agreement %.4f below the %.4f floor (%d pairs)"
+         r.rank_agreement min_rank_agreement r.rank_pairs)
+  else Ok ()
+
+let to_json r =
+  Printf.sprintf
+    "{\"samples\": %d, \"maps\": %d, \"max_abs\": %.6g, \"ref_magnitude\": \
+     %.6g, \"normalized_divergence\": %.6g, \"rank_agreement\": %.6g, \
+     \"rank_pairs\": %d}"
+    r.samples r.maps r.max_abs r.ref_magnitude r.normalized_divergence
+    r.rank_agreement r.rank_pairs
+
+let pp out r =
+  Printf.fprintf out
+    "parity: normalized divergence %.4f (max abs %.6f / ref magnitude %.4f), \
+     rank agreement %.4f over %d pairs, %d samples"
+    r.normalized_divergence r.max_abs r.ref_magnitude r.rank_agreement
+    r.rank_pairs r.samples

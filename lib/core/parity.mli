@@ -1,0 +1,49 @@
+(** Golden-parity metrics for the quantized inference path.
+
+    Compares int8 predictions against their float32 golden reference
+    with the two measures the acceptance gate uses: the worst absolute
+    output error normalized by the reference's magnitude, and
+    "who-wins" rank agreement — over sampled pixel pairs, how often
+    the int8 map agrees with the reference about which pixel is more
+    congested.  The congestion consumers (Algorithm 2's spreading,
+    hotspot triage) act on orderings, so preserved ranks are the
+    fidelity that matters.
+
+    The pair sample is drawn from a fixed-seed stream: the report is a
+    pure function of the two prediction sets. *)
+
+type report = {
+  samples : int;  (** prediction pairs compared *)
+  maps : int;  (** individual congestion maps (2 per sample) *)
+  max_abs : float;  (** worst absolute elementwise divergence *)
+  ref_magnitude : float;  (** largest absolute reference value *)
+  normalized_divergence : float;  (** [max_abs / max ref_magnitude 1e-12] *)
+  rank_agreement : float;  (** agreed / counted pairs; [1.0] if none *)
+  rank_pairs : int;  (** pairs counted (reference ties are skipped) *)
+}
+
+val compare :
+  f32:(Dco3d_tensor.Tensor.t * Dco3d_tensor.Tensor.t) array ->
+  i8:(Dco3d_tensor.Tensor.t * Dco3d_tensor.Tensor.t) array ->
+  report
+(** Element [k] of both arrays must be the two dies' predictions for
+    the same input.
+    @raise Invalid_argument on length or shape disagreement. *)
+
+val default_max_divergence : float
+(** [5e-2] — the acceptance bound on {!report.normalized_divergence}. *)
+
+val default_min_rank_agreement : float
+(** [0.95] — the acceptance floor on {!report.rank_agreement}. *)
+
+val check :
+  ?max_divergence:float -> ?min_rank_agreement:float -> report ->
+  (unit, string) result
+(** Gate a report against the bounds (defaults above); the error
+    message names the violated bound and the measured value. *)
+
+val to_json : report -> string
+(** One-line JSON object (the parity-report artifact format). *)
+
+val pp : out_channel -> report -> unit
+(** Human-readable one-liner. *)

@@ -1,10 +1,25 @@
 module T = Dco3d_tensor.Tensor
 module V = Dco3d_autodiff.Value
 
+type act_kind = Relu | Leaky of float | Sigmoid | Tanh | Maxpool2 | Opaque
+
+type spec =
+  | Conv of { stride : int; pad : int; weight : V.t; bias : V.t option }
+  | Conv_transpose of {
+      stride : int;
+      pad : int;
+      weight : V.t;
+      bias : V.t option;
+    }
+  | Linear of { weight : V.t; bias : V.t option }
+  | Act of act_kind
+  | Seq of spec list
+
 type t = {
   params : V.t list;
   forward : V.t -> V.t;
   forward_batch : T.t -> T.t;
+  spec : spec;
 }
 
 let no_batch name _ =
@@ -23,6 +38,7 @@ let conv2d rng ?(stride = 1) ?(pad = 0) ?(bias = true) ~in_channels
       (fun x ->
         T.conv2d_batch ~stride ~pad x ~weight:(V.data w)
           ~bias:(Option.map V.data b));
+    spec = Conv { stride; pad; weight = w; bias = b };
   }
 
 let conv2d_transpose rng ?(stride = 1) ?(pad = 0) ?(bias = true) ~in_channels
@@ -38,6 +54,7 @@ let conv2d_transpose rng ?(stride = 1) ?(pad = 0) ?(bias = true) ~in_channels
       (fun x ->
         T.conv2d_transpose_batch ~stride ~pad x ~weight:(V.data w)
           ~bias:(Option.map V.data b));
+    spec = Conv_transpose { stride; pad; weight = w; bias = b };
   }
 
 let pointwise rng ~in_channels ~out_channels () =
@@ -68,26 +85,28 @@ let linear rng ?(bias = true) ~in_dim ~out_dim () =
       (fun x ->
         let y = T.matmul x (V.data w) in
         match b with Some b -> add_bias_rows_t y (V.data b) | None -> y);
+    spec = Linear { weight = w; bias = b };
   }
 
-let activation ?batch f =
+let activation ?batch ?(kind = Opaque) f =
   {
     params = [];
     forward = f;
     forward_batch =
       (match batch with Some fb -> fb | None -> no_batch "activation");
+    spec = Act kind;
   }
 
-let relu = activation ~batch:T.relu V.relu
+let relu = activation ~batch:T.relu ~kind:Relu V.relu
 
 let leaky_relu slope =
   activation
     ~batch:(T.map (fun x -> if x > 0. then x else slope *. x))
-    (V.leaky_relu slope)
+    ~kind:(Leaky slope) (V.leaky_relu slope)
 
-let sigmoid = activation ~batch:T.sigmoid V.sigmoid
-let tanh_ = activation ~batch:T.tanh_ V.tanh_
-let maxpool2 = activation ~batch:T.maxpool2_batch V.maxpool2
+let sigmoid = activation ~batch:T.sigmoid ~kind:Sigmoid V.sigmoid
+let tanh_ = activation ~batch:T.tanh_ ~kind:Tanh V.tanh_
+let maxpool2 = activation ~batch:T.maxpool2_batch ~kind:Maxpool2 V.maxpool2
 
 let seq layers =
   {
@@ -95,6 +114,7 @@ let seq layers =
     forward = (fun x -> List.fold_left (fun acc l -> l.forward acc) x layers);
     forward_batch =
       (fun x -> List.fold_left (fun acc l -> l.forward_batch acc) x layers);
+    spec = Seq (List.map (fun l -> l.spec) layers);
   }
 
 let num_params l = List.fold_left (fun acc p -> acc + V.numel p) 0 l.params

@@ -6,6 +6,38 @@
     obtained simply by applying the same layer value to several
     inputs. *)
 
+type act_kind =
+  | Relu
+  | Leaky of float
+  | Sigmoid
+  | Tanh
+  | Maxpool2
+  | Opaque  (** a custom {!activation} — not introspectable *)
+
+(** Structural description of a layer, for compilers that rewrite the
+    inference path (e.g. {!Quant} fusing activations into int8 conv
+    epilogues).  Parameter values are shared with [params], so a spec
+    always sees the current weights. *)
+type spec =
+  | Conv of {
+      stride : int;
+      pad : int;
+      weight : Dco3d_autodiff.Value.t;
+      bias : Dco3d_autodiff.Value.t option;
+    }
+  | Conv_transpose of {
+      stride : int;
+      pad : int;
+      weight : Dco3d_autodiff.Value.t;
+      bias : Dco3d_autodiff.Value.t option;
+    }
+  | Linear of {
+      weight : Dco3d_autodiff.Value.t;
+      bias : Dco3d_autodiff.Value.t option;
+    }
+  | Act of act_kind
+  | Seq of spec list
+
 type t = {
   params : Dco3d_autodiff.Value.t list;  (** trainable leaves *)
   forward : Dco3d_autodiff.Value.t -> Dco3d_autodiff.Value.t;
@@ -15,6 +47,7 @@ type t = {
           applying {!forward} to each sample separately — the contract
           the serve micro-batcher relies on.  Layers built with a bare
           {!activation} (no [?batch]) raise [Invalid_argument]. *)
+  spec : spec;  (** structure, for introspection *)
 }
 
 val conv2d :
@@ -51,11 +84,13 @@ val linear :
 
 val activation :
   ?batch:(Dco3d_tensor.Tensor.t -> Dco3d_tensor.Tensor.t) ->
+  ?kind:act_kind ->
   (Dco3d_autodiff.Value.t -> Dco3d_autodiff.Value.t) ->
   t
 (** Parameter-free layer from any differentiable function.  [?batch]
     supplies the batched inference path; omitted, [forward_batch]
-    raises. *)
+    raises.  [?kind] (default {!Opaque}) labels the spec for
+    introspection. *)
 
 val relu : t
 val leaky_relu : float -> t

@@ -1,0 +1,82 @@
+(** Int8 compilation of layer stacks.
+
+    Compiles a {!Layer.t}'s {!Layer.spec} into a quantized inference
+    program: convolutions with spatial extent ([kh*kw > 1], including
+    every transposed convolution) run on the tensor library's int8
+    engine with any directly following relu/leaky-relu fused into the
+    requantizing epilogue; pointwise (1x1) convolutions and standalone
+    activations stay in float32 — at this network's sizes a 1x1 conv
+    is dominated by per-call fixed work (activation quantization,
+    image staging) that int8 MAC savings cannot recoup.
+
+    Determinism: a compiled program inherits the int8 kernels'
+    guarantees — results are bit-identical at every [DCO3D_JOBS] value,
+    and element [b] of a batched run is bit-identical to running
+    sample [b] alone (per-sample activation scales). *)
+
+type fused_act = [ `None | `Relu | `Leaky of float ]
+
+type qunit =
+  | Q_conv of {
+      transposed : bool;
+      stride : int;
+      pad : int;
+      qw : Dco3d_tensor.Tensor.qweight;
+      bias : float array option;
+      act : fused_act;
+    }  (** int8 conv with fused requantize + bias + activation *)
+  | F_conv of {
+      transposed : bool;
+      stride : int;
+      pad : int;
+      weight : Dco3d_tensor.Tensor.t;
+      bias : Dco3d_tensor.Tensor.t option;
+    }  (** float32 fallback conv (pointwise layers) *)
+  | F_act of [ `Relu | `Leaky of float | `Sigmoid | `Tanh | `Maxpool2 ]
+
+type t = { units : qunit list }
+
+val of_layer : ?quantize_conv:(int -> bool) -> Layer.t -> t
+(** Compile a layer (tree) into a quantized program.  Weights are
+    quantized per output channel at call time, so the program captures
+    the layer's weights as of this call.
+
+    [quantize_conv] is the quantization policy: it receives each
+    convolution's 0-based index in the flattened program (transposed
+    convs count too) and answers whether that conv may run int8
+    (default: all may).  A conv the policy declines — or one without
+    spatial extent, which is never worth quantizing — compiles to a
+    float32 [F_conv] with its activation left unfused.  Callers use
+    the policy to pin accuracy-critical convolutions, e.g. the
+    network's entry conv, whose quantization error would otherwise
+    ride through every downstream layer.
+    @raise Invalid_argument on layers the quantizer cannot compile
+    (linear layers, opaque activations). *)
+
+val forward_batch : t -> Dco3d_tensor.Tensor.t -> Dco3d_tensor.Tensor.t
+(** Run the program over a rank-4 [[n; c; h; w]] batch. *)
+
+val dequantized : t -> t
+(** The float32 network a quantized program effectively computes:
+    quantized weights dequantized back to float ([q . scale]),
+    float units untouched.  The golden-parity harness compares
+    against this to separate quantization error from kernel bugs. *)
+
+val num_quantized : t -> int
+(** Number of int8 conv units (reporting). *)
+
+val num_float : t -> int
+(** Number of float32 fallback conv units (reporting). *)
+
+(** {1 Persistence} *)
+
+type parts
+(** Pure-data image of a program — no closures, safe to [Marshal]. *)
+
+val to_parts : t -> parts
+
+val of_parts : parts -> t
+(** Rebuild a program from its persisted image, revalidating every
+    quantized payload (shape agreement, scale positivity, symmetric
+    byte range).
+    @raise Invalid_argument on any inconsistency. *)

@@ -59,6 +59,45 @@ let predict ?timeout_ms c f_bottom f_top =
   | P.Timed_out -> Timed_out
   | r -> fail_reply "predict" r
 
+(* Jittered exponential backoff around [predict].  [Overloaded] and
+   [Timed_out] are transient backpressure — the queue drains in
+   milliseconds — so a bounded retry loop turns them into successes
+   without hammering the daemon: the k-th wait is [base * 2^k] scaled
+   by a uniform jitter in [0.5, 1), which decorrelates competing
+   clients (all-full-delay retries would re-collide exactly like the
+   original burst).  A [deadline_s] budget caps the whole loop,
+   sleeps are clamped to the time remaining, and the last daemon
+   outcome is returned verbatim once attempts or budget run out. *)
+let retry ?(attempts = 5) ?(base_delay_s = 0.01) ?(max_delay_s = 0.5)
+    ?deadline_s ?(seed = 0) ?timeout_ms c f_bottom f_top =
+  if attempts < 1 then invalid_arg "Client.retry: attempts < 1";
+  let rng = Dco3d_tensor.Rng.create (seed lxor 0x5e7) in
+  let started = Unix.gettimeofday () in
+  let remaining () =
+    match deadline_s with
+    | None -> infinity
+    | Some budget -> budget -. (Unix.gettimeofday () -. started)
+  in
+  let rec go k =
+    let outcome = predict ?timeout_ms c f_bottom f_top in
+    match outcome with
+    | Ok _ -> outcome
+    | Overloaded _ | Timed_out ->
+        if k + 1 >= attempts then outcome
+        else begin
+          let expo = base_delay_s *. (2. ** float_of_int k) in
+          let jitter = Dco3d_tensor.Rng.range rng 0.5 1.0 in
+          let delay = Float.min max_delay_s expo *. jitter in
+          let left = remaining () in
+          if left <= 0. then outcome
+          else begin
+            Thread.delay (Float.min delay left);
+            if remaining () <= 0. then outcome else go (k + 1)
+          end
+        end
+  in
+  go 0
+
 let submit_flow c spec =
   match roundtrip c (P.Flow_submit spec) None with
   | P.Accepted id -> id

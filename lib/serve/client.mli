@@ -40,6 +40,29 @@ val predict :
     the daemon coalesced the request into.  [Overloaded] and
     [Timed_out] are expected backpressure outcomes, not errors. *)
 
+val retry :
+  ?attempts:int ->
+  ?base_delay_s:float ->
+  ?max_delay_s:float ->
+  ?deadline_s:float ->
+  ?seed:int ->
+  ?timeout_ms:float ->
+  t ->
+  Dco3d_tensor.Tensor.t ->
+  Dco3d_tensor.Tensor.t ->
+  predict_outcome
+(** {!predict} wrapped in jittered exponential backoff on the transient
+    backpressure outcomes [Overloaded] and [Timed_out].  The k-th retry
+    waits [min max_delay_s (base_delay_s * 2^k)] scaled by a uniform
+    jitter in [\[0.5, 1)] drawn from a deterministic stream ([seed]),
+    so competing clients decorrelate instead of re-colliding.  At most
+    [attempts] total requests (default 5) are sent; [deadline_s], when
+    given, bounds the whole loop — sleeps are clamped to the budget
+    remaining and no request is sent after it is exhausted.  When the
+    loop gives up, the daemon's last outcome is returned verbatim.
+    Defaults: [base_delay_s = 0.01], [max_delay_s = 0.5], no deadline.
+    @raise Error as {!predict} does (server errors are not retried). *)
+
 val submit_flow : t -> Protocol.flow_spec -> int
 (** Enqueue a flow job; returns its id immediately. *)
 

@@ -11,6 +11,7 @@ type config = {
   max_batch : int;
   batch_linger_ms : float;
   cache_capacity : int;
+  numeric : [ `F32 | `I8 ];
 }
 
 let default_config address =
@@ -20,6 +21,7 @@ let default_config address =
     max_batch = 8;
     batch_linger_ms = 2.0;
     cache_capacity = 128;
+    numeric = `F32;
   }
 
 (* Obs probes (interning is idempotent, handles live at module level). *)
@@ -156,7 +158,7 @@ let run_batch t batch =
       Obs.with_span "serve/batch"
         ~args:[ ("size", string_of_int n) ]
         (fun () ->
-          Predictor.predict_batch t.predictor
+          Predictor.predict_batch ~numeric:t.cfg.numeric t.predictor
             (Array.map (fun p -> (p.payload.P.f_bottom, p.payload.P.f_top)) misses))
     in
     locked t (fun () ->
@@ -473,12 +475,17 @@ let start cfg predictor =
   ignore_sigpipe ();
   if cfg.queue_capacity < 1 then invalid_arg "Server.start: queue_capacity < 1";
   if cfg.max_batch < 1 then invalid_arg "Server.start: max_batch < 1";
+  (* Computing the fingerprint before binding also forces the int8
+     compilation for [`I8] servers: the first request pays no
+     quantization latency, and a model that cannot compile fails at
+     startup, not mid-serve. *)
+  let fingerprint = Predictor.fingerprint ~numeric:cfg.numeric predictor in
   let listen_fd, bound = bind_listen cfg.address in
   let t =
     {
       cfg;
       predictor;
-      fingerprint = Predictor.fingerprint predictor;
+      fingerprint;
       listen_fd;
       bound;
       started_at = now ();

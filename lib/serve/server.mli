@@ -45,6 +45,12 @@ type config = {
       (** how long the batcher waits for companions once one request is
           pending (default 2.0) *)
   cache_capacity : int;  (** LRU result-cache entries (default 128) *)
+  numeric : [ `F32 | `I8 ];
+      (** inference numeric path (default [`F32]).  [`I8] serves the
+          memoized int8 compilation of the model; the cache key's
+          fingerprint component is numeric-path-specific, so int8 and
+          float results can never alias.  The compilation is forced at
+          {!start}, so the first request pays no quantization latency. *)
 }
 
 val default_config : address -> config

@@ -23,9 +23,26 @@ val with_floats : int -> (float array -> 'a) -> 'a
 val with_zeroed : int -> (float array -> 'a) -> 'a
 (** Like {!with_floats} but indices [0 .. n-1] are zeroed first. *)
 
+val with_bytes : int -> (Bytes.t -> 'a) -> 'a
+(** [with_bytes n f] borrows a scratch byte buffer of at least [n]
+    bytes — the int8 engine's quantized activations and im2col scan
+    lines.  Same lifecycle and caveats as {!with_floats}: contents are
+    unspecified, the buffer must not escape [f].
+    @raise Invalid_argument on negative [n]. *)
+
+val with_ints : int -> (int array -> 'a) -> 'a
+(** [with_ints n f] borrows a scratch int buffer of at least [n]
+    words — the int8 GEMM's lane-packed tiles and column sums.  Same
+    lifecycle and caveats as {!with_floats}.
+    @raise Invalid_argument on negative [n]. *)
+
 val live_floats : unit -> int
 (** Floats currently retained by this domain's arena (capacity, whether
     borrowed or free). *)
+
+val live_scratch_bytes : unit -> int
+(** Total bytes retained by this domain's arena across all three pools
+    (float, byte and int slots). *)
 
 val borrows : unit -> int
 (** Borrows served on this domain since the last {!reset}. *)

@@ -330,7 +330,7 @@ let test_load_rejects_wrong_channels () =
 (* ------------------------------------------------------------------ *)
 
 let with_server ?(queue_capacity = 64) ?(max_batch = 8) ?(batch_linger_ms = 30.)
-    ?(cache_capacity = 128) predictor f =
+    ?(cache_capacity = 128) ?(numeric = `F32) predictor f =
   let cfg =
     {
       Server.address = Server.Unix_path (tmp_name ".sock");
@@ -338,6 +338,7 @@ let with_server ?(queue_capacity = 64) ?(max_batch = 8) ?(batch_linger_ms = 30.)
       max_batch;
       batch_linger_ms;
       cache_capacity;
+      numeric;
     }
   in
   let srv = Server.start cfg predictor in
@@ -576,6 +577,7 @@ let test_e2e_drain_on_stop () =
       max_batch = 8;
       batch_linger_ms = 200.;
       cache_capacity = 16;
+      numeric = `F32;
     }
   in
   let srv = Server.start cfg predictor in
@@ -606,6 +608,131 @@ let test_e2e_drain_on_stop () =
       check_bits "drained bottom" eb c_bottom;
       check_bits "drained top" et c_top
   | _ -> Alcotest.fail "queued request must be served during drain"
+
+(* ------------------------------------------------------------------ *)
+(* Quantized serving and client retry                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_fingerprint_numeric_distinct () =
+  (* Same weights, different numeric path: the serve cache key must not
+     alias int8 replies with float32 replies. *)
+  let predictor = mk_predictor 83 in
+  let fp_f32 = Predictor.fingerprint ~numeric:`F32 predictor in
+  let fp_i8 = Predictor.fingerprint ~numeric:`I8 predictor in
+  Alcotest.(check bool)
+    "f32 and i8 fingerprints differ" true (fp_f32 <> fp_i8);
+  Alcotest.(check string)
+    "f32 fingerprint stable" fp_f32
+    (Predictor.fingerprint ~numeric:`F32 predictor);
+  Alcotest.(check string)
+    "i8 fingerprint stable" fp_i8
+    (Predictor.fingerprint ~numeric:`I8 predictor);
+  Alcotest.(check string)
+    "default numeric is f32" fp_f32
+    (Predictor.fingerprint predictor)
+
+let test_e2e_quantized_serving () =
+  let predictor = mk_predictor 89 in
+  with_server ~numeric:`I8 predictor @@ fun srv ->
+  let c = Client.connect (Server.bound_addr srv) in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let rng = Rng.create 97 in
+  let fb = rand_stack rng 7 9 and ft = rand_stack rng 7 9 in
+  match Client.predict c fb ft with
+  | Client.Ok { c_bottom; c_top; _ } ->
+      let eb, et = Predictor.predict ~numeric:`I8 predictor fb ft in
+      check_bits "quantized bottom" eb c_bottom;
+      check_bits "quantized top" et c_top;
+      let fb32, _ = Predictor.predict ~numeric:`F32 predictor fb ft in
+      let differs = ref false in
+      Array.iteri
+        (fun i v ->
+          if Int64.bits_of_float v <> Int64.bits_of_float c_bottom.T.data.(i)
+          then differs := true)
+        fb32.T.data;
+      Alcotest.(check bool) "i8 reply is not the f32 reply" true !differs
+  | _ -> Alcotest.fail "quantized predict not served"
+
+let test_retry_overloaded_recovers () =
+  let predictor = mk_predictor 101 in
+  (* Tiny queue + long linger: a parked request keeps the queue full,
+     so a second client is refused with Overloaded until the linger
+     window expires and the batch drains.  Client.retry must absorb
+     those refusals and come back with the real reply. *)
+  with_server ~queue_capacity:1 ~batch_linger_ms:150. predictor @@ fun srv ->
+  let addr = Server.bound_addr srv in
+  let rng = Rng.create 103 in
+  let fb1, ft1 = (rand_stack rng 6 6, rand_stack rng 6 6) in
+  let first_reply = ref None in
+  let t =
+    Thread.create
+      (fun () ->
+        let c = Client.connect addr in
+        Fun.protect
+          ~finally:(fun () -> Client.close c)
+          (fun () -> first_reply := Some (Client.predict c fb1 ft1)))
+      ()
+  in
+  let deadline = Unix.gettimeofday () +. 5. in
+  while stat srv "queue_depth" < 1. && Unix.gettimeofday () < deadline do
+    Thread.delay 0.005
+  done;
+  let c = Client.connect addr in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let fb, ft = (rand_stack rng 6 6, rand_stack rng 6 6) in
+  (match Client.retry ~attempts:30 ~base_delay_s:0.02 ~max_delay_s:0.1 c fb ft
+   with
+  | Client.Ok { c_bottom; c_top; _ } ->
+      let eb, et = Predictor.predict predictor fb ft in
+      check_bits "retried bottom" eb c_bottom;
+      check_bits "retried top" et c_top
+  | Client.Overloaded _ -> Alcotest.fail "retry gave up while queue drained"
+  | _ -> Alcotest.fail "retry must end in a served reply");
+  Alcotest.(check bool) "server refused at least once" true
+    (stat srv "overloaded" >= 1.);
+  Thread.join t;
+  match !first_reply with
+  | Some (Client.Ok _) -> ()
+  | _ -> Alcotest.fail "parked request must still be served"
+
+let test_retry_respects_deadline () =
+  let predictor = mk_predictor 107 in
+  with_server ~queue_capacity:1 ~batch_linger_ms:400. predictor @@ fun srv ->
+  let addr = Server.bound_addr srv in
+  let rng = Rng.create 109 in
+  let fb1, ft1 = (rand_stack rng 6 6, rand_stack rng 6 6) in
+  let t =
+    Thread.create
+      (fun () ->
+        let c = Client.connect addr in
+        Fun.protect
+          ~finally:(fun () -> Client.close c)
+          (fun () -> ignore (Client.predict c fb1 ft1)))
+      ()
+  in
+  let deadline = Unix.gettimeofday () +. 5. in
+  while stat srv "queue_depth" < 1. && Unix.gettimeofday () < deadline do
+    Thread.delay 0.005
+  done;
+  let c = Client.connect addr in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let fb, ft = (rand_stack rng 6 6, rand_stack rng 6 6) in
+  let started = Unix.gettimeofday () in
+  (* The queue stays full for 400 ms but the retry budget is 100 ms:
+     retry must return the typed refusal once the deadline is spent
+     instead of burning all 50 attempts. *)
+  (match
+     Client.retry ~attempts:50 ~base_delay_s:0.02 ~max_delay_s:0.05
+       ~deadline_s:0.1 c fb ft
+   with
+  | Client.Overloaded _ -> ()
+  | Client.Ok _ -> Alcotest.fail "queue cannot have drained inside 100 ms"
+  | _ -> Alcotest.fail "expected the typed overload refusal");
+  let elapsed = Unix.gettimeofday () -. started in
+  Alcotest.(check bool)
+    (Printf.sprintf "deadline respected (%.3fs)" elapsed)
+    true (elapsed < 0.35);
+  Thread.join t
 
 let suites =
   [
@@ -659,5 +786,12 @@ let suites =
           test_e2e_survives_rude_clients;
         Alcotest.test_case "flow job lifecycle" `Quick test_e2e_flow_job;
         Alcotest.test_case "drain on stop" `Quick test_e2e_drain_on_stop;
+        Alcotest.test_case "numeric-distinct fingerprints" `Quick
+          test_fingerprint_numeric_distinct;
+        Alcotest.test_case "quantized serving" `Quick test_e2e_quantized_serving;
+        Alcotest.test_case "retry recovers from overload" `Quick
+          test_retry_overloaded_recovers;
+        Alcotest.test_case "retry respects deadline" `Quick
+          test_retry_respects_deadline;
       ] );
   ]
