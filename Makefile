@@ -1,9 +1,13 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples clean bench-deterministic bench-check serve-smoke quantize-smoke
+.PHONY: all build test bench examples clean bench-deterministic bench-check serve-smoke quantize-smoke balance-smoke
 
 # Parallel jobs used for the determinism check's "parallel" leg.
 JOBS ?= 4
+
+# Smoke targets keep their scratch output (daemon logs, stage
+# profiles, sockets, throwaway models) out of the repo root.
+LOGS := logs
 
 all: build
 
@@ -44,40 +48,41 @@ bench-deterministic:
 #   DCO3D_BENCH_TOL      speedup noise tolerance  (default 0.10)
 #   DCO3D_BENCH_REGRESS  par_ms regression cap    (default 0.15)
 bench-check:
-	dune build bench/main.exe bench/bench_check.exe
-	DCO3D_ONLY=kernels,route,predict DCO3D_JOBS=$(JOBS) dune exec --no-build bench/main.exe > /dev/null
+	dune build bench/main.exe bench/bench_check.exe bin/dco3d.exe
+	DCO3D_ONLY=kernels,route,predict,serve DCO3D_JOBS=$(JOBS) dune exec --no-build bench/main.exe > /dev/null
 	dune exec --no-build bench/bench_check.exe
 
 # End-to-end daemon smoke: start `dco3d serve` (untrained model), fire
 # predict requests (the repeats must hit the result cache), run a tiny
 # flow job through the async job queue, then drain with SIGTERM.  The
-# daemon writes its stage profile to serve-profile.txt at exit.
+# daemon writes its stage profile to $(LOGS)/serve-profile.txt at exit.
 serve-smoke:
 	dune build bin/dco3d.exe
-	rm -f serve-smoke.sock serve-profile.txt
-	DCO3D_PROFILE=serve-profile.txt \
-	  dune exec --no-build bin/dco3d.exe -- serve --socket serve-smoke.sock \
-	  > serve-smoke.log 2>&1 & \
+	mkdir -p $(LOGS)
+	rm -f $(LOGS)/serve-smoke.sock $(LOGS)/serve-profile.txt
+	DCO3D_PROFILE=$(LOGS)/serve-profile.txt \
+	  dune exec --no-build bin/dco3d.exe -- serve --socket $(LOGS)/serve-smoke.sock \
+	  > $(LOGS)/serve-smoke.log 2>&1 & \
 	SERVE_PID=$$!; \
-	for i in $$(seq 1 50); do [ -S serve-smoke.sock ] && break; sleep 0.1; done; \
-	[ -S serve-smoke.sock ] || { cat serve-smoke.log; exit 1; }; \
-	dune exec --no-build bin/dco3d.exe -- client ping --socket serve-smoke.sock && \
-	dune exec --no-build bin/dco3d.exe -- client predict --socket serve-smoke.sock \
-	  -s 0.05 --gcell 16 --repeat 3 | tee serve-predict.log && \
-	grep -q "cache hit" serve-predict.log && \
-	dune exec --no-build bin/dco3d.exe -- client flow --socket serve-smoke.sock \
+	for i in $$(seq 1 50); do [ -S $(LOGS)/serve-smoke.sock ] && break; sleep 0.1; done; \
+	[ -S $(LOGS)/serve-smoke.sock ] || { cat $(LOGS)/serve-smoke.log; exit 1; }; \
+	dune exec --no-build bin/dco3d.exe -- client ping --socket $(LOGS)/serve-smoke.sock && \
+	dune exec --no-build bin/dco3d.exe -- client predict --socket $(LOGS)/serve-smoke.sock \
+	  -s 0.05 --gcell 16 --repeat 3 | tee $(LOGS)/serve-predict.log && \
+	grep -q "cache hit" $(LOGS)/serve-predict.log && \
+	dune exec --no-build bin/dco3d.exe -- client flow --socket $(LOGS)/serve-smoke.sock \
 	  -d DMA -s 0.02 --gcell 12 && \
-	dune exec --no-build bin/dco3d.exe -- client stats --socket serve-smoke.sock && \
+	dune exec --no-build bin/dco3d.exe -- client stats --socket $(LOGS)/serve-smoke.sock && \
 	kill -TERM $$SERVE_PID && wait $$SERVE_PID; \
-	STATUS=$$?; cat serve-smoke.log; \
-	[ $$STATUS -eq 0 ] && [ -f serve-profile.txt ] && \
-	  grep -q "serve/batch " serve-profile.txt && \
-	  grep -q "serve/flow_job" serve-profile.txt && \
-	  grep -q "serve/cache_hit" serve-profile.txt && \
-	  grep -q "serve/requests" serve-profile.txt && \
-	  grep -q "drained and stopped" serve-smoke.log && \
+	STATUS=$$?; cat $(LOGS)/serve-smoke.log; \
+	[ $$STATUS -eq 0 ] && [ -f $(LOGS)/serve-profile.txt ] && \
+	  grep -q "serve/batch " $(LOGS)/serve-profile.txt && \
+	  grep -q "serve/flow_job" $(LOGS)/serve-profile.txt && \
+	  grep -q "serve/cache_hit" $(LOGS)/serve-profile.txt && \
+	  grep -q "serve/requests" $(LOGS)/serve-profile.txt && \
+	  grep -q "drained and stopped" $(LOGS)/serve-smoke.log && \
 	  echo "serve-smoke: OK" || { echo "serve-smoke: FAILED"; exit 1; }
-	@rm -f serve-smoke.sock serve-predict.log
+	@rm -f $(LOGS)/serve-smoke.sock
 
 # Quantized-path smoke: `dco3d quantize` must produce a loadable int8
 # model that passes its own golden-parity gate (BENCH_parity_smoke.json
@@ -85,24 +90,66 @@ serve-smoke:
 # serve predictions from it end to end.
 quantize-smoke:
 	dune build bin/dco3d.exe
-	rm -f quantize-smoke.sock predictor.i8.bin predictor.i8.bin.qnet BENCH_parity_smoke.json
+	mkdir -p $(LOGS)
+	rm -f $(LOGS)/quantize-smoke.sock $(LOGS)/predictor.i8.bin $(LOGS)/predictor.i8.bin.qnet BENCH_parity_smoke.json
 	dune exec --no-build bin/dco3d.exe -- quantize --gcell 24 --samples 2 \
-	  -o predictor.i8.bin --report BENCH_parity_smoke.json
+	  -o $(LOGS)/predictor.i8.bin --report BENCH_parity_smoke.json
 	cat BENCH_parity_smoke.json
-	dune exec --no-build bin/dco3d.exe -- serve --socket quantize-smoke.sock \
-	  --model predictor.i8.bin --numeric i8 > quantize-smoke.log 2>&1 & \
+	dune exec --no-build bin/dco3d.exe -- serve --socket $(LOGS)/quantize-smoke.sock \
+	  --model $(LOGS)/predictor.i8.bin --numeric i8 > $(LOGS)/quantize-smoke.log 2>&1 & \
 	SERVE_PID=$$!; \
-	for i in $$(seq 1 50); do [ -S quantize-smoke.sock ] && break; sleep 0.1; done; \
-	[ -S quantize-smoke.sock ] || { cat quantize-smoke.log; exit 1; }; \
-	dune exec --no-build bin/dco3d.exe -- client predict --socket quantize-smoke.sock \
-	  -s 0.05 --gcell 16 --repeat 2 | tee quantize-predict.log && \
-	grep -q "cache hit" quantize-predict.log && \
+	for i in $$(seq 1 50); do [ -S $(LOGS)/quantize-smoke.sock ] && break; sleep 0.1; done; \
+	[ -S $(LOGS)/quantize-smoke.sock ] || { cat $(LOGS)/quantize-smoke.log; exit 1; }; \
+	dune exec --no-build bin/dco3d.exe -- client predict --socket $(LOGS)/quantize-smoke.sock \
+	  -s 0.05 --gcell 16 --repeat 2 | tee $(LOGS)/quantize-predict.log && \
+	grep -q "cache hit" $(LOGS)/quantize-predict.log && \
 	kill -TERM $$SERVE_PID && wait $$SERVE_PID; \
-	STATUS=$$?; cat quantize-smoke.log; \
-	[ $$STATUS -eq 0 ] && grep -q "numeric i8" quantize-smoke.log && \
-	  grep -q "drained and stopped" quantize-smoke.log && \
+	STATUS=$$?; cat $(LOGS)/quantize-smoke.log; \
+	[ $$STATUS -eq 0 ] && grep -q "numeric i8" $(LOGS)/quantize-smoke.log && \
+	  grep -q "drained and stopped" $(LOGS)/quantize-smoke.log && \
 	  echo "quantize-smoke: OK" || { echo "quantize-smoke: FAILED"; exit 1; }
-	@rm -f quantize-smoke.sock quantize-predict.log predictor.i8.bin predictor.i8.bin.qnet
+	@rm -f $(LOGS)/quantize-smoke.sock $(LOGS)/predictor.i8.bin $(LOGS)/predictor.i8.bin.qnet
+
+# Fleet smoke: `dco3d balance` with two shards (one f32, one i8)
+# behind one socket.  Concurrent clients route by numeric path, a
+# SIGKILLed shard is respawned by the supervisor while `client predict
+# --retry` rides through, and SIGTERM drains the whole fleet.  The
+# balancer and each shard leave stage profiles under $(LOGS)/.
+balance-smoke:
+	dune build bin/dco3d.exe
+	mkdir -p $(LOGS)
+	rm -f $(LOGS)/balance-smoke.sock $(LOGS)/balance-smoke.ctl $(LOGS)/balance-profile.txt*
+	rm -rf $(LOGS)/balance-spill
+	DCO3D_PROFILE=$(LOGS)/balance-profile.txt \
+	  dune exec --no-build bin/dco3d.exe -- balance --socket $(LOGS)/balance-smoke.sock \
+	  --ctl $(LOGS)/balance-smoke.ctl --shards 2 --numerics f32,i8 \
+	  --spill-dir $(LOGS)/balance-spill \
+	  > $(LOGS)/balance-smoke.log 2>&1 & \
+	BAL_PID=$$!; \
+	for i in $$(seq 1 150); do grep -q "all 2 shards live" $(LOGS)/balance-smoke.log 2>/dev/null && break; sleep 0.2; done; \
+	grep -q "all 2 shards live" $(LOGS)/balance-smoke.log || { cat $(LOGS)/balance-smoke.log; exit 1; }; \
+	( for s in 1 2 3; do \
+	    dune exec --no-build bin/dco3d.exe -- client predict --socket $(LOGS)/balance-smoke.sock \
+	      -s 0.05 --gcell 16 --seed $$s --retry 6 & \
+	  done; wait ) > $(LOGS)/balance-predict.log 2>&1 && \
+	dune exec --no-build bin/dco3d.exe -- client predict --socket $(LOGS)/balance-smoke.sock \
+	  -s 0.05 --gcell 16 --route i8 --retry 6 | tee -a $(LOGS)/balance-predict.log | grep -q "numeric i8" && \
+	dune exec --no-build bin/dco3d.exe -- client predict --socket $(LOGS)/balance-smoke.sock \
+	  -s 0.05 --gcell 16 --route f32 --retry 6 | tee -a $(LOGS)/balance-predict.log | grep -q "numeric f32" && \
+	pkill -9 -f "[-]-shard-id 0" && sleep 1 && \
+	dune exec --no-build bin/dco3d.exe -- client predict --socket $(LOGS)/balance-smoke.sock \
+	  -s 0.05 --gcell 16 --retry 10 >> $(LOGS)/balance-predict.log 2>&1 && \
+	dune exec --no-build bin/dco3d.exe -- client stats --socket $(LOGS)/balance-smoke.sock \
+	  | tee $(LOGS)/balance-stats.log && \
+	kill -TERM $$BAL_PID && wait $$BAL_PID; \
+	STATUS=$$?; cat $(LOGS)/balance-smoke.log; \
+	[ $$STATUS -eq 0 ] && \
+	  grep -q "drained and stopped" $(LOGS)/balance-smoke.log && \
+	  grep -q "shard 0: .*1 restarts" $(LOGS)/balance-smoke.log && \
+	  [ -f $(LOGS)/balance-profile.txt ] && \
+	  ls $(LOGS)/balance-profile.txt.shard0 $(LOGS)/balance-profile.txt.shard1 && \
+	  echo "balance-smoke: OK" || { echo "balance-smoke: FAILED"; exit 1; }
+	@rm -f $(LOGS)/balance-smoke.sock $(LOGS)/balance-smoke.ctl
 
 examples:
 	dune exec examples/quickstart.exe

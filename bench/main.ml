@@ -30,6 +30,9 @@ module Dco = Dco3d_core.Dco
 module Spreader = Dco3d_core.Spreader
 module SiaUNet = Dco3d_nn.Siamese_unet
 module Obs = Dco3d_obs.Obs
+module Server = Dco3d_serve.Server
+module Balance = Dco3d_serve.Balance
+module Client = Dco3d_serve.Client
 
 let env_int name default =
   match Sys.getenv_opt name with Some v -> int_of_string v | None -> default
@@ -874,14 +877,176 @@ let predict_bench () =
     };
   ]
 
+let serve_bench () =
+  section "Serve benchmark (shard scaling under concurrent clients)";
+  (* the fleet legs spawn real `dco3d serve --shard-of` processes, so
+     shard scaling reflects genuine multi-process parallelism rather
+     than domains contending inside this bench process *)
+  let exe =
+    Filename.concat (Filename.dirname Sys.executable_name) "../bin/dco3d.exe"
+  in
+  if not (Sys.file_exists exe) then begin
+    Printf.printf "  [skipped: %s not built - run `dune build bin/dco3d.exe`]\n"
+      exe;
+    []
+  end
+  else begin
+    let cores = Domain.recommended_domain_count () in
+    let n_clients = 4 and reqs_per_client = env_int "DCO3D_SERVE_REQS" 6 in
+    let seed = 3 and input_hw = 16 in
+    let hw = 14 in
+    let tmp_name =
+      let n = ref 0 in
+      fun suffix ->
+        incr n;
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "dco3d_bench_%d_%d%s" (Unix.getpid ()) !n suffix)
+    in
+    (* one fixed request set, reused by both legs so their reply
+       digests are comparable bit-for-bit *)
+    let rng = Rng.create 41 in
+    let inputs =
+      Array.init n_clients (fun _ ->
+          Array.init reqs_per_client (fun _ ->
+              ( T.rand_uniform rng [| Fm.n_channels; hw; hw |],
+                T.rand_uniform rng [| Fm.n_channels; hw; hw |] )))
+    in
+    (* ground truth: the same untrained predictor the shards build from
+       --seed/--input-hw (bin/dco3d.ml's untrained_predictor) *)
+    let predictor =
+      let net =
+        SiaUNet.create (Rng.create seed)
+          { SiaUNet.default_config with SiaUNet.base_channels = 8 }
+      in
+      { Predictor.net; input_hw; label_scale = 1.0 }
+    in
+    let digest_replies replies =
+      digest_tensors
+        (Array.to_list replies
+        |> List.concat_map (fun per_client ->
+               Array.to_list per_client
+               |> List.concat_map (fun (a, b) -> [ a; b ])))
+    in
+    let expected_digest =
+      digest_replies
+        (Array.map
+           (Array.map (fun (b, t) -> Predictor.predict predictor b t))
+           inputs)
+    in
+    let run_leg n_shards =
+      let ctl = tmp_name ".ctl" in
+      let argv_of i =
+        [|
+          exe; "serve"; "--shard-of"; ctl; "--shard-id"; string_of_int i;
+          "--seed"; string_of_int seed; "--input-hw"; string_of_int input_hw;
+          "--linger-ms"; "2"; "--numeric"; "f32";
+        |]
+      in
+      let cfg =
+        Balance.default_config
+          ~address:(Server.Unix_path (tmp_name ".sock"))
+          ~ctl_path:ctl ~n_shards
+      in
+      let b = Balance.start cfg ~argv_of in
+      Fun.protect
+        ~finally:(fun () -> Balance.stop b)
+        (fun () ->
+          if not (Balance.await_live ~timeout_s:120. b n_shards) then begin
+            Printf.eprintf "serve: %d-shard fleet failed to come up\n" n_shards;
+            exit 1
+          end;
+          let addr = Balance.bound_addr b in
+          let replies =
+            Array.map (Array.map (fun _ -> (T.zeros [| 1 |], T.zeros [| 1 |])))
+              inputs
+          in
+          let failed = Atomic.make false in
+          let storm () =
+            let threads =
+              List.init n_clients (fun c ->
+                  Thread.create
+                    (fun () ->
+                      let cl = Client.connect addr in
+                      Array.iteri
+                        (fun k (fb, ft) ->
+                          match Client.retry ~attempts:10 ~seed:(c + k) cl fb ft with
+                          | Client.Ok { c_bottom; c_top; _ } ->
+                              replies.(c).(k) <- (c_bottom, c_top)
+                          | _ -> Atomic.set failed true)
+                        inputs.(c);
+                      Client.close cl)
+                    ())
+            in
+            List.iter Thread.join threads
+          in
+          let t0 = Unix.gettimeofday () in
+          storm ();
+          let dt = Unix.gettimeofday () -. t0 in
+          if Atomic.get failed then begin
+            Printf.eprintf "serve: requests failed against the %d-shard fleet\n"
+              n_shards;
+            exit 1
+          end;
+          (dt, digest_replies replies))
+    in
+    let t1, d1 = run_leg 1 in
+    let tn, dn = run_leg 2 in
+    (* same honesty rule as the kernel sections: on a single-core host
+       two shards time-slice one CPU, the true ratio is 1.0, and any
+       measured deviation is scheduling noise - fold the legs *)
+    let t1, tn =
+      if cores < 2 then
+        let best = Float.min t1 tn in
+        (best, best)
+      else (t1, tn)
+    in
+    let total = n_clients * reqs_per_client in
+    let rps dt = float_of_int total /. dt in
+    let size =
+      Printf.sprintf "%d clients x %d reqs, 1->2 shards" n_clients
+        reqs_per_client
+    in
+    let ok = String.equal d1 dn && String.equal d1 expected_digest in
+    Printf.printf "  %-24s %-28s %9s %9s %8s %s\n" "op" "size" "1sh req/s"
+      "2sh req/s" "scaling" "digest match";
+    Printf.printf "  %-24s %-28s %9.1f %9.1f %7.2fx %s\n%!" "serve_fleet" size
+      (rps t1) (rps tn) (t1 /. tn)
+      (if ok then "ok (= local predict)" else "MISMATCH");
+    if not ok then begin
+      prerr_endline
+        "serve: fleet replies diverged from the local Predictor.predict \
+         reference (digest mismatch)";
+      exit 1
+    end;
+    [
+      {
+        k_name = "serve_fleet";
+        k_size = size;
+        k_flops = None;
+        (* seq_ms = 1-shard wall time, par_ms = 2-shard wall time: the
+           row's speedup is the shard-scaling factor, floor-gated by
+           bench_check on multi-core hosts *)
+        k_seq_ms = t1 *. 1e3;
+        k_par_ms = tn *. 1e3;
+        k_digest = d1;
+        k_ok = ok;
+      };
+    ]
+  end
+
 (* machine-readable perf trajectory across PRs: one combined file over
    every benchmarked section (kernels + route) *)
 let write_bench_files rows =
   let target_jobs = Pool.jobs () in
   let effective = Pool.effective_jobs () in
   let oc = open_out "BENCH_kernels.json" in
-  Printf.fprintf oc "{\n  \"jobs\": %d,\n  \"jobs_effective\": %d,\n  \"kernels\": [\n"
-    target_jobs effective;
+  (* "cores" lets bench_check scale its expectations to the machine the
+     fresh file was generated on (e.g. the serve_fleet shard-scaling
+     floor only binds when a second core exists to scale onto) *)
+  Printf.fprintf oc
+    "{\n  \"jobs\": %d,\n  \"jobs_effective\": %d,\n  \"cores\": %d,\n  \"kernels\": [\n"
+    target_jobs effective
+    (Domain.recommended_domain_count ());
   List.iteri
     (fun i k ->
       Printf.fprintf oc
@@ -932,7 +1097,8 @@ let () =
   let kernel_rows = if enabled "kernels" then kernels () else [] in
   let route_rows = if enabled "route" then route_bench () else [] in
   let predict_rows = if enabled "predict" then predict_bench () else [] in
-  let bench_rows = kernel_rows @ route_rows @ predict_rows in
+  let serve_rows = if enabled "serve" then serve_bench () else [] in
+  let bench_rows = kernel_rows @ route_rows @ predict_rows @ serve_rows in
   if bench_rows <> [] then write_bench_files bench_rows;
   Obs.write_profile "BENCH_stage_profile.txt";
   Printf.printf "  [wrote BENCH_stage_profile.txt]\n";

@@ -23,6 +23,8 @@ module Fm = Dco3d_congestion.Feature_maps
 module Server = Dco3d_serve.Server
 module Client = Dco3d_serve.Client
 module Proto = Dco3d_serve.Protocol
+module Shard = Dco3d_serve.Shard
+module Balance = Dco3d_serve.Balance
 
 open Cmdliner
 
@@ -454,7 +456,7 @@ let numeric_t =
 
 let serve_cmd =
   let run () socket port model seed input_hw queue_cap max_batch linger_ms
-      cache_cap numeric =
+      cache_cap numeric shard_of shard_id spill_dir =
     let predictor =
       match model with
       | Some path -> load_any_model path
@@ -472,21 +474,67 @@ let serve_cmd =
         batch_linger_ms = linger_ms;
         cache_capacity = cache_cap;
         numeric;
+        spill_dir;
+        shard_id;
       }
     in
-    let srv = Server.start cfg predictor in
-    let on_signal _ = Server.request_stop srv in
-    Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
-    Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
-    Printf.printf "dco3d serve: listening on %s (model %s, numeric %s)\n%!"
-      (pp_address (Server.bound_addr srv))
-      (match model with Some p -> p | None -> "untrained")
-      (match numeric with `F32 -> "f32" | `I8 -> "i8");
-    Server.wait srv;
-    print_endline "dco3d serve: drained and stopped";
-    List.iter
-      (fun (k, v) -> Printf.printf "  %-16s %.0f\n" k v)
-      (List.filter (fun (k, _) -> k <> "uptime_s") (Server.stats srv))
+    match shard_of with
+    | Some ctl_path -> (
+        (* Shard mode: no listening socket; the balancer hands over
+           connections on the control channel.  The balancer blocks
+           TERM/INT/HUP for its own sigwait watcher and the mask
+           survives exec — restore default delivery so a shard can
+           still be killed directly (the balancer treats that as a
+           crash and respawns it).  Shards inherit
+           DCO3D_PROFILE from the balancer — re-point it per shard so
+           their stage profiles don't clobber each other. *)
+        ignore
+          (Thread.sigmask Unix.SIG_UNBLOCK
+             [ Sys.sigterm; Sys.sigint; Sys.sighup ]);
+        (match Sys.getenv_opt "DCO3D_PROFILE" with
+        | Some d when d <> "" && d <> "0" && d <> "1" && d <> "true" && d <> "stderr"
+          ->
+            Obs.set_profile_dest (Printf.sprintf "%s.shard%d" d shard_id)
+        | _ -> ());
+        Printf.printf
+          "dco3d serve: shard %d attached to %s (model %s, numeric %s)\n%!"
+          shard_id ctl_path
+          (match model with Some p -> p | None -> "untrained")
+          (Server.numeric_name numeric);
+        match Shard.run ~ctl_path cfg predictor with
+        | Shard.Drained ->
+            Printf.printf "dco3d serve: shard %d drained and stopped\n%!"
+              shard_id
+        | Shard.Balancer_gone ->
+            Printf.printf
+              "dco3d serve: shard %d balancer gone; drained and stopped\n%!"
+              shard_id)
+    | None ->
+        (* Block the shutdown signals BEFORE the server threads spawn
+           (they inherit the mask), then sigwait in a watcher thread.
+           A Sys.Signal_handle only runs when some thread executes
+           OCaml code, and an idle daemon has every thread parked in C
+           (select / join / condition wait) — the handler would never
+           fire.  The watcher is a real thread, so request_stop's
+           self-pipe poke is delivered immediately. *)
+        let stop_sigs = [ Sys.sigterm; Sys.sigint ] in
+        ignore (Thread.sigmask Unix.SIG_BLOCK stop_sigs);
+        let srv = Server.start cfg predictor in
+        ignore
+          (Thread.create
+             (fun () ->
+               let (_ : int) = Thread.wait_signal stop_sigs in
+               Server.request_stop srv)
+             ());
+        Printf.printf "dco3d serve: listening on %s (model %s, numeric %s)\n%!"
+          (pp_address (Server.bound_addr srv))
+          (match model with Some p -> p | None -> "untrained")
+          (Server.numeric_name numeric);
+        Server.wait srv;
+        print_endline "dco3d serve: drained and stopped";
+        List.iter
+          (fun (k, v) -> Printf.printf "  %-16s %.0f\n" k v)
+          (List.filter (fun (k, _) -> k <> "uptime_s") (Server.stats srv))
   in
   let model_t =
     Arg.(
@@ -525,15 +573,237 @@ let serve_cmd =
       & info [ "cache-capacity" ] ~docv:"N"
           ~doc:"LRU result-cache entries (0 disables caching).")
   in
+  let shard_of_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "shard-of" ] ~docv:"CTL"
+          ~doc:"Run as a shard of a $(b,dco3d balance) fleet: bind no            socket, register on the control socket $(docv) and serve            connections handed over it via SCM_RIGHTS.  Normally set            by the balancer, not by hand.")
+  in
+  let shard_id_t =
+    Arg.(
+      value & opt int 0
+      & info [ "shard-id" ] ~docv:"N"
+          ~doc:"Slot index reported in hellos and stats (shard mode).")
+  in
+  let spill_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spill-dir" ] ~docv:"DIR"
+          ~doc:"Persist evicted result-cache entries under $(docv)            (magic+digest framed) and read through them on misses, so            a restarted daemon keeps its hot set.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the persistent inference/flow daemon: load the model \
              once, micro-batch concurrent predict requests, cache \
              results, run flow jobs asynchronously.  SIGTERM/SIGINT \
-             drain and stop.")
+             drain and stop.  With $(b,--shard-of) it runs as one shard \
+             of a balanced fleet instead.")
     Term.(
       const run $ setup_t $ socket_t $ port_t $ model_t $ seed_t $ hw_t
-      $ queue_t $ batch_t $ linger_t $ cache_t $ numeric_t)
+      $ queue_t $ batch_t $ linger_t $ cache_t $ numeric_t $ shard_of_t
+      $ shard_id_t $ spill_t)
+
+(* ------------------------------------------------------------------ *)
+(* balance                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let balance_cmd =
+  let run () socket port ctl shards numerics model seed input_hw queue_cap
+      max_batch linger_ms cache_cap spill_root =
+    let addr = address_of socket port in
+    let ctl_path =
+      match ctl with
+      | Some c -> c
+      | None -> (
+          match addr with
+          | Server.Unix_path p -> p ^ ".ctl"
+          | Server.Tcp _ -> "dco3d-balance.ctl")
+    in
+    (* One numeric path per shard, comma-separated; shorter lists
+       repeat their last entry, so "--numerics f32,i8" with 4 shards
+       means one f32 shard and three i8. *)
+    let numeric_of =
+      let parsed =
+        String.split_on_char ',' numerics
+        |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
+      in
+      List.iter
+        (fun n ->
+          if n <> "f32" && n <> "i8" then begin
+            Printf.eprintf "dco3d balance: bad numeric %S (want f32|i8)\n" n;
+            exit 2
+          end)
+        parsed;
+      fun i ->
+        match parsed with
+        | [] -> "f32"
+        | l -> ( try List.nth l i with _ -> List.nth l (List.length l - 1))
+    in
+    let argv_of i =
+      let base =
+        [
+          Sys.executable_name;
+          "serve";
+          "--shard-of";
+          ctl_path;
+          "--shard-id";
+          string_of_int i;
+          "--seed";
+          string_of_int seed;
+          "--input-hw";
+          string_of_int input_hw;
+          "--queue-capacity";
+          string_of_int queue_cap;
+          "--max-batch";
+          string_of_int max_batch;
+          "--linger-ms";
+          Printf.sprintf "%g" linger_ms;
+          "--cache-capacity";
+          string_of_int cache_cap;
+          "--numeric";
+          numeric_of i;
+        ]
+      in
+      let with_model =
+        match model with Some m -> base @ [ "--model"; m ] | None -> base
+      in
+      let with_spill =
+        match spill_root with
+        | Some root ->
+            with_model
+            @ [ "--spill-dir"; Filename.concat root (Printf.sprintf "shard-%d" i) ]
+        | None -> with_model
+      in
+      Array.of_list with_spill
+    in
+    let cfg = Balance.default_config ~address:addr ~ctl_path ~n_shards:shards in
+    (* Same sigwait-watcher discipline as `dco3d serve`: an idle
+       balancer has every thread parked in C, where a Sys.Signal_handle
+       never runs.  Block first so the accept/ctl/health threads (and,
+       via exec, the shard processes — they unblock on entry) inherit
+       the mask, then dispatch from a dedicated thread.  SIGHUP is the
+       rolling model swap: re-read the model file shard by shard with
+       the rest of the fleet still serving. *)
+    let sigs = [ Sys.sigterm; Sys.sigint; Sys.sighup ] in
+    ignore (Thread.sigmask Unix.SIG_BLOCK sigs);
+    let b = Balance.start cfg ~argv_of in
+    ignore
+      (Thread.create
+         (fun () ->
+           let rec watch () =
+             let s = Thread.wait_signal sigs in
+             if s = Sys.sighup then begin
+               ignore
+                 (Thread.create
+                    (fun () ->
+                      print_endline "dco3d balance: rolling restart";
+                      if Balance.rolling_restart b then
+                        print_endline "dco3d balance: rolling restart done"
+                      else
+                        prerr_endline "dco3d balance: rolling restart timed out")
+                    ());
+               watch ()
+             end
+             else Balance.request_stop b
+           in
+           watch ())
+         ());
+    Printf.printf "dco3d balance: listening on %s (%d shards, ctl %s)\n%!"
+      (pp_address (Balance.bound_addr b))
+      shards ctl_path;
+    if Balance.await_live ~timeout_s:120. b shards then
+      Printf.printf "dco3d balance: all %d shards live\n%!" shards
+    else begin
+      prerr_endline "dco3d balance: shards failed to come up";
+      Balance.stop b;
+      exit 1
+    end;
+    Balance.wait b;
+    print_endline "dco3d balance: drained and stopped";
+    List.iter
+      (fun s ->
+        Printf.printf "  shard %d: %s, %d restarts, numeric %s\n"
+          s.Balance.si_idx s.Balance.si_state s.Balance.si_restarts
+          s.Balance.si_numeric)
+      (Balance.slots b)
+  in
+  let ctl_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ctl" ] ~docv:"PATH"
+          ~doc:"Unix path of the shard control socket (default:            $(b,--socket) path + \".ctl\").")
+  in
+  let shards_t =
+    Arg.(
+      value & opt int 2
+      & info [ "shards" ] ~docv:"N" ~doc:"Number of shard daemons to run.")
+  in
+  let numerics_t =
+    Arg.(
+      value & opt string "f32"
+      & info [ "numerics" ] ~docv:"LIST"
+          ~doc:"Comma-separated numeric path per shard ($(b,f32)|$(b,i8));            a shorter list repeats its last entry.  E.g.            $(b,--shards 2 --numerics f32,i8) serves both engines            behind one endpoint.")
+  in
+  let model_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "model" ] ~docv:"FILE"
+          ~doc:"Model file every shard serves (f32 or pre-quantized).            Without it shards serve the seeded untrained network.")
+  in
+  let hw_t =
+    Arg.(
+      value & opt int 32
+      & info [ "input-hw" ] ~docv:"N"
+          ~doc:"Network resolution for the untrained fallback model.")
+  in
+  let queue_t =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-capacity" ] ~docv:"N"
+          ~doc:"Per-shard predict-queue high-water mark.")
+  in
+  let batch_t =
+    Arg.(
+      value & opt int 8
+      & info [ "max-batch" ] ~docv:"N"
+          ~doc:"Per-shard micro-batch size cap.")
+  in
+  let linger_t =
+    Arg.(
+      value & opt float 2.0
+      & info [ "linger-ms" ] ~docv:"MS"
+          ~doc:"Per-shard batcher linger.")
+  in
+  let cache_t =
+    Arg.(
+      value & opt int 128
+      & info [ "cache-capacity" ] ~docv:"N"
+          ~doc:"Per-shard LRU result-cache entries.")
+  in
+  let spill_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spill-dir" ] ~docv:"DIR"
+          ~doc:"Root directory for per-shard LRU spill ($(docv)/shard-N);            restarted shards warm up from it.")
+  in
+  Cmd.v
+    (Cmd.info "balance"
+       ~doc:"Run the fd-passing balancer: spawn and supervise N shard \
+             daemons, route each incoming connection by model \
+             fingerprint, and hand the accepted socket to its shard \
+             over SCM_RIGHTS (no frame proxying).  Crashed shards are \
+             restarted; SIGHUP performs a rolling, zero-downtime \
+             restart; SIGTERM/SIGINT drain the fleet and stop.")
+    Term.(
+      const run $ setup_t $ socket_t $ port_t $ ctl_t $ shards_t $ numerics_t
+      $ model_t $ seed_t $ hw_t $ queue_t $ batch_t $ linger_t $ cache_t
+      $ spill_t)
 
 (* ------------------------------------------------------------------ *)
 (* quantize                                                             *)
@@ -628,10 +898,23 @@ let quantize_cmd =
       $ design_t $ scale_t $ gcell_t $ samples_t)
 
 let client_cmd =
-  let run () socket port action design scale seed gcell repeat timeout_ms =
+  let run () socket port action design scale seed gcell repeat timeout_ms
+      route retries =
     let addr = address_of socket port in
     let c = Client.connect addr in
     Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+    (match route with
+    | None -> ()
+    | Some r ->
+        let want =
+          match r with
+          | "any" -> Proto.Want_any
+          | "f32" | "i8" -> Proto.Want_numeric r
+          | fp -> Proto.Want_fingerprint fp
+        in
+        let fp, shard, num = Client.hello ~want c in
+        Printf.printf "hello: shard %d (numeric %s, fingerprint %s)\n" shard
+          num fp);
     match action with
     | `Ping ->
         let t0 = Unix.gettimeofday () in
@@ -648,7 +931,13 @@ let client_cmd =
         let f_bottom, f_top = Fm.both_dies p ~nx:gcell ~ny:gcell in
         for i = 1 to repeat do
           let t0 = Unix.gettimeofday () in
-          match Client.predict ?timeout_ms c f_bottom f_top with
+          let outcome =
+            if retries > 0 then
+              Client.retry ~attempts:retries ~seed:(seed + i) ?timeout_ms c
+                f_bottom f_top
+            else Client.predict ?timeout_ms c f_bottom f_top
+          in
+          match outcome with
           | Client.Ok { c_bottom; c_top; cache_hit } ->
               let sum t = Array.fold_left ( +. ) 0. t.Dco3d_tensor.Tensor.data in
               Printf.printf
@@ -663,6 +952,8 @@ let client_cmd =
                 repeat queue_len capacity
           | Client.Timed_out ->
               Printf.printf "predict %d/%d: timed out\n" i repeat
+          | Client.Disconnected ->
+              Printf.printf "predict %d/%d: disconnected\n" i repeat
         done
     | `Flow ->
         let spec =
@@ -711,12 +1002,26 @@ let client_cmd =
       & opt (some float) None
       & info [ "timeout-ms" ] ~docv:"MS" ~doc:"Per-request deadline.")
   in
+  let route_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "route" ] ~docv:"WANT"
+          ~doc:"Send a $(b,Hello) first to pin the route through a            $(b,dco3d balance) front: $(b,any), $(b,f32), $(b,i8), or            a model fingerprint.")
+  in
+  let retry_t =
+    Arg.(
+      value & opt int 0
+      & info [ "retry" ] ~docv:"N"
+          ~doc:"Retry predicts up to $(docv) times with jittered backoff            on Overloaded/Timed_out/disconnect (0 = no retry).  Rides            through a shard crash behind a balancer.")
+  in
   Cmd.v
     (Cmd.info "client"
-       ~doc:"Talk to a running $(b,dco3d serve) daemon.")
+       ~doc:"Talk to a running $(b,dco3d serve) daemon or $(b,dco3d \
+             balance) fleet.")
     Term.(
       const run $ setup_t $ socket_t $ port_t $ action_t $ design_t $ scale_t
-      $ seed_t $ gcell_t $ repeat_t $ timeout_t)
+      $ seed_t $ gcell_t $ repeat_t $ timeout_t $ route_t $ retry_t)
 
 let main =
   Cmd.group
@@ -733,6 +1038,7 @@ let main =
       optimize_cmd;
       quantize_cmd;
       serve_cmd;
+      balance_cmd;
       client_cmd;
     ]
 

@@ -254,6 +254,9 @@ let stage_profile () =
       | c -> c)
     rows
 
+let span_stat_of path =
+  List.find_opt (fun s -> s.sp_path = path) (stage_profile ())
+
 let span_events () =
   Mutex.lock stats_mutex;
   let n = !n_events in

@@ -115,6 +115,11 @@ type span_stat = {
 val stage_profile : unit -> span_stat list
 (** Aggregated span statistics, sorted by decreasing total time. *)
 
+val span_stat_of : string -> span_stat option
+(** Aggregated stats of one rolled-up span path (e.g. ["serve/batch"]),
+    [None] if it never closed a span.  Lets tests and the serving
+    fleet's smoke checks assert on latency aggregates directly. *)
+
 val span_events : unit -> int
 (** Number of raw span events currently buffered for the trace. *)
 

@@ -1,13 +1,16 @@
 module P = Protocol
 
-type t = { fd : Unix.file_descr; mutable open_ : bool }
+type t = {
+  mutable fd : Unix.file_descr;
+  mutable open_ : bool;
+  redial : (unit -> Unix.file_descr) option;
+      (* how to re-establish this connection after the peer vanishes;
+         present for [connect]ed clients, absent for [of_fd] *)
+}
 
 exception Error of string
 
-let connect (addr : Server.address) =
-  (* A daemon that dies mid-request must surface as an exception on
-     this connection, not as a process-killing SIGPIPE. *)
-  if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+let dial (addr : Server.address) =
   let fd, sockaddr =
     match addr with
     | Server.Unix_path path ->
@@ -20,7 +23,15 @@ let connect (addr : Server.address) =
    with e ->
      (try Unix.close fd with Unix.Unix_error _ -> ());
      raise e);
-  { fd; open_ = true }
+  fd
+
+let connect (addr : Server.address) =
+  (* A daemon that dies mid-request must surface as an exception on
+     this connection, not as a process-killing SIGPIPE. *)
+  if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  { fd = dial addr; open_ = true; redial = Some (fun () -> dial addr) }
+
+let of_fd fd = { fd; open_ = true; redial = None }
 
 let close c =
   if c.open_ then begin
@@ -28,10 +39,34 @@ let close c =
     try Unix.close c.fd with Unix.Unix_error _ -> ()
   end
 
+(* Try to re-establish a dropped connection.  True on success. *)
+let reconnect c =
+  match c.redial with
+  | None -> false
+  | Some f -> (
+      close c;
+      match f () with
+      | fd ->
+          c.fd <- fd;
+          c.open_ <- true;
+          true
+      | exception _ -> false)
+
+exception Lost_connection
+
 let roundtrip c req timeout_ms =
   if not c.open_ then raise (Error "client closed");
-  P.send_request c.fd { P.req; timeout_ms };
-  P.recv_reply c.fd
+  try
+    P.send_request c.fd { P.req; timeout_ms };
+    P.recv_reply c.fd
+  with
+  | End_of_file
+  | P.Protocol_error _
+  | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
+      (* The peer vanished (shard crash, balancer restart) or the frame
+         was cut mid-flight.  The connection is unusable either way. *)
+      close c;
+      raise Lost_connection
 
 let fail_reply what = function
   | P.Server_error msg -> raise (Error (what ^ ": server error: " ^ msg))
@@ -42,6 +77,12 @@ let ping c =
   | P.Pong -> ()
   | r -> fail_reply "ping" r
 
+let hello ?(want = P.Want_any) c =
+  match roundtrip c (P.Hello want) None with
+  | P.Hello_reply { h_fingerprint; h_shard; h_numeric } ->
+      (h_fingerprint, h_shard, h_numeric)
+  | r -> fail_reply "hello" r
+
 type predict_outcome =
   | Ok of {
       c_bottom : Dco3d_tensor.Tensor.t;
@@ -50,6 +91,7 @@ type predict_outcome =
     }
   | Overloaded of { queue_len : int; capacity : int }
   | Timed_out
+  | Disconnected
 
 let predict ?timeout_ms c f_bottom f_top =
   match roundtrip c (P.Predict { P.f_bottom; f_top }) timeout_ms with
@@ -58,6 +100,7 @@ let predict ?timeout_ms c f_bottom f_top =
   | P.Overloaded { queue_len; capacity } -> Overloaded { queue_len; capacity }
   | P.Timed_out -> Timed_out
   | r -> fail_reply "predict" r
+  | exception Lost_connection -> Disconnected
 
 (* Jittered exponential backoff around [predict].  [Overloaded] and
    [Timed_out] are transient backpressure — the queue drains in
@@ -65,9 +108,13 @@ let predict ?timeout_ms c f_bottom f_top =
    without hammering the daemon: the k-th wait is [base * 2^k] scaled
    by a uniform jitter in [0.5, 1), which decorrelates competing
    clients (all-full-delay retries would re-collide exactly like the
-   original burst).  A [deadline_s] budget caps the whole loop,
-   sleeps are clamped to the time remaining, and the last daemon
-   outcome is returned verbatim once attempts or budget run out. *)
+   original burst).  [Disconnected] is treated the same way when the
+   client knows how to redial (it came from [connect]): behind a
+   balancer, a crashed shard is replaced within a health-check period,
+   so redial-and-retry turns a mid-request crash into a success.  A
+   [deadline_s] budget caps the whole loop, sleeps are clamped to the
+   time remaining, and the last daemon outcome is returned verbatim
+   once attempts or budget run out. *)
 let retry ?(attempts = 5) ?(base_delay_s = 0.01) ?(max_delay_s = 0.5)
     ?deadline_s ?(seed = 0) ?timeout_ms c f_bottom f_top =
   if attempts < 1 then invalid_arg "Client.retry: attempts < 1";
@@ -79,10 +126,12 @@ let retry ?(attempts = 5) ?(base_delay_s = 0.01) ?(max_delay_s = 0.5)
     | Some budget -> budget -. (Unix.gettimeofday () -. started)
   in
   let rec go k =
-    let outcome = predict ?timeout_ms c f_bottom f_top in
+    let outcome =
+      if c.open_ then predict ?timeout_ms c f_bottom f_top else Disconnected
+    in
     match outcome with
     | Ok _ -> outcome
-    | Overloaded _ | Timed_out ->
+    | Overloaded _ | Timed_out | Disconnected ->
         if k + 1 >= attempts then outcome
         else begin
           let expo = base_delay_s *. (2. ** float_of_int k) in
@@ -92,7 +141,14 @@ let retry ?(attempts = 5) ?(base_delay_s = 0.01) ?(max_delay_s = 0.5)
           if left <= 0. then outcome
           else begin
             Thread.delay (Float.min delay left);
-            if remaining () <= 0. then outcome else go (k + 1)
+            if remaining () <= 0. then outcome
+            else begin
+              (* A dead connection must be re-established before the
+                 next attempt; if the redial fails (fleet mid-restart),
+                 keep backing off until attempts run out. *)
+              if not c.open_ then ignore (reconnect c);
+              go (k + 1)
+            end
           end
         end
   in

@@ -9,15 +9,32 @@ type t
 exception Error of string
 (** Unexpected reply shape, [Server_error], or a failed flow job. *)
 
+exception Lost_connection
+(** The peer vanished mid-request (EOF, EPIPE/ECONNRESET, or a frame
+    cut mid-flight).  {!predict} maps it to [Disconnected]; the other
+    request helpers let it propagate.  The connection is closed. *)
+
 val connect : Server.address -> t
 (** Also ignores SIGPIPE for the process, so a daemon dying mid-request
-    raises on this connection instead of killing the caller.
+    raises on this connection instead of killing the caller.  The
+    client remembers the address, so {!retry} can redial after a
+    [Disconnected].
     @raise Unix.Unix_error when nothing listens at the address. *)
+
+val of_fd : Unix.file_descr -> t
+(** Wrap an already-connected socket (e.g. one end of a socketpair the
+    balancer health-checks shards through).  No redial on loss. *)
 
 val close : t -> unit
 
 val ping : t -> unit
 (** Round-trip liveness check. @raise Error on anything but [Pong]. *)
+
+val hello : ?want:Protocol.route_want -> t -> string * int * string
+(** Route pin + handshake: sends [Hello want] (default [Want_any]) and
+    returns the serving shard's [(fingerprint, shard_id, numeric)].
+    Behind a balancer this must be the connection's first request —
+    it is what the routing decision is made from. *)
 
 type predict_outcome =
   | Ok of {
@@ -27,6 +44,10 @@ type predict_outcome =
     }
   | Overloaded of { queue_len : int; capacity : int }
   | Timed_out
+  | Disconnected
+      (** the connection died mid-request; the request may or may not
+          have executed (predicts are idempotent, so re-sending is
+          always safe) *)
 
 val predict :
   ?timeout_ms:float ->
@@ -52,14 +73,18 @@ val retry :
   Dco3d_tensor.Tensor.t ->
   predict_outcome
 (** {!predict} wrapped in jittered exponential backoff on the transient
-    backpressure outcomes [Overloaded] and [Timed_out].  The k-th retry
-    waits [min max_delay_s (base_delay_s * 2^k)] scaled by a uniform
-    jitter in [\[0.5, 1)] drawn from a deterministic stream ([seed]),
-    so competing clients decorrelate instead of re-colliding.  At most
-    [attempts] total requests (default 5) are sent; [deadline_s], when
-    given, bounds the whole loop — sleeps are clamped to the budget
-    remaining and no request is sent after it is exhausted.  When the
-    loop gives up, the daemon's last outcome is returned verbatim.
+    outcomes [Overloaded], [Timed_out], and [Disconnected].  The k-th
+    retry waits [min max_delay_s (base_delay_s * 2^k)] scaled by a
+    uniform jitter in [\[0.5, 1)] drawn from a deterministic stream
+    ([seed]), so competing clients decorrelate instead of re-colliding.
+    After [Disconnected], a client built with {!connect} redials before
+    the next attempt — behind a balancer this turns a shard crash
+    mid-request into a transparently retried success once the balancer
+    has replaced the shard.  At most [attempts] total requests (default
+    5) are sent; [deadline_s], when given, bounds the whole loop —
+    sleeps are clamped to the budget remaining and no request is sent
+    after it is exhausted.  When the loop gives up, the daemon's last
+    outcome is returned verbatim.
     Defaults: [base_delay_s = 0.01], [max_delay_s = 0.5], no deadline.
     @raise Error as {!predict} does (server errors are not retried). *)
 

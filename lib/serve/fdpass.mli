@@ -1,0 +1,23 @@
+(** Control-channel messaging over Unix-domain stream sockets with
+    [SCM_RIGHTS] file-descriptor passing (C stubs; OCaml 5.1's [Unix]
+    has no sendmsg/recvmsg binding).
+
+    A control message is a tag byte — carrying at most one descriptor
+    as ancillary data — followed by a u32_be length and that many
+    payload bytes.  The balancer uses it to hand accepted client
+    sockets to shard daemons without proxying any frames. *)
+
+val send_ctl :
+  Unix.file_descr -> ?fd:Unix.file_descr -> tag:char -> string -> unit
+(** [send_ctl sock ?fd ~tag payload] sends one control message.  When
+    [fd] is given, the descriptor is duplicated into the receiving
+    process by the kernel; the sender still owns (and should close)
+    its copy.  Raises [Unix.Unix_error] on transport failure. *)
+
+val recv_ctl :
+  Unix.file_descr -> (char * string * Unix.file_descr option) option
+(** [recv_ctl sock] blocks for one control message.  Returns [None] on
+    clean EOF (peer closed), [Some (tag, payload, fd)] otherwise.  The
+    returned descriptor, if any, is owned by the caller.  Raises
+    [Protocol.Protocol_error] on a malformed message (any received
+    descriptor is closed first). *)

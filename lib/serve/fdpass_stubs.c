@@ -1,0 +1,111 @@
+/* SCM_RIGHTS file-descriptor passing for the sharded serving fleet.
+ *
+ * OCaml 5.1's Unix library has no sendmsg/recvmsg binding, so the
+ * balancer's zero-copy connection handoff needs these two stubs.  The
+ * wire discipline keeps the stub side trivial: exactly ONE byte of
+ * regular data (the control-message tag) travels per sendmsg, with an
+ * optional descriptor attached as ancillary data.  Everything larger
+ * (lengths, payloads) is streamed through ordinary read/write on the
+ * same stream socket, where the existing OCaml loops already handle
+ * partial transfers and EINTR.  Because SCM_RIGHTS acts as a message
+ * barrier on SOCK_STREAM sockets, the one-byte recvmsg below can never
+ * swallow bytes belonging to a later message.
+ */
+
+#include <caml/mlvalues.h>
+#include <caml/memory.h>
+#include <caml/alloc.h>
+#include <caml/fail.h>
+#include <caml/threads.h>
+#include <caml/unixsupport.h>
+
+#include <errno.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+/* send one tag byte, optionally with one descriptor attached.
+   fd = -1 means "no descriptor".  Raises Unix_error on failure. */
+CAMLprim value dco3d_fdpass_send(value vsock, value vtag, value vfd)
+{
+  CAMLparam3(vsock, vtag, vfd);
+  int sock = Int_val(vsock);
+  int fd = Int_val(vfd);
+  char tag = (char)Int_val(vtag);
+  char cbuf[CMSG_SPACE(sizeof(int))];
+  struct iovec iov;
+  struct msghdr msg;
+  ssize_t n;
+
+  memset(&msg, 0, sizeof msg);
+  iov.iov_base = &tag;
+  iov.iov_len = 1;
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+  if (fd >= 0) {
+    struct cmsghdr *cmsg;
+    memset(cbuf, 0, sizeof cbuf);
+    msg.msg_control = cbuf;
+    msg.msg_controllen = CMSG_SPACE(sizeof(int));
+    cmsg = CMSG_FIRSTHDR(&msg);
+    cmsg->cmsg_level = SOL_SOCKET;
+    cmsg->cmsg_type = SCM_RIGHTS;
+    cmsg->cmsg_len = CMSG_LEN(sizeof(int));
+    memcpy(CMSG_DATA(cmsg), &fd, sizeof(int));
+  }
+
+  caml_release_runtime_system();
+  do {
+    n = sendmsg(sock, &msg, 0);
+  } while (n == -1 && errno == EINTR);
+  caml_acquire_runtime_system();
+
+  if (n == -1) caml_uerror("dco3d_fdpass_send", Nothing);
+  CAMLreturn(Val_unit);
+}
+
+/* receive one tag byte plus an optional attached descriptor.
+   Returns (tag, fd) where tag = -1 on EOF and fd = -1 when no
+   descriptor arrived.  Raises Unix_error on failure. */
+CAMLprim value dco3d_fdpass_recv(value vsock)
+{
+  CAMLparam1(vsock);
+  CAMLlocal1(result);
+  int sock = Int_val(vsock);
+  char tag;
+  char cbuf[CMSG_SPACE(sizeof(int))];
+  struct iovec iov;
+  struct msghdr msg;
+  struct cmsghdr *cmsg;
+  ssize_t n;
+  int fd = -1;
+
+  memset(&msg, 0, sizeof msg);
+  memset(cbuf, 0, sizeof cbuf);
+  iov.iov_base = &tag;
+  iov.iov_len = 1;
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+  msg.msg_control = cbuf;
+  msg.msg_controllen = sizeof cbuf;
+
+  caml_release_runtime_system();
+  do {
+    n = recvmsg(sock, &msg, 0);
+  } while (n == -1 && errno == EINTR);
+  caml_acquire_runtime_system();
+
+  if (n == -1) caml_uerror("dco3d_fdpass_recv", Nothing);
+
+  for (cmsg = CMSG_FIRSTHDR(&msg); cmsg != NULL; cmsg = CMSG_NXTHDR(&msg, cmsg)) {
+    if (cmsg->cmsg_level == SOL_SOCKET && cmsg->cmsg_type == SCM_RIGHTS &&
+        cmsg->cmsg_len >= CMSG_LEN(sizeof(int)))
+      memcpy(&fd, CMSG_DATA(cmsg), sizeof(int));
+  }
+
+  result = caml_alloc_tuple(2);
+  Store_field(result, 0, Val_int(n == 0 ? -1 : (int)(unsigned char)tag));
+  Store_field(result, 1, Val_int(fd));
+  CAMLreturn(result);
+}

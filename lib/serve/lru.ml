@@ -14,11 +14,20 @@ type 'a t = {
   table : (string, 'a node) Hashtbl.t;
   mutable head : 'a node option;
   mutable tail : 'a node option;
+  mutable on_evict : (string -> 'a -> unit) option;
 }
 
 let create ~capacity =
   if capacity < 0 then invalid_arg "Lru.create: negative capacity";
-  { cap = capacity; table = Hashtbl.create (max 16 capacity); head = None; tail = None }
+  {
+    cap = capacity;
+    table = Hashtbl.create (max 16 capacity);
+    head = None;
+    tail = None;
+    on_evict = None;
+  }
+
+let set_on_evict c f = c.on_evict <- Some f
 
 let capacity c = c.cap
 let length c = Hashtbl.length c.table
@@ -49,12 +58,15 @@ let find c key =
 
 let mem c key = Hashtbl.mem c.table key
 
+(* The single spot every capacity eviction funnels through — the spill
+   hook lives here so "evicted" always implies "offered to disk". *)
 let evict_tail c =
   match c.tail with
   | None -> ()
   | Some n ->
       unlink c n;
-      Hashtbl.remove c.table n.key
+      Hashtbl.remove c.table n.key;
+      match c.on_evict with Some f -> f n.key n.value | None -> ()
 
 let put c key value =
   if c.cap > 0 then
@@ -68,6 +80,15 @@ let put c key value =
         let n = { key; value; prev = None; next = None } in
         Hashtbl.replace c.table key n;
         push_front c n
+
+let iter c f =
+  let rec go = function
+    | None -> ()
+    | Some n ->
+        f n.key n.value;
+        go n.next
+  in
+  go c.head
 
 let clear c =
   Hashtbl.reset c.table;

@@ -25,4 +25,16 @@ val put : 'a t -> string -> 'a -> unit
 val mem : 'a t -> string -> bool
 (** Membership without promotion. *)
 
+val set_on_evict : 'a t -> (string -> 'a -> unit) -> unit
+(** Install the eviction hook.  Every {e capacity} eviction (an entry
+    pushed out by [put] on a full cache) calls it with the departing
+    key and value — the serve daemon points it at the disk spill.
+    [clear] does not fire it.  Exceptions from the hook propagate to
+    the [put] that triggered the eviction. *)
+
+val iter : 'a t -> (string -> 'a -> unit) -> unit
+(** Iterate entries from most- to least-recently-used, without
+    promoting anything.  Used to flush the live hot set to disk on
+    graceful drain. *)
+
 val clear : 'a t -> unit

@@ -13,12 +13,22 @@ type flow_spec = {
   fl_variant : flow_variant;
 }
 
+(* What a client asks the balancer to route it to.  Matching is against
+   the shard's numeric-aware model fingerprint. *)
+type route_want =
+  | Want_any
+  | Want_numeric of string      (* "f32" | "i8" *)
+  | Want_fingerprint of string
+
+(* New constructors are appended at the END of request/reply so Marshal
+   tags of existing constructors never shift between releases. *)
 type request =
   | Ping
   | Predict of predict_payload
   | Flow_submit of flow_spec
   | Flow_poll of int
   | Stats
+  | Hello of route_want
 
 type envelope = { req : request; timeout_ms : float option }
 
@@ -50,6 +60,7 @@ type reply =
   | Overloaded of { queue_len : int; capacity : int }
   | Timed_out
   | Server_error of string
+  | Hello_reply of { h_fingerprint : string; h_shard : int; h_numeric : string }
 
 exception Protocol_error of string
 
@@ -133,6 +144,30 @@ let send_request fd (e : envelope) = send_value fd e
 let recv_request fd : envelope = recv_value fd
 let send_reply fd (r : reply) = send_value fd r
 let recv_reply fd : reply = recv_value fd
+
+(* The balancer reads one raw frame per new connection to decide the
+   route, then forwards those exact bytes to the chosen shard, which
+   replays them through [decode_request] — no re-encoding, so the
+   shard sees bit-for-bit what the client sent. *)
+let decode_request payload : envelope =
+  try Marshal.from_string payload 0
+  with Failure msg -> raise (Protocol_error ("undecodable payload: " ^ msg))
+
+(* Sent by a shard over the control channel right after connecting to
+   the balancer, announcing what it serves. *)
+type shard_hello = {
+  sh_pid : int;
+  sh_shard : int;
+  sh_fingerprint : string;
+  sh_numeric : string;
+}
+
+let encode_shard_hello (h : shard_hello) = Marshal.to_string h []
+
+let decode_shard_hello payload : shard_hello =
+  try Marshal.from_string payload 0
+  with Failure msg ->
+    raise (Protocol_error ("undecodable shard hello: " ^ msg))
 
 let predict_key (p : predict_payload) =
   Digest.to_hex (Digest.string (Marshal.to_string (p.f_bottom, p.f_top) []))

@@ -29,12 +29,21 @@ type flow_spec = {
   fl_variant : flow_variant;
 }
 
+type route_want =
+  | Want_any  (** any live shard *)
+  | Want_numeric of string  (** a shard serving this numeric path ("f32"/"i8") *)
+  | Want_fingerprint of string  (** a shard with exactly this model fingerprint *)
+
 type request =
   | Ping
   | Predict of predict_payload
   | Flow_submit of flow_spec
   | Flow_poll of int
   | Stats
+  | Hello of route_want
+      (** optional first request on a balanced connection: pins the
+          route before the fd is handed to a shard.  New constructors
+          are appended so Marshal tags of older ones never shift. *)
 
 type envelope = {
   req : request;
@@ -72,12 +81,25 @@ type reply =
       (** backpressure: the predict queue is past its high-water mark *)
   | Timed_out
   | Server_error of string
+  | Hello_reply of { h_fingerprint : string; h_shard : int; h_numeric : string }
+      (** answer to [Hello]: which shard the connection landed on *)
 
 exception Protocol_error of string
 (** Bad magic, unsupported version, oversized frame, or digest
     mismatch. *)
 
 val max_frame_bytes : int
+
+val write_all : Unix.file_descr -> Bytes.t -> int -> int -> unit
+val read_all : Unix.file_descr -> Bytes.t -> int -> int -> unit
+(** Short-transfer/EINTR-safe loops, shared with the control channel.
+    [read_all] raises [End_of_file] if the peer closes mid-read. *)
+
+val send_frame : Unix.file_descr -> string -> unit
+val recv_frame : Unix.file_descr -> string
+(** Raw framed payloads.  The balancer uses [recv_frame] to pull one
+    request off a fresh connection without consuming anything else,
+    then forwards the exact bytes to the chosen shard. *)
 
 val send_request : Unix.file_descr -> envelope -> unit
 val recv_request : Unix.file_descr -> envelope
@@ -91,3 +113,19 @@ val predict_key : predict_payload -> string
 (** Hex digest of the feature-map content alone (no envelope fields),
     combined by the server with the model fingerprint to key the result
     cache. *)
+
+val decode_request : string -> envelope
+(** Decode a raw frame payload (from {!recv_frame}) into an envelope.
+    @raise Protocol_error if the payload does not unmarshal. *)
+
+(** Announcement a shard sends over the balancer's control channel when
+    it registers. *)
+type shard_hello = {
+  sh_pid : int;
+  sh_shard : int;
+  sh_fingerprint : string;
+  sh_numeric : string;
+}
+
+val encode_shard_hello : shard_hello -> string
+val decode_shard_hello : string -> shard_hello

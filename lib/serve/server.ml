@@ -12,6 +12,8 @@ type config = {
   batch_linger_ms : float;
   cache_capacity : int;
   numeric : [ `F32 | `I8 ];
+  spill_dir : string option;
+  shard_id : int;
 }
 
 let default_config address =
@@ -22,7 +24,11 @@ let default_config address =
     batch_linger_ms = 2.0;
     cache_capacity = 128;
     numeric = `F32;
+    spill_dir = None;
+    shard_id = 0;
   }
+
+let numeric_name = function `F32 -> "f32" | `I8 -> "i8"
 
 (* Obs probes (interning is idempotent, handles live at module level). *)
 let c_requests = Obs.counter "serve/requests"
@@ -31,6 +37,8 @@ let c_cache_miss = Obs.counter "serve/cache_miss"
 let c_overloaded = Obs.counter "serve/overloaded"
 let c_timeout = Obs.counter "serve/timeout"
 let c_epipe = Obs.counter "serve/epipe"
+let c_spill_hit = Obs.counter "serve/spill_hit"
+let c_spill_write = Obs.counter "serve/spill_write"
 let g_queue_depth = Obs.gauge "serve/queue_depth"
 let h_batch_size = Obs.histogram "serve/batch_size"
 
@@ -58,14 +66,21 @@ type stats_acc = {
   mutable jobs_submitted : int;
   mutable jobs_done : int;
   mutable jobs_failed : int;
+  mutable n_spill_hits : int;
+  mutable n_spill_writes : int;
 }
 
 type t = {
   cfg : config;
   predictor : Predictor.t;
   fingerprint : string;
-  listen_fd : Unix.file_descr;
+  listen : Unix.file_descr option;  (* absent for detached (shard) servers *)
   bound : address;
+  (* Self-pipe: [request_stop] writes one byte so the accept loop's
+     blocking select wakes immediately instead of on a poll tick. *)
+  stop_rd : Unix.file_descr;
+  stop_wr : Unix.file_descr;
+  spill : Spill.t option;
   started_at : float;
   (* All mutable server state below is guarded by [m]. *)
   m : Mutex.t;
@@ -298,6 +313,9 @@ let stats_snapshot t =
         ("jobs_submitted", float_of_int s.jobs_submitted);
         ("jobs_done", float_of_int s.jobs_done);
         ("jobs_failed", float_of_int s.jobs_failed);
+        ("spill_hits", float_of_int s.n_spill_hits);
+        ("spill_writes", float_of_int s.n_spill_writes);
+        ("shard_id", float_of_int t.cfg.shard_id);
         ("uptime_s", now () -. t.started_at);
       ])
 
@@ -310,12 +328,41 @@ let stats = stats_snapshot
 let handle_predict t payload timeout_ms =
   let key = P.predict_key payload ^ ":" ^ t.fingerprint in
   let arrival = now () in
-  let action =
+  let cached =
     locked t (fun () ->
         match Lru.find t.cache key with
         | Some (cb, ct) ->
             (* Fast path: answered from the cache on the connection
                thread, no queueing, no forward pass. *)
+            t.stats.n_cache_hits <- t.stats.n_cache_hits + 1;
+            Obs.incr c_cache_hit;
+            Some (P.Predicted { c_bottom = cb; c_top = ct; cache_hit = true })
+        | None -> None)
+  in
+  match cached with
+  | Some r -> r
+  | None ->
+  (* Read-through to the spill before paying for a forward pass, so a
+     restarted shard serves its predecessor's hot set.  The disk read
+     runs outside the state lock; a racing duplicate at worst reads the
+     same file twice. *)
+  match
+    match t.spill with Some sp -> Spill.find sp key | None -> None
+  with
+  | Some (cb, ct) ->
+      locked t (fun () ->
+          Lru.put t.cache key (cb, ct);
+          t.stats.n_cache_hits <- t.stats.n_cache_hits + 1;
+          t.stats.n_spill_hits <- t.stats.n_spill_hits + 1);
+      Obs.incr c_cache_hit;
+      Obs.incr c_spill_hit;
+      P.Predicted { c_bottom = cb; c_top = ct; cache_hit = true }
+  | None ->
+  let action =
+    locked t (fun () ->
+        match Lru.find t.cache key with
+        | Some (cb, ct) ->
+            (* A racing duplicate landed while we probed the spill. *)
             t.stats.n_cache_hits <- t.stats.n_cache_hits + 1;
             Obs.incr c_cache_hit;
             `Reply (P.Predicted { c_bottom = cb; c_top = ct; cache_hit = true })
@@ -376,12 +423,32 @@ let handle_request t (env : P.envelope) =
       match locked t (fun () -> Hashtbl.find_opt t.jobs id) with
       | Some status -> P.Status status
       | None -> P.Server_error (Printf.sprintf "unknown job id %d" id))
+  | P.Hello _ ->
+      (* Normally consumed by the balancer; answered here too so a
+         client talking straight to a shard gets the same handshake. *)
+      P.Hello_reply
+        {
+          h_fingerprint = t.fingerprint;
+          h_shard = t.cfg.shard_id;
+          h_numeric = numeric_name t.cfg.numeric;
+        }
 
-let handler_loop t fd =
+(* [initial] is a raw frame payload the balancer already read off this
+   connection to pick the route; the handler replays it before touching
+   the socket so the client's first request is never lost. *)
+let handler_loop t ?initial fd =
   let finished = ref false in
+  let replay = ref initial in
+  let next () =
+    match !replay with
+    | Some payload ->
+        replay := None;
+        P.decode_request payload
+    | None -> P.recv_request fd
+  in
   (try
      while not !finished do
-       match P.recv_request fd with
+       match next () with
        | env -> (
            let reply =
              try handle_request t env
@@ -410,32 +477,42 @@ let handler_loop t fd =
       t.conns <- List.filter (fun c -> c != fd) t.conns);
   try Unix.close fd with Unix.Unix_error _ -> ()
 
-let accept_loop t =
+(* Register a connection and serve it on its own thread.  Returns false
+   (and closes the fd) if the server is already stopping.  This is how
+   the accept loop admits sockets and how a shard adopts fds handed
+   over by the balancer. *)
+let adopt_connection t ?initial fd =
+  let admit =
+    locked t (fun () ->
+        if t.stopping then false
+        else begin
+          t.conns <- fd :: t.conns;
+          true
+        end)
+  in
+  if admit then
+    locked t (fun () ->
+        t.handler_threads <-
+          Thread.create (fun () -> handler_loop t ?initial fd) ()
+          :: t.handler_threads)
+  else Unix.close fd;
+  admit
+
+let accept_loop t listen_fd =
   let stop = ref false in
   while not !stop do
     if locked t (fun () -> t.stopping) then stop := true
     else
-      (* Poll with a timeout instead of blocking in [accept]: closing a
-         socket does not reliably wake a thread already blocked on it. *)
-      match Unix.select [ t.listen_fd ] [] [] 0.1 with
+      (* Block in [select] rather than [accept] — closing a socket does
+         not reliably wake a thread already inside [accept].  The
+         self-pipe makes [request_stop] wake this select immediately;
+         no poll-period latency on either accept or shutdown. *)
+      match Unix.select [ listen_fd; t.stop_rd ] [] [] (-1.0) with
+      | rd, _, _ when List.memq t.stop_rd rd -> stop := true
       | [], _, _ -> ()
       | _ :: _, _, _ -> (
-          match Unix.accept t.listen_fd with
-          | fd, _ ->
-              let admit =
-                locked t (fun () ->
-                    if t.stopping then false
-                    else begin
-                      t.conns <- fd :: t.conns;
-                      true
-                    end)
-              in
-              if admit then
-                locked t (fun () ->
-                    t.handler_threads <-
-                      Thread.create (fun () -> handler_loop t fd) ()
-                      :: t.handler_threads)
-              else Unix.close fd
+          match Unix.accept listen_fd with
+          | fd, _ -> ignore (adopt_connection t fd)
           | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
               ()
           | exception Unix.Unix_error (Unix.EBADF, _, _) -> stop := true)
@@ -471,7 +548,7 @@ let bind_listen = function
 let ignore_sigpipe () =
   if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore
 
-let start cfg predictor =
+let make ~listen ~bound cfg predictor =
   ignore_sigpipe ();
   if cfg.queue_capacity < 1 then invalid_arg "Server.start: queue_capacity < 1";
   if cfg.max_batch < 1 then invalid_arg "Server.start: max_batch < 1";
@@ -480,14 +557,18 @@ let start cfg predictor =
      quantization latency, and a model that cannot compile fails at
      startup, not mid-serve. *)
   let fingerprint = Predictor.fingerprint ~numeric:cfg.numeric predictor in
-  let listen_fd, bound = bind_listen cfg.address in
+  let stop_rd, stop_wr = Unix.pipe ~cloexec:true () in
+  let spill = Option.map (fun dir -> Spill.create ~dir) cfg.spill_dir in
   let t =
     {
       cfg;
       predictor;
       fingerprint;
-      listen_fd;
+      listen;
       bound;
+      stop_rd;
+      stop_wr;
+      spill;
       started_at = now ();
       m = Mutex.create ();
       queue_cv = Condition.create ();
@@ -512,6 +593,8 @@ let start cfg predictor =
           jobs_submitted = 0;
           jobs_done = 0;
           jobs_failed = 0;
+          n_spill_hits = 0;
+          n_spill_writes = 0;
         };
       accept_thread = None;
       batcher_thread = None;
@@ -519,18 +602,51 @@ let start cfg predictor =
       handler_threads = [];
     }
   in
-  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  (* Eviction-to-disk hook: fires inside [Lru.put] while [t.m] is held,
+     which is fine — entries are two small gcell maps and the write is
+     one buffered temp file + rename. *)
+  Option.iter
+    (fun sp ->
+      Lru.set_on_evict t.cache (fun key value ->
+          if Spill.put sp key value then begin
+            t.stats.n_spill_writes <- t.stats.n_spill_writes + 1;
+            Obs.incr c_spill_write
+          end))
+    spill;
+  Option.iter
+    (fun listen_fd ->
+      t.accept_thread <- Some (Thread.create (fun () -> accept_loop t listen_fd) ()))
+    listen;
   t.batcher_thread <- Some (Thread.create (fun () -> batcher_loop t) ());
   t.flow_thread <- Some (Thread.create (fun () -> flow_loop t) ());
   t
 
+let start cfg predictor =
+  let listen_fd, bound = bind_listen cfg.address in
+  make ~listen:(Some listen_fd) ~bound cfg predictor
+
+let start_detached cfg predictor =
+  make ~listen:None ~bound:cfg.address cfg predictor
+
 let bound_addr t = t.bound
+let fingerprint t = t.fingerprint
+let numeric t = t.cfg.numeric
 
 let request_stop t =
-  locked t (fun () ->
-      t.stopping <- true;
-      Condition.broadcast t.queue_cv;
-      Condition.broadcast t.flow_cv)
+  let first =
+    locked t (fun () ->
+        if t.stopping then false
+        else begin
+          t.stopping <- true;
+          Condition.broadcast t.queue_cv;
+          Condition.broadcast t.flow_cv;
+          true
+        end)
+  in
+  (* Self-pipe byte: wakes the accept loop's blocking select now. *)
+  if first then
+    try ignore (Unix.write t.stop_wr (Bytes.make 1 '!') 0 1)
+    with Unix.Unix_error _ -> ()
 
 let wait t =
   Option.iter Thread.join t.accept_thread;
@@ -547,10 +663,24 @@ let wait t =
   Option.iter Thread.join t.batcher_thread;
   List.iter Thread.join (locked t (fun () -> t.handler_threads));
   Option.iter Thread.join t.flow_thread;
-  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-  match t.bound with
-  | Unix_path path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
-  | Tcp _ -> ()
+  (* Flush the surviving hot set so a successor process starts warm —
+     eviction only spilled the overflow; this writes what's resident. *)
+  Option.iter
+    (fun sp ->
+      locked t (fun () ->
+          Lru.iter t.cache (fun key value ->
+              if Spill.put sp key value then begin
+                t.stats.n_spill_writes <- t.stats.n_spill_writes + 1;
+                Obs.incr c_spill_write
+              end)))
+    t.spill;
+  Option.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) t.listen;
+  (try Unix.close t.stop_rd with Unix.Unix_error _ -> ());
+  (try Unix.close t.stop_wr with Unix.Unix_error _ -> ());
+  match (t.listen, t.bound) with
+  | Some _, Unix_path path -> (
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+  | _ -> ()
 
 let stop t =
   request_stop t;

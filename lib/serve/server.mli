@@ -51,9 +51,24 @@ type config = {
           fingerprint component is numeric-path-specific, so int8 and
           float results can never alias.  The compilation is forced at
           {!start}, so the first request pays no quantization latency. *)
+  spill_dir : string option;
+      (** when set, evicted LRU entries are persisted here ({!Spill})
+          and cache misses read through the spill before running the
+          forward pass — restarts keep the hot set (default [None]) *)
+  shard_id : int;
+      (** reported in [Hello_reply] and stats; 0 for a standalone
+          daemon, the slot index for balancer-managed shards *)
 }
 
 val default_config : address -> config
+
+val numeric_name : [ `F32 | `I8 ] -> string
+(** ["f32"] / ["i8"] — the wire spelling used in hello handshakes. *)
+
+val bind_listen : address -> Unix.file_descr * address
+(** Bind + listen on an address, unlinking a stale Unix-domain path
+    first; returns the fd and the resolved address (TCP port 0 becomes
+    the port the kernel picked).  Shared with the {!Balance} front. *)
 
 type t
 
@@ -64,9 +79,28 @@ val start : config -> Dco3d_core.Predictor.t -> t
     EPIPE (counted in [serve/epipe]) instead of killing the daemon.
     @raise Unix.Unix_error if the address cannot be bound. *)
 
+val start_detached : config -> Dco3d_core.Predictor.t -> t
+(** Like {!start} but binds no listening socket: the batcher, flow
+    worker, cache, and spill all run, and connections arrive only via
+    {!adopt_connection}.  This is the shard-side server behind the
+    fd-passing balancer. *)
+
+val adopt_connection : t -> ?initial:string -> Unix.file_descr -> bool
+(** Take ownership of an already-connected socket (e.g. one received
+    over [SCM_RIGHTS]) and serve it on its own handler thread.
+    [initial], if given, is a raw frame payload the balancer consumed
+    to route the connection; it is replayed as the first request.
+    Returns [false] (closing the fd) if the server is stopping. *)
+
 val bound_addr : t -> address
 (** The address actually bound — resolves [Tcp (host, 0)] to the port
-    the kernel picked. *)
+    the kernel picked.  For a detached server, echoes the config. *)
+
+val fingerprint : t -> string
+(** The numeric-aware model fingerprint this server computes cache keys
+    with (forced at start). *)
+
+val numeric : t -> [ `F32 | `I8 ]
 
 val request_stop : t -> unit
 (** Begin a graceful shutdown: stop accepting, nudge every serving

@@ -330,7 +330,8 @@ let test_load_rejects_wrong_channels () =
 (* ------------------------------------------------------------------ *)
 
 let with_server ?(queue_capacity = 64) ?(max_batch = 8) ?(batch_linger_ms = 30.)
-    ?(cache_capacity = 128) ?(numeric = `F32) predictor f =
+    ?(cache_capacity = 128) ?(numeric = `F32) ?spill_dir ?(shard_id = 0)
+    predictor f =
   let cfg =
     {
       Server.address = Server.Unix_path (tmp_name ".sock");
@@ -339,6 +340,8 @@ let with_server ?(queue_capacity = 64) ?(max_batch = 8) ?(batch_linger_ms = 30.)
       batch_linger_ms;
       cache_capacity;
       numeric;
+      spill_dir;
+      shard_id;
     }
   in
   let srv = Server.start cfg predictor in
@@ -578,6 +581,8 @@ let test_e2e_drain_on_stop () =
       batch_linger_ms = 200.;
       cache_capacity = 16;
       numeric = `F32;
+      spill_dir = None;
+      shard_id = 0;
     }
   in
   let srv = Server.start cfg predictor in
