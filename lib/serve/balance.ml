@@ -16,7 +16,9 @@
    that never hello always get results bit-identical to a direct
    [Predictor.predict] with that model: [Predict]s by hash affinity on
    their predict key (cache locality across connections), everything
-   else round-robin.
+   else round-robin.  While that group is momentarily empty (startup,
+   mid-swap) default traffic gets [Overloaded] rather than a
+   foreign-fingerprint shard; [Client.retry] rides through.
 
    Supervision: shards are child processes respawned from the same
    argv.  A health loop reaps crashed pids ([waitpid WNOHANG] per pid),
@@ -66,6 +68,7 @@ let state_name = function
 type slot = {
   idx : int;
   g_live : Obs.gauge;  (* balance/shard:<i>/live *)
+  send_m : Mutex.t;  (* serializes control-channel writes to this shard *)
   mutable pid : int;  (* -1 = no process *)
   mutable state : slot_state;
   mutable ctl : Unix.file_descr option;  (* control channel to the shard *)
@@ -109,6 +112,46 @@ let locked t f =
 
 let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
+(* Send a control message to a shard WITHOUT holding [t.m] across the
+   write.  A shard that stops reading (hung, or wedged on a spill
+   write) would otherwise block the sender with the global lock held,
+   and the health loop — which needs [t.m] to ping and SIGKILL — could
+   never run: one stuck shard would deadlock the whole balancer.
+
+   The ctl descriptor is duplicated under the lock so the health loop
+   may reap the slot (closing [slot.ctl]) mid-send without the
+   descriptor being recycled under our feet; the kernel socket stays
+   alive until the dup is closed, and a send to a reaped shard just
+   fails with EPIPE.  [slot.send_m] serializes concurrent senders —
+   the control protocol is tag byte + length + payload, so interleaved
+   writers would corrupt the framing.  A sender blocked on a hung
+   shard holds only [send_m]; the watchdog stays free to SIGKILL the
+   shard, which closes the peer end and unblocks the write. *)
+let send_to_slot t slot ?fd ~tag ~when_ payload =
+  let dup =
+    locked t (fun () ->
+        match slot.ctl with
+        | Some ctl when when_ slot.state -> (
+            match Unix.dup ~cloexec:true ctl with
+            | d -> Some d
+            | exception Unix.Unix_error _ -> None)
+        | _ -> None)
+  in
+  match dup with
+  | None -> false
+  | Some d ->
+      let ok =
+        Mutex.lock slot.send_m;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock slot.send_m)
+          (fun () ->
+            match Fdpass.send_ctl d ?fd ~tag payload with
+            | () -> true
+            | exception _ -> false)
+      in
+      close_quiet d;
+      ok
+
 (* ------------------------------------------------------------------ *)
 (* Slot lifecycle (all called with [t.m] held unless noted)            *)
 (* ------------------------------------------------------------------ *)
@@ -144,7 +187,13 @@ let register_shard t sock (hello : P.shard_hello) =
           if slot.pid <> hello.P.sh_pid then false
           else begin
             cleanup_slot slot;
-            let h_bal, h_shard = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+            let h_bal, h_shard =
+              Unix.socketpair ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0
+            in
+            (* Sending under [t.m] is safe only here: the payload is
+               empty (one tag byte + a 4-byte length) into the empty
+               buffer of a socket the shard just connected, so the
+               write cannot block. *)
             (match Fdpass.send_ctl sock ~fd:h_shard ~tag:'C' "" with
              | () ->
                  close_quiet h_shard;
@@ -171,7 +220,7 @@ let ctl_accept_loop t =
     | rd, _, _ when List.memq t.stop_rd rd -> stop := true
     | [], _, _ -> ()
     | _ :: _, _, _ -> (
-        match Unix.accept t.ctl_fd with
+        match Unix.accept ~cloexec:true t.ctl_fd with
         | sock, _ -> (
             (* The shard speaks first ('H' + shard_hello).  Reading it
                inline is fine: shards are our own children and send the
@@ -197,16 +246,16 @@ let live_slots t = (* t.m held *)
 
 (* The model group a no-hello connection lands in: slot 0's model, so
    default traffic is deterministic regardless of which shard serves
-   it.  Falls back to every live shard while slot 0's group is empty
-   (e.g. mid-swap). *)
+   it.  While the group is empty (startup, or slot 0's model mid-swap
+   with no same-fingerprint sibling) this returns nothing and the
+   caller answers [Overloaded] — [Client.retry] rides through the gap.
+   Falling back to a foreign-fingerprint shard (e.g. i8) would break
+   the guarantee that default traffic is bit-identical to a direct
+   predict with slot 0's model. *)
 let primary_group t = (* t.m held *)
-  let live = live_slots t in
   let fp0 = t.slots.(0).fingerprint in
-  if fp0 = "" then live
-  else
-    match List.filter (fun s -> s.fingerprint = fp0) live with
-    | [] -> live
-    | group -> group
+  if fp0 = "" then []
+  else List.filter (fun s -> s.fingerprint = fp0) (live_slots t)
 
 let round_robin t candidates = (* t.m held *)
   match candidates with
@@ -260,31 +309,32 @@ let route_connection t fd =
         | _ ->
             let payload = P.recv_frame fd in
             let env = P.decode_request payload in
-            let target, reply =
+            let target =
               locked t (fun () ->
                   match pick_slot t env with
-                  | None -> (None, None)
+                  | None -> None
                   | Some slot ->
                       (match env.P.req with
                       | P.Hello _ ->
-                          (* The balancer owns the hello: answer it
-                             here, pass a bare fd; the shard sees a
-                             brand-new connection. *)
-                          ( Some (slot, ""),
-                            Some
-                              (P.Hello_reply
-                                 {
-                                   h_fingerprint = slot.fingerprint;
-                                   h_shard = slot.idx;
-                                   h_numeric = slot.numeric;
-                                 }) )
-                      | _ -> (Some (slot, payload), None)))
+                          (* The balancer owns the hello: pass a bare
+                             fd (the shard sees a brand-new connection)
+                             and answer the hello itself — but only
+                             once the handoff succeeds, below. *)
+                          Some
+                            ( slot,
+                              "",
+                              Some
+                                (P.Hello_reply
+                                   {
+                                     h_fingerprint = slot.fingerprint;
+                                     h_shard = slot.idx;
+                                     h_numeric = slot.numeric;
+                                   }) )
+                      | _ -> Some (slot, payload, None)))
             in
             match target with
             | None -> `No_shard
-            | Some (slot, initial) ->
-                Option.iter (fun r -> P.send_reply fd r) reply;
-                `Handoff (slot, initial))
+            | Some (slot, initial, reply) -> `Handoff (slot, initial, reply))
   with
   | `Drop -> close_quiet fd
   | `No_shard ->
@@ -292,21 +342,21 @@ let route_connection t fd =
          [Client.retry] handle it transparently. *)
       Obs.incr c_no_shard;
       reply_and_close (P.Overloaded { queue_len = 0; capacity = 0 })
-  | `Handoff (slot, initial) -> (
+  | `Handoff (slot, initial, reply) -> (
+      (* Draining still accepts the fd we already routed — the shard
+         finishes existing work before exiting. *)
       let sent =
-        locked t (fun () ->
-            match (slot.state, slot.ctl) with
-            | (Live | Draining), Some ctl -> (
-                (* Draining still accepts the fd we already routed —
-                   the shard finishes existing work before exiting. *)
-                match Fdpass.send_ctl ctl ~fd ~tag:'C' initial with
-                | () -> true
-                | exception _ -> false)
-            | _ -> false)
+        send_to_slot t slot ~fd ~tag:'C' initial
+          ~when_:(function Live | Draining -> true | Starting | Dead -> false)
       in
       match sent with
       | true ->
           Obs.incr c_handoffs;
+          (* Hello replies go out only now, after the handoff stuck: a
+             reply written before a failed handoff would be followed by
+             the Overloaded frame below, and the client's next request
+             would read that stray frame as its answer. *)
+          Option.iter (fun r -> try P.send_reply fd r with _ -> ()) reply;
           (* The kernel duplicated the descriptor into the shard; our
              copy is now just a refcount to drop. *)
           close_quiet fd
@@ -325,7 +375,12 @@ let accept_loop t =
     | rd, _, _ when List.memq t.stop_rd rd -> stop := true
     | [], _, _ -> ()
     | _ :: _, _, _ -> (
-        match Unix.accept t.listen_fd with
+        (* cloexec everywhere a descriptor is born: a shard respawned
+           by [spawn_slot] must inherit nothing but stdio, or a leaked
+           dup defeats every EOF-based lifecycle signal in the fleet
+           (shards waiting on balancer EOF, clients on shard EOF) and
+           can keep a dead balancer's port bound. *)
+        match Unix.accept ~cloexec:true t.listen_fd with
         | fd, _ ->
             Obs.incr c_accepted;
             let th = Thread.create (fun () -> route_connection t fd) () in
@@ -441,6 +496,7 @@ let start cfg ~argv_of =
             {
               idx;
               g_live = Obs.gauge (Printf.sprintf "balance/shard:%d/live" idx);
+              send_m = Mutex.create ();
               pid = -1;
               state = Dead;
               ctl = None;
@@ -502,16 +558,20 @@ let await_live ?(timeout_s = 60.) t n =
 let drain_shard t idx =
   if idx < 0 || idx >= Array.length t.slots then
     invalid_arg "Balance.drain_shard: bad shard index";
-  locked t (fun () ->
-      let slot = t.slots.(idx) in
-      match (slot.state, slot.ctl) with
-      | Live, Some ctl -> (
-          slot.state <- Draining;
-          Obs.set_gauge slot.g_live 0.;
-          match Fdpass.send_ctl ctl ~tag:'D' "" with
-          | () -> ()
-          | exception _ -> ( (* already dying; the health loop reaps it *) ))
-      | _ -> ())
+  let slot = t.slots.(idx) in
+  let eligible =
+    locked t (fun () ->
+        match (slot.state, slot.ctl) with
+        | Live, Some _ ->
+            slot.state <- Draining;
+            Obs.set_gauge slot.g_live 0.;
+            true
+        | _ -> false)
+  in
+  if eligible then
+    (* Send failure means the shard is already dying; the health loop
+       reaps it either way. *)
+    ignore (send_to_slot t slot ~tag:'D' ~when_:(fun s -> s = Draining) "")
 
 let rolling_restart ?(timeout_s = 120.) t =
   Array.for_all
@@ -553,19 +613,19 @@ let wait t =
   Option.iter Thread.join t.ctl_thread;
   Option.iter Thread.join t.health_thread;
   List.iter Thread.join (locked t (fun () -> t.router_threads));
-  (* Graceful fleet shutdown: ask every shard to drain, then reap. *)
+  (* Graceful fleet shutdown: ask every shard to drain, then reap.
+     The drain sends run outside [t.m] like all slot writes — a shard
+     wedged with a full control buffer must not hang the shutdown with
+     the lock held (the bounded reap below escalates to SIGKILL). *)
   let pids =
     locked t (fun () ->
         Array.to_list t.slots
         |> List.filter_map (fun slot ->
-               (match slot.ctl with
-               | Some ctl -> (
-                   match Fdpass.send_ctl ctl ~tag:'D' "" with
-                   | () -> ()
-                   | exception _ -> ())
-               | None -> ());
                if slot.pid > 0 then Some (slot, slot.pid) else None))
   in
+  List.iter
+    (fun (slot, _) -> ignore (send_to_slot t slot ~tag:'D' ~when_:(fun _ -> true) ""))
+    pids;
   List.iter
     (fun (slot, pid) ->
       (* Bounded wait for the drain, then escalate. *)

@@ -20,6 +20,7 @@
 #include <caml/unixsupport.h>
 
 #include <errno.h>
+#include <fcntl.h>
 #include <string.h>
 #include <sys/socket.h>
 #include <sys/types.h>
@@ -80,6 +81,15 @@ CAMLprim value dco3d_fdpass_recv(value vsock)
   struct cmsghdr *cmsg;
   ssize_t n;
   int fd = -1;
+  int flags = 0;
+
+  /* A received descriptor must be close-on-exec: a shard that respawns
+   * a sibling (or any future exec in this process) must not leak other
+   * clients' connections into the child, where the extra dup would
+   * defeat the fleet's EOF-based lifecycle signals. */
+#ifdef MSG_CMSG_CLOEXEC
+  flags = MSG_CMSG_CLOEXEC;
+#endif
 
   memset(&msg, 0, sizeof msg);
   memset(cbuf, 0, sizeof cbuf);
@@ -92,7 +102,7 @@ CAMLprim value dco3d_fdpass_recv(value vsock)
 
   caml_release_runtime_system();
   do {
-    n = recvmsg(sock, &msg, 0);
+    n = recvmsg(sock, &msg, flags);
   } while (n == -1 && errno == EINTR);
   caml_acquire_runtime_system();
 
@@ -103,6 +113,9 @@ CAMLprim value dco3d_fdpass_recv(value vsock)
         cmsg->cmsg_len >= CMSG_LEN(sizeof(int)))
       memcpy(&fd, CMSG_DATA(cmsg), sizeof(int));
   }
+#ifndef MSG_CMSG_CLOEXEC
+  if (fd >= 0) fcntl(fd, F_SETFD, FD_CLOEXEC);
+#endif
 
   result = caml_alloc_tuple(2);
   Store_field(result, 0, Val_int(n == 0 ? -1 : (int)(unsigned char)tag));

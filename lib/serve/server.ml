@@ -511,7 +511,7 @@ let accept_loop t listen_fd =
       | rd, _, _ when List.memq t.stop_rd rd -> stop := true
       | [], _, _ -> ()
       | _ :: _, _, _ -> (
-          match Unix.accept listen_fd with
+          match Unix.accept ~cloexec:true listen_fd with
           | fd, _ -> ignore (adopt_connection t fd)
           | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
               ()
@@ -523,15 +523,19 @@ let accept_loop t listen_fd =
 (* Lifecycle                                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* Listening sockets are close-on-exec: the balancer respawns shard
+   children from the process that holds them, and an inherited listener
+   would keep a crashed balancer's address bound (and its clients
+   EOF-less) for as long as any shard lives. *)
 let bind_listen = function
   | Unix_path path ->
       (try Unix.unlink path with Unix.Unix_error _ -> ());
-      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
       Unix.bind fd (Unix.ADDR_UNIX path);
       Unix.listen fd 64;
       (fd, Unix_path path)
   | Tcp (host, port) ->
-      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
       Unix.setsockopt fd Unix.SO_REUSEADDR true;
       let addr = Unix.inet_addr_of_string host in
       Unix.bind fd (Unix.ADDR_INET (addr, port));

@@ -22,7 +22,7 @@ let c_adopted = Obs.counter "shard/adopted"
 type outcome = Drained | Balancer_gone
 
 let run ~ctl_path (cfg : Server.config) predictor =
-  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let sock = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try Unix.connect sock (Unix.ADDR_UNIX ctl_path)
    with e ->
      (try Unix.close sock with Unix.Unix_error _ -> ());

@@ -32,10 +32,20 @@ let create ~dir =
 let dir t = t.dir
 let path_of t key = Filename.concat t.dir (Digest.to_hex (Digest.string key) ^ ".spill")
 
+(* Temp names carry a per-process sequence besides the pid: two threads
+   writing the same key concurrently (the LRU eviction hook vs. the
+   shutdown flush in [Server.wait]) would otherwise share one temp path
+   and interleave writes — the digest check downgrades that to a
+   deleted entry, but the entry is still silently lost. *)
+let tmp_seq = Atomic.make 0
+
 let put t key (value : T.t * T.t) =
   let body = Marshal.to_string (key, value) [] in
   let path = path_of t key in
-  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+      (Atomic.fetch_and_add tmp_seq 1)
+  in
   try
     let oc = open_out_bin tmp in
     (try
