@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples clean bench-deterministic bench-check serve-smoke quantize-smoke balance-smoke
+.PHONY: all build test bench examples clean bench-deterministic bench-check serve-smoke quantize-smoke balance-smoke thermal-smoke
 
 # Parallel jobs used for the determinism check's "parallel" leg.
 JOBS ?= 4
@@ -150,6 +150,18 @@ balance-smoke:
 	  ls $(LOGS)/balance-profile.txt.shard0 $(LOGS)/balance-profile.txt.shard1 && \
 	  echo "balance-smoke: OK" || { echo "balance-smoke: FAILED"; exit 1; }
 	@rm -f $(LOGS)/balance-smoke.sock $(LOGS)/balance-smoke.ctl
+
+# Thermal smoke: on a deliberately hotspotted tiny design, alternating
+# minimization on the thermal penalty (`dco3d thermal --check`) must
+# lower the measured peak temperature vs the no-penalty baseline with
+# post-route overflow within 5%, and the epsilon-coupled Algorithm-2
+# loop must run the solver in the loop and come back legal.  Exercised
+# at DCO3D_JOBS=1 and $(JOBS): the solve itself is gated bit-identical.
+thermal-smoke:
+	dune build bin/dco3d.exe
+	DCO3D_JOBS=1 dune exec --no-build bin/dco3d.exe -- thermal --check
+	DCO3D_JOBS=$(JOBS) dune exec --no-build bin/dco3d.exe -- thermal --check
+	@echo "thermal-smoke: OK"
 
 examples:
 	dune exec examples/quickstart.exe

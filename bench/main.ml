@@ -24,6 +24,7 @@ module Router = Dco3d_route.Router
 module Fm = Dco3d_congestion.Feature_maps
 module Metrics = Dco3d_congestion.Metrics
 module Flow = Dco3d_flow.Flow
+module Thermal = Dco3d_thermal.Thermal
 module Dataset = Dco3d_core.Dataset
 module Predictor = Dco3d_core.Predictor
 module Dco = Dco3d_core.Dco
@@ -454,17 +455,19 @@ let table3 () =
      across the flows of a design.\n\n"
     scale;
   let header () =
-    Printf.printf "%-16s | %9s %7s %7s %7s | %9s %11s %9s %12s\n" "flow"
-      "overflow" "gcell%" "H ovf" "V ovf" "wns(ps)" "tns(ps)" "power(mW)"
-      "WL(um)"
+    Printf.printf "%-16s | %9s %7s %7s %7s | %9s %11s %9s %12s %7s %7s\n"
+      "flow" "overflow" "gcell%" "H ovf" "V ovf" "wns(ps)" "tns(ps)"
+      "power(mW)" "WL(um)" "Tpk(C)" "Tavg(C)"
   in
   let row (r : Flow.result) =
-    Printf.printf "%-16s | %9d %6.2f%% %7d %7d | %9.2f %11.1f %9.3f %12.1f\n"
+    Printf.printf
+      "%-16s | %9d %6.2f%% %7d %7d | %9.2f %11.1f %9.3f %12.1f %7.1f %7.1f\n"
       r.Flow.flow_name r.Flow.place_stage.Flow.overflow
       r.Flow.place_stage.Flow.ovf_gcell_pct r.Flow.place_stage.Flow.ovf_h
       r.Flow.place_stage.Flow.ovf_v r.Flow.signoff.Flow.wns_ps
       r.Flow.signoff.Flow.tns_ps r.Flow.signoff.Flow.power_mw
-      r.Flow.signoff.Flow.wirelength_um
+      r.Flow.signoff.Flow.wirelength_um r.Flow.signoff.Flow.peak_temp_c
+      r.Flow.signoff.Flow.avg_temp_c
   in
   let pct a b = 100. *. (a -. b) /. Float.max 1e-9 (abs_float b) in
   List.iter
@@ -486,7 +489,7 @@ let table3 () =
       row dco;
       Printf.printf
         "DCO-3D vs Pin-3D: overflow %+.1f%%, wns %+.1f%%, tns %+.1f%%, power \
-         %+.1f%%, WL %+.1f%%\n\n"
+         %+.1f%%, WL %+.1f%%, peak temp %+.1f C\n\n"
         (pct
            (float_of_int dco.Flow.place_stage.Flow.overflow)
            (float_of_int pin3d.Flow.place_stage.Flow.overflow))
@@ -494,7 +497,8 @@ let table3 () =
         (pct (-.dco.Flow.signoff.Flow.tns_ps) (-.pin3d.Flow.signoff.Flow.tns_ps))
         (pct dco.Flow.signoff.Flow.power_mw pin3d.Flow.signoff.Flow.power_mw)
         (pct dco.Flow.signoff.Flow.wirelength_um
-           pin3d.Flow.signoff.Flow.wirelength_um))
+           pin3d.Flow.signoff.Flow.wirelength_um)
+        (dco.Flow.signoff.Flow.peak_temp_c -. pin3d.Flow.signoff.Flow.peak_temp_c))
     designs
 
 (* ------------------------------------------------------------------ *)
@@ -633,6 +637,13 @@ let kernels () =
             Dco3d_congestion.Rudy.rudy_map p ~tier:0
               ~kind:Dco3d_congestion.Rudy.All ~nx:64 ~ny:64;
           ] );
+      ( "thermal_solve",
+        Printf.sprintf "%s, 2x48x48 gcells" e.name,
+        None,
+        3,
+        fun () ->
+          let r = Thermal.solve_placement ~nx:48 ~ny:48 p in
+          [ r.Thermal.grid ] );
       ( "dataset_build",
         Printf.sprintf "%s, 4 layouts" e.name,
         None,

@@ -12,6 +12,7 @@ module Nio = Dco3d_netlist.Netlist_io
 module P = Dco3d_place
 module Router = Dco3d_route.Router
 module Flow = Dco3d_flow.Flow
+module Thermal = Dco3d_thermal.Thermal
 module Dataset = Dco3d_core.Dataset
 module Predictor = Dco3d_core.Predictor
 module Dco = Dco3d_core.Dco
@@ -453,6 +454,180 @@ let numeric_t =
     & info [ "numeric" ] ~docv:"PATH"
         ~doc:
           "Inference numeric path: $(b,f32) (reference) or $(b,i8)            (quantized engine; weights are quantized at startup unless            the model file is already quantized).")
+
+(* ------------------------------------------------------------------ *)
+(* thermal                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let thermal_cmd =
+  let run () design scale seed gcell epsilon iterations check =
+    let nl = netlist_of design scale seed in
+    let ctx = Flow.make_context ~seed ~gcell_nx:gcell ~gcell_ny:gcell nl in
+    let base = P.Placer.global_place ~seed ~params:P.Params.default nl ctx.Flow.fp in
+    let solve p = Thermal.solve_placement p in
+    (* power-weighted mean = the temperature the average milliwatt sees;
+       tracks the penalty's objective more directly than the grid mean *)
+    let weighted_c p (r : Thermal.result) =
+      let module T = Dco3d_tensor.Tensor in
+      let pw = Thermal.placement_power p in
+      let dens =
+        Thermal.power_density p ~power:pw ~nx:(T.dim r.Thermal.grid 2)
+          ~ny:(T.dim r.Thermal.grid 1)
+      in
+      let num = ref 0. and den = ref 0. in
+      for i = 0 to T.numel dens - 1 do
+        num := !num +. (T.get_flat dens i *. T.get_flat r.Thermal.grid i);
+        den := !den +. T.get_flat dens i
+      done;
+      !num /. Float.max 1e-12 !den
+    in
+    let tier_peak (r : Thermal.result) tier =
+      let module T = Dco3d_tensor.Tensor in
+      let g = r.Thermal.grid in
+      let peak = ref neg_infinity in
+      for y = 0 to T.dim g 1 - 1 do
+        for x = 0 to T.dim g 2 - 1 do
+          if T.get3 g tier y x > !peak then peak := T.get3 g tier y x
+        done
+      done;
+      !peak
+    in
+    let report tag p (r : Thermal.result) =
+      let ovf = (Router.route ~config:ctx.Flow.route_cfg p).Router.overflow_total in
+      Printf.printf
+        "%-12s peak %6.2f C (T0 %6.2f, T1 %6.2f)  avg %6.2f C  weighted \
+         %6.2f C  overflow %6d  (CG %s, %d iters)\n%!"
+        tag r.Thermal.peak_c (tier_peak r 0) (tier_peak r 1) r.Thermal.avg_c
+        (weighted_c p r) ovf
+        (Dco3d_tensor.Linalg.string_of_cg_status r.Thermal.cg_status)
+        r.Thermal.cg_iters;
+      ovf
+    in
+    if not check then begin
+      let r = solve base in
+      ignore (report "baseline" base r);
+      (* per-tier summary of the map itself *)
+      let t = r.Thermal.grid in
+      let ny = (Dco3d_tensor.Tensor.shape t).(1)
+      and nx = (Dco3d_tensor.Tensor.shape t).(2) in
+      for tier = 0 to 1 do
+        let peak = ref neg_infinity and acc = ref 0. in
+        for y = 0 to ny - 1 do
+          for x = 0 to nx - 1 do
+            let v = Dco3d_tensor.Tensor.get3 t tier y x in
+            if v > !peak then peak := v;
+            acc := !acc +. v
+          done
+        done;
+        Printf.printf "  tier %d: peak %6.2f C, avg %6.2f C\n" tier !peak
+          (!acc /. float_of_int (nx * ny))
+      done
+    end
+    else begin
+      (* smoke gate: the thermal penalty must lower peak temperature
+         without giving up routability (overflow within 5%).  Start
+         from a deliberately hotspotted placement — every cell pulled
+         toward the die center — so there is a real peak to burn down;
+         the calibrated seed placement is already density-uniform and
+         its peak is legalization noise, not a hotspot. *)
+      let start = P.Placement.copy base in
+      let cx = ctx.Flow.fp.P.Floorplan.width /. 2.
+      and cy = ctx.Flow.fp.P.Floorplan.height /. 2. in
+      for c = 0 to Nl.n_cells nl - 1 do
+        if not (Nl.is_macro nl c) then begin
+          start.P.Placement.x.(c) <-
+            cx +. (0.35 *. (start.P.Placement.x.(c) -. cx));
+          start.P.Placement.y.(c) <-
+            cy +. (0.35 *. (start.P.Placement.y.(c) -. cy))
+        end
+      done;
+      (* deliberately NOT legalized: row legalization is a density
+         flattener and would erase the hotspot before the penalty sees
+         it.  The no-penalty baseline takes the same finishing path as
+         the penalty run (legalize, route) minus the descent. *)
+      let baseline = P.Placement.copy start in
+      P.Placer.legalize baseline;
+      let cooled, cool_rep = Dco.cool ~iterations start in
+      (* measure at a coarser grid than the optimizer's: with only a
+         handful of cells per fine-grid bin, the single hottest node is
+         legalization shot noise (one cell more or less is a +-25%
+         power swing); quartering the resolution averages ~16 cells
+         per bin so the comparison sees the hotspot, not the noise *)
+      let coarse = max 4 (gcell / 2) in
+      let solve p = Thermal.solve_placement ~nx:coarse ~ny:coarse p in
+      let r_base = solve baseline and r_cool = solve cooled in
+      let ovf_base = report "no-penalty" baseline r_base in
+      let ovf_cool = report "penalty" cooled r_cool in
+      let dt = r_base.Thermal.peak_c -. r_cool.Thermal.peak_c in
+      Printf.printf
+        "peak-temp drop: %.4f C (weighted %.4f C, penalty %.4g -> %.4g)\n%!"
+        dt
+        (weighted_c baseline r_base -. weighted_c cooled r_cool)
+        cool_rep.Dco.loss_start cool_rep.Dco.loss_end;
+      if dt <= 0. then begin
+        prerr_endline "FAIL: thermal penalty did not reduce peak temperature";
+        exit 1
+      end;
+      if cool_rep.Dco.loss_end >= cool_rep.Dco.loss_start then begin
+        prerr_endline "FAIL: alternating minimization did not reduce the penalty";
+        exit 1
+      end;
+      if float_of_int ovf_cool > 1.05 *. Float.max 1. (float_of_int ovf_base)
+      then begin
+        Printf.eprintf "FAIL: overflow regressed beyond 5%% (%d vs %d)\n"
+          ovf_cool ovf_base;
+        exit 1
+      end;
+      (* integration smoke for the full Algorithm-2 coupling: a few
+         iterations with epsilon > 0 must run the solver in the loop
+         (thermal UNet channel + frozen-field penalty) and come back
+         legal.  No temperature assertion here — through the GNN the
+         thermal force competes with density and congestion, so on a
+         tiny synthetic design its effect is below legalization noise;
+         the mechanism itself is gated by the direct descent above. *)
+      let predictor = untrained_predictor ~seed ~input_hw:gcell in
+      let config =
+        { Dco.default_config with Dco.iterations = 4; seed; epsilon }
+      in
+      let integrated, _ = Dco.optimize ~config ~predictor start in
+      (match P.Placer.legal_check integrated with
+      | Ok () -> ()
+      | Error e ->
+          Printf.eprintf "FAIL: epsilon-coupled optimize not legal: %s\n" e;
+          exit 1);
+      print_endline "thermal smoke OK"
+    end
+  in
+  let epsilon_t =
+    Arg.(
+      value & opt float 0.15
+      & info [ "epsilon" ] ~docv:"F"
+          ~doc:
+            "Thermal-penalty weight for the $(b,--check) Algorithm-2 \
+             integration smoke.")
+  in
+  let iters_t =
+    Arg.(
+      value & opt int 80
+      & info [ "iterations" ] ~docv:"N"
+          ~doc:"Alternating-minimization steps for the $(b,--check) gate.")
+  in
+  let check_t =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Smoke gate: spread with and without the thermal penalty and \
+             fail unless the penalty lowers peak temperature with overflow \
+             within 5%.")
+  in
+  Cmd.v
+    (Cmd.info "thermal"
+       ~doc:"Steady-state thermal map of a placement; with $(b,--check), \
+             verify the differentiable thermal penalty cools the design.")
+    Term.(
+      const run $ setup_t $ design_t $ scale_t $ seed_t $ gcell_t $ epsilon_t
+      $ iters_t $ check_t)
 
 let serve_cmd =
   let run () socket port model seed input_hw queue_cap max_batch linger_ms
@@ -1036,6 +1211,7 @@ let main =
       flow_cmd;
       train_cmd;
       optimize_cmd;
+      thermal_cmd;
       quantize_cmd;
       serve_cmd;
       balance_cmd;

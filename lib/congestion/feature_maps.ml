@@ -2,13 +2,14 @@ module T = Dco3d_tensor.Tensor
 module Nl = Dco3d_netlist.Netlist
 module Pl = Dco3d_place.Placement
 module Fp = Dco3d_place.Floorplan
+module Thermal = Dco3d_thermal.Thermal
 
-let n_channels = 7
+let n_channels = 8
 
 let channel_names =
   [|
     "cell_density"; "pin_density"; "rudy_2d"; "rudy_3d"; "pin_rudy_2d";
-    "pin_rudy_3d"; "macro_blockage";
+    "pin_rudy_3d"; "macro_blockage"; "thermal";
   |]
 
 let pin_density_map p ~tier ~nx ~ny =
@@ -68,7 +69,18 @@ let macro_blockage_map p ~tier ~nx ~ny =
   done;
   map
 
-let per_die p ~tier ~nx ~ny =
+(* The thermal channel holds the temperature *rise* over ambient so an
+   unsupplied map (zeros) means "cold", consistent with a powered-down
+   design. *)
+let thermal_rise_map (r : Thermal.result) ~tier =
+  let g = T.channel r.Thermal.grid tier in
+  let ambient = Thermal.default_config.Thermal.ambient_c in
+  T.map (fun t -> Float.max 0. (t -. ambient)) g
+
+let per_die ?thermal p ~tier ~nx ~ny =
+  let thermal_ch =
+    match thermal with Some t -> t | None -> T.zeros [| ny; nx |]
+  in
   T.concat_channels
     [
       Pl.density_map p ~tier ~nx ~ny;
@@ -78,18 +90,26 @@ let per_die p ~tier ~nx ~ny =
       Rudy.pin_rudy_map p ~tier ~kind:Rudy.Two_d ~nx ~ny;
       Rudy.pin_rudy_map p ~tier ~kind:Rudy.Three_d ~nx ~ny;
       macro_blockage_map p ~tier ~nx ~ny;
+      thermal_ch;
     ]
 
-let both_dies p ~nx ~ny = (per_die p ~tier:0 ~nx ~ny, per_die p ~tier:1 ~nx ~ny)
+let both_dies ?thermal p ~nx ~ny =
+  let r =
+    match thermal with
+    | Some r -> r
+    | None -> Thermal.solve_placement ~nx ~ny p
+  in
+  ( per_die p ~tier:0 ~nx ~ny ~thermal:(thermal_rise_map r ~tier:0),
+    per_die p ~tier:1 ~nx ~ny ~thermal:(thermal_rise_map r ~tier:1) )
 
 (* Typical magnitudes at ~55 % utilization and GCell bins: cell density
-   ~0.5, pin density ~30 pins/um^2, RUDY ~10, PinRUDY ~50.  These bring
-   every channel to O(1). *)
-let default_scales = [| 1.0; 40.0; 15.0; 15.0; 60.0; 60.0; 1.0 |]
+   ~0.5, pin density ~30 pins/um^2, RUDY ~10, PinRUDY ~50, thermal rise
+   ~10 K.  These bring every channel to O(1). *)
+let default_scales = [| 1.0; 40.0; 15.0; 15.0; 60.0; 60.0; 1.0; 30.0 |]
 
 let normalize stack =
   if T.rank stack <> 3 || T.dim stack 0 <> n_channels then
-    invalid_arg "Feature_maps.normalize: expected a [7; h; w] stack";
+    invalid_arg "Feature_maps.normalize: expected an [8; h; w] stack";
   T.concat_channels
     (List.init n_channels (fun c ->
          T.scale (1. /. default_scales.(c)) (T.channel stack c)))

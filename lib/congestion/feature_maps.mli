@@ -1,4 +1,5 @@
-(** The 7 per-die input feature maps of section III-B1.
+(** The 8 per-die input feature maps: section III-B1's seven plus a
+    thermal channel (TaiWei-style coupling, ROADMAP thermal item).
 
     Channel order (fixed, used everywhere):
     + 0 — cell density: cell area per bin / bin area
@@ -8,6 +9,8 @@
     + 4 — 2D PinRUDY
     + 5 — 3D PinRUDY
     + 6 — macro blockage: macro-covered area fraction
+    + 7 — thermal: steady-state temperature rise over ambient, deg C
+      (from {!Dco3d_thermal.Thermal}; zeros = cold)
 
     Raw maps are built at GCell resolution and resized to the CNN input
     with nearest-neighbour interpolation (Fig. 3a); {!normalize}
@@ -16,15 +19,26 @@
 val n_channels : int
 val channel_names : string array
 
+val thermal_rise_map :
+  Dco3d_thermal.Thermal.result -> tier:int -> Dco3d_tensor.Tensor.t
+(** One tier's temperature-rise-over-ambient plane [\[ny; nx\]] from a
+    solved thermal result (clamped at 0). *)
+
 val per_die :
+  ?thermal:Dco3d_tensor.Tensor.t ->
   Dco3d_place.Placement.t -> tier:int -> nx:int -> ny:int ->
   Dco3d_tensor.Tensor.t
-(** Raw feature stack [[7; ny; nx]] for one die. *)
+(** Raw feature stack [[8; ny; nx]] for one die.  [thermal] is the
+    tier's temperature-rise plane ([\[ny; nx\]]); when omitted the
+    thermal channel is zeros (cold die). *)
 
 val both_dies :
+  ?thermal:Dco3d_thermal.Thermal.result ->
   Dco3d_place.Placement.t -> nx:int -> ny:int ->
   Dco3d_tensor.Tensor.t * Dco3d_tensor.Tensor.t
-(** [(bottom, top)] raw stacks. *)
+(** [(bottom, top)] raw stacks.  The thermal channel comes from
+    [thermal] when given, otherwise from a fresh
+    {!Dco3d_thermal.Thermal.solve_placement} on the GCell grid. *)
 
 val default_scales : float array
 (** Per-channel normalization divisors (bring typical magnitudes to

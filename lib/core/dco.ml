@@ -9,6 +9,7 @@ module Placer = Dco3d_place.Placer
 module Csr = Dco3d_graph.Csr
 module SiaUNet = Dco3d_nn.Siamese_unet
 module Fm = Dco3d_congestion.Feature_maps
+module Thermal = Dco3d_thermal.Thermal
 module Obs = Dco3d_obs.Obs
 
 let log_src = Logs.Src.create "dco3d.dco" ~doc:"Algorithm 2 optimization"
@@ -29,6 +30,11 @@ type config = {
   freeze_z : bool;
   (** ablation: disable cross-tier (z) movement, reducing DCO-3D to a
       2D spreader — isolates the paper's contribution #2 *)
+  epsilon : float;
+  (** weight of the thermal penalty (0 = thermally blind, the paper's
+      baseline).  When positive, each iteration re-solves the
+      steady-state field from the current soft positions and adds
+      [epsilon * Losses.thermal] so hot cells repel across tiers. *)
 }
 
 let default_config =
@@ -44,6 +50,7 @@ let default_config =
     density_target = 0.85;
     seed = 11;
     freeze_z = false;
+    epsilon = 0.;
   }
 
 type iter_stats = {
@@ -90,11 +97,36 @@ let normalize_features v =
   let d = V.data v in
   let c = T.dim d 0 and h = T.dim d 1 and w = T.dim d 2 in
   if c <> Fm.n_channels then
-    invalid_arg "Dco.normalize_features: expected 7 channels";
+    invalid_arg "Dco.normalize_features: expected 8 channels";
   let scales =
     T.init [| c; h; w |] (fun idx -> 1. /. Fm.default_scales.(idx.(0)))
   in
   V.mul (V.const scales) v
+
+(* Bin per-cell power at *soft* positions: movable cells split between
+   the dies by their tier probability [zs], macros stay on their fixed
+   tier.  Shared by the full Algorithm-2 loop and by {!cool}. *)
+let soft_power_grid (p : Pl.t) ~cell_mw ~xs ~ys ~zs ~nx ~ny =
+  let nl = p.Pl.nl in
+  let die_w = p.Pl.fp.Fp.width and die_h = p.Pl.fp.Fp.height in
+  let power_grid = T.zeros [| 2; ny; nx |] in
+  let add tier gy gx v =
+    T.set3 power_grid tier gy gx (T.get3 power_grid tier gy gx +. v)
+  in
+  let n = Nl.n_cells nl in
+  for c = 0 to n - 1 do
+    let px = Float.max 0. (Float.min (die_w -. 1e-9) (T.get_flat xs c)) in
+    let py = Float.max 0. (Float.min (die_h -. 1e-9) (T.get_flat ys c)) in
+    let gx = min (nx - 1) (int_of_float (px /. die_w *. float_of_int nx)) in
+    let gy = min (ny - 1) (int_of_float (py /. die_h *. float_of_int ny)) in
+    if Nl.is_macro nl c then add p.Pl.tier.(c) gy gx cell_mw.(c)
+    else begin
+      let zc = T.get_flat zs c in
+      add 0 gy gx (cell_mw.(c) *. (1. -. zc));
+      add 1 gy gx (cell_mw.(c) *. zc)
+    end
+  done;
+  power_grid
 
 let c_iters = Obs.counter "dco/iterations"
 let h_total = Obs.histogram "dco/loss_total"
@@ -128,16 +160,45 @@ let optimize ?(config = default_config) ~predictor (p_in : Pl.t) =
       (V.const
          (T.init [| Nl.n_cells nl |] (fun i -> float_of_int p.Pl.tier.(i.(0)))))
   in
+  (* Thermal coupling: per-cell power attribution is frozen at the
+     incoming placement (power barely depends on the spreading-scale
+     moves), the field is re-solved from the current soft positions
+     every iteration and enters both as the UNet's thermal channel and
+     as the frozen-field penalty. *)
+  let cell_mw =
+    lazy (Thermal.cell_power p ~power:(Thermal.placement_power p))
+  in
+  let solve_soft_thermal ~x ~y ~z =
+    let mw = Lazy.force cell_mw in
+    let power_grid =
+      soft_power_grid p ~cell_mw:mw ~xs:(V.data x) ~ys:(V.data y)
+        ~zs:(V.data z) ~nx ~ny
+    in
+    let r = Thermal.solve ~power_grid () in
+    let ambient = Thermal.default_config.Thermal.ambient_c in
+    T.map (fun t -> Float.max 0. (t -. ambient)) r.Thermal.grid
+  in
   let forward_losses () =
     let x, y, z = Spreader.forward spreader ~features in
     let z = if config.freeze_z then Lazy.force z_const else z in
-    let f0, f1 = Soft_maps.build ~placement:p ~x ~y ~z ~nx ~ny in
+    let rise =
+      if config.epsilon > 0. then Some (solve_soft_thermal ~x ~y ~z)
+      else None
+    in
+    let f0, f1 = Soft_maps.build ?thermal:rise ~placement:p ~x ~y ~z ~nx ~ny () in
     let prep f = resize_value (normalize_features f) input_hw input_hw in
     let c0, c1 = SiaUNet.forward net (prep f0) (prep f1) in
     let l_cong = Losses.congestion c0 c1 in
     let l_cut = Losses.cutsize ~adj:raw_adj z in
     let l_ovlp = Losses.overlap ~target:config.density_target f0 f1 in
     let l_disp = Losses.displacement ~x ~y ~x0 ~y0 in
+    let l_therm =
+      match rise with
+      | Some grid ->
+          Losses.thermal ~grid ~cell_mw:(Lazy.force cell_mw) ~placement:p
+            ~nx ~ny ~x ~y ~z
+      | None -> V.scalar 0.
+    in
     let total =
       V.add_list
         [
@@ -145,6 +206,7 @@ let optimize ?(config = default_config) ~predictor (p_in : Pl.t) =
           V.scale config.beta l_ovlp;
           V.scale config.gamma l_cut;
           V.scale config.delta l_cong;
+          V.scale config.epsilon l_therm;
         ]
     in
     (x, y, z, total, l_disp, l_ovlp, l_cut, l_cong)
@@ -216,8 +278,11 @@ let optimize ?(config = default_config) ~predictor (p_in : Pl.t) =
   (* Fall-back guard: when the optimizer failed to reduce even its own
      predicted congestion, the move set is noise — keep the incoming
      placement (the TCL export is then empty, a no-op for the flow). *)
+  (* (Skipped for thermal runs: there the optimizer trades predicted
+     congestion against temperature, so a flat congestion trace does
+     not mean the move set is noise.) *)
   let p =
-    if !cong_end >= 0.995 *. !cong_start then begin
+    if config.epsilon = 0. && !cong_end >= 0.995 *. !cong_start then begin
       Log.info (fun m ->
           m "DCO made no predicted progress (%.4f -> %.4f): keeping input"
             !cong_start !cong_end);
@@ -241,3 +306,86 @@ let optimize ?(config = default_config) ~predictor (p_in : Pl.t) =
         report.predicted_cong_start report.predicted_cong_end report.cut_start
         report.cut_end report.tier_moves report.mean_displacement);
   (p, report)
+
+(* ------------------------------------------------------------------ *)
+(* Thermal spreading: alternating minimization on the penalty alone   *)
+(* ------------------------------------------------------------------ *)
+
+type cool_report = { loss_start : float; loss_end : float; solves : int }
+
+let cool ?(iterations = 80) ?(step_gcells = 0.5) ?(step_z = 0.1)
+    (p_in : Pl.t) =
+  Obs.with_span "dco_cool" @@ fun () ->
+  let p = Pl.copy p_in in
+  let nl = p.Pl.nl in
+  let fp = p.Pl.fp in
+  let nx = fp.Fp.gcell_nx and ny = fp.Fp.gcell_ny in
+  let n = Nl.n_cells nl in
+  (* power attribution frozen at the incoming placement, exactly as in
+     the full Algorithm-2 loop *)
+  let cell_mw = Thermal.cell_power p ~power:(Thermal.placement_power p) in
+  let xs = T.of_array1 p.Pl.x in
+  let ys = T.of_array1 p.Pl.y in
+  let zs = T.init [| n |] (fun i -> float_of_int p.Pl.tier.(i.(0))) in
+  let step_um = step_gcells *. Fp.gcell_w fp in
+  let ambient = Thermal.default_config.Thermal.ambient_c in
+  let die_w = fp.Fp.width and die_h = fp.Fp.height in
+  let loss_start = ref nan and loss_end = ref nan in
+  for it = 0 to iterations - 1 do
+    (* (a) re-solve the frozen field from the current soft positions *)
+    let power_grid = soft_power_grid p ~cell_mw ~xs ~ys ~zs ~nx ~ny in
+    let r = Thermal.solve ~power_grid () in
+    let rise = T.map (fun t -> Float.max 0. (t -. ambient)) r.Thermal.grid in
+    (* (b) one descent step on the penalty with the field held fixed *)
+    let x = V.param xs and y = V.param ys and z = V.param zs in
+    let l = Losses.thermal ~grid:rise ~cell_mw ~placement:p ~nx ~ny ~x ~y ~z in
+    let lv = T.get_flat (V.data l) 0 in
+    if it = 0 then loss_start := lv;
+    loss_end := lv;
+    V.backward l;
+    let gx = V.grad x and gy = V.grad y and gz = V.grad z in
+    (* normalize by the largest gradient component so the most-pushed
+       cell moves exactly [step_gcells] per iteration (and at most
+       [step_z] in z) — scale-free in design size and absolute power *)
+    let gmax = ref 0. and gzmax = ref 0. in
+    for c = 0 to n - 1 do
+      gmax :=
+        Float.max !gmax
+          (Float.max (Float.abs (T.get_flat gx c))
+             (Float.abs (T.get_flat gy c)));
+      gzmax := Float.max !gzmax (Float.abs (T.get_flat gz c))
+    done;
+    if !gmax > 0. then begin
+      let s = step_um /. !gmax in
+      for c = 0 to n - 1 do
+        if not (Nl.is_macro nl c) then begin
+          T.set_flat xs c
+            (Float.max 0.
+               (Float.min die_w (T.get_flat xs c -. (s *. T.get_flat gx c))));
+          T.set_flat ys c
+            (Float.max 0.
+               (Float.min die_h (T.get_flat ys c -. (s *. T.get_flat gy c))))
+        end
+      done
+    end;
+    if !gzmax > 0. then begin
+      let s = step_z /. !gzmax in
+      for c = 0 to n - 1 do
+        if not (Nl.is_macro nl c) then
+          T.set_flat zs c
+            (Float.max 0.
+               (Float.min 1. (T.get_flat zs c -. (s *. T.get_flat gz c))))
+      done
+    end
+  done;
+  let tiers = Soft_maps.hard_assignment zs in
+  for c = 0 to n - 1 do
+    if not (Nl.is_macro nl c) then begin
+      p.Pl.x.(c) <- T.get_flat xs c;
+      p.Pl.y.(c) <- T.get_flat ys c;
+      p.Pl.tier.(c) <- tiers.(c)
+    end
+  done;
+  Pl.clamp_to_die p;
+  Placer.legalize p;
+  (p, { loss_start = !loss_start; loss_end = !loss_end; solves = iterations })

@@ -24,14 +24,26 @@ type config = {
   (** ablation switch: keep every cell on its incoming die, reducing
       DCO-3D to a purely 2D differentiable spreader (the paper's
       contribution #2 is exactly the freedom this removes) *)
+  epsilon : float;
+  (** thermal-penalty weight (default 0 = thermally blind).  When
+      positive, every iteration re-solves the steady-state temperature
+      field ({!Dco3d_thermal.Thermal}) from the current soft positions
+      — frozen per-cell power, soft tier split — feeds it to the UNet
+      as the 8th feature channel, and adds
+      [epsilon * Losses.thermal] so hot, high-power cells move down
+      the lateral temperature gradient and toward the cooler die.
+      The no-progress fallback (keep the incoming placement when
+      predicted congestion is flat) is disabled for thermal runs,
+      where congestion may legitimately be traded for temperature. *)
 }
 
 val default_config : config
 (** 60 iterations, lr 3e-3, hidden 32, max move 1.5 GCells,
-    (alpha, beta, gamma, delta) = (1, 30, 1.5, 8), density target 0.85.
-    Optimization stops early once the predicted congestion has dropped
-    25 % below its starting value — a trust region that keeps the GNN
-    inside the (frozen, learned) predictor's reliable neighbourhood. *)
+    (alpha, beta, gamma, delta, epsilon) = (1, 30, 1.5, 8, 0), density
+    target 0.85.  Optimization stops early once the predicted
+    congestion has dropped 25 % below its starting value — a trust
+    region that keeps the GNN inside the (frozen, learned) predictor's
+    reliable neighbourhood. *)
 
 type iter_stats = {
   total : float;
@@ -66,3 +78,26 @@ val resize_value : Dco3d_autodiff.Value.t -> int -> int -> Dco3d_autodiff.Value.
 val normalize_features : Dco3d_autodiff.Value.t -> Dco3d_autodiff.Value.t
 (** Per-channel normalization matching
     {!Dco3d_congestion.Feature_maps.normalize}, on the tape. *)
+
+type cool_report = {
+  loss_start : float;  (** thermal penalty at the incoming placement *)
+  loss_end : float;  (** penalty after the last descent step *)
+  solves : int;  (** steady-state solves performed (= iterations) *)
+}
+
+val cool :
+  ?iterations:int ->
+  ?step_gcells:float ->
+  ?step_z:float ->
+  Dco3d_place.Placement.t ->
+  Dco3d_place.Placement.t * cool_report
+(** Thermal spreading by alternating minimization on the thermal
+    penalty alone: each iteration re-solves the steady-state field from
+    the current soft positions ({!Dco3d_thermal.Thermal.solve}) and
+    takes one gradient step of the frozen-field penalty directly on
+    the cell positions and tier probabilities (no GNN in the path).
+    Steps are infinity-norm normalized — the most-pushed cell moves
+    [step_gcells] GCells laterally (default 0.5) and at most [step_z]
+    (default 0.1) in tier probability per iteration — so the schedule
+    is scale-free in design size and absolute power.  Macros do not
+    move.  The result is legalized.  Deterministic in the input. *)

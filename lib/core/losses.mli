@@ -1,5 +1,5 @@
-(** The four differentiable objectives of Algorithm 2 (sections
-    IV-B..IV-E). *)
+(** The differentiable objectives of Algorithm 2 (sections IV-B..IV-E)
+    plus the TaiWei-style thermal penalty. *)
 
 val congestion :
   Dco3d_autodiff.Value.t -> Dco3d_autodiff.Value.t -> Dco3d_autodiff.Value.t
@@ -36,3 +36,29 @@ val displacement :
   Dco3d_autodiff.Value.t
 (** Eq. 11, normalized per cell: [mean ((x - x0)^2 + (y - y0)^2)]
     in um^2. *)
+
+val thermal :
+  grid:Dco3d_tensor.Tensor.t ->
+  cell_mw:float array ->
+  placement:Dco3d_place.Placement.t ->
+  nx:int ->
+  ny:int ->
+  x:Dco3d_autodiff.Value.t ->
+  y:Dco3d_autodiff.Value.t ->
+  z:Dco3d_autodiff.Value.t ->
+  Dco3d_autodiff.Value.t
+(** Thermal penalty over a {e frozen} temperature-rise field [grid]
+    ([[2; ny; nx]], from {!Dco3d_thermal.Thermal}):
+    [sum_c (p_c/P) ((1-z_c) T_bot(x_c,y_c)^2 + z_c T_top(x_c,y_c)^2) / 2]
+    with bilinear interpolation, where [P] is the total movable-cell
+    power — i.e. the power-weighted mean of the squared rise, O(K^2)
+    regardless of design size.  The rise is squared so the force on a
+    cell scales with how hot its bin already is — the hottest bins
+    shed power first, which is what moves the {e peak} temperature (a
+    linear term pulls as hard on mildly-warm cells and mostly reshuffles
+    the average).  Macros (immovable) contribute neither value nor
+    gradient.  The gradient moves hot, high-power cells down the
+    lateral temperature gradient and flips them toward the cooler
+    tier; the caller re-solves the field from the updated positions
+    each iteration (alternating minimization) instead of
+    differentiating through the CG solve. *)

@@ -4,7 +4,7 @@ module Nl = Dco3d_netlist.Netlist
 module Pl = Dco3d_place.Placement
 module Fp = Dco3d_place.Floorplan
 
-(* channel layout inside the fused [14; ny; nx] tensor *)
+(* channel layout inside the fused [16; ny; nx] tensor *)
 let ch_density = 0
 let ch_pins = 1
 let ch_rudy2d = 2
@@ -12,7 +12,8 @@ let ch_rudy3d = 3
 let ch_pinrudy2d = 4
 let ch_pinrudy3d = 5
 let ch_macro = 6
-let n_ch = 7
+let ch_thermal = 7
+let n_ch = 8
 
 let min_span = 0.10
 
@@ -50,7 +51,7 @@ let leave_one_out a =
   done;
   (prefix.(k), Array.init k (fun i -> prefix.(i) *. suffix.(i + 1)))
 
-let build ~placement ~x ~y ~z ~nx ~ny =
+let build ?thermal ~placement ~x ~y ~z ~nx ~ny () =
   let p = placement in
   let nl = p.Pl.nl in
   let fp = p.Pl.fp in
@@ -223,6 +224,25 @@ let build ~placement ~x ~y ~z ~nx ~ny =
             taps)
         nc.pins)
     caches;
+
+  (* ---------- thermal plane: a frozen field ---------- *)
+  (* The solved temperature-rise map enters the stack as a constant:
+     the UNet sees it as an input channel, but position gradients flow
+     through the dedicated Losses.thermal penalty (Gauss–Seidel-style
+     alternation), not through re-solving the field on the tape. *)
+  (match thermal with
+  | None -> ()
+  | Some tmap ->
+      if T.rank tmap <> 3 || T.dim tmap 0 <> 2 || T.dim tmap 1 <> ny
+         || T.dim tmap 2 <> nx
+      then invalid_arg "Soft_maps.build: thermal map must be [2; ny; nx]";
+      for die = 0 to 1 do
+        for gy = 0 to ny - 1 do
+          for gx = 0 to nx - 1 do
+            addp die ch_thermal gy gx (T.get3 tmap die gy gx)
+          done
+        done
+      done);
 
   (* ------------------------------------------------------------------ *)
   (* custom backward                                                     *)

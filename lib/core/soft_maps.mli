@@ -2,7 +2,7 @@
     the custom backward function of section IV-B.
 
     During optimization the GNN emits continuous positions [x, y] and a
-    tier probability [z in [0,1]] per cell.  The 7 per-die feature maps
+    tier probability [z in [0,1]] per cell.  The 8 per-die feature maps
     are rebuilt from these {e soft} quantities:
 
     + per-net 2D contributions are weighted by [prod_p z_p] (top die)
@@ -21,18 +21,24 @@
     gradients for the density channels. *)
 
 val build :
+  ?thermal:Dco3d_tensor.Tensor.t ->
   placement:Dco3d_place.Placement.t ->
   x:Dco3d_autodiff.Value.t ->
   y:Dco3d_autodiff.Value.t ->
   z:Dco3d_autodiff.Value.t ->
   nx:int ->
   ny:int ->
+  unit ->
   Dco3d_autodiff.Value.t * Dco3d_autodiff.Value.t
-(** [build ~placement ~x ~y ~z ~nx ~ny] returns the soft per-die
-    feature stacks [(f_bottom, f_top)], each [[7; ny; nx]] in the raw
+(** [build ~placement ~x ~y ~z ~nx ~ny ()] returns the soft per-die
+    feature stacks [(f_bottom, f_top)], each [[8; ny; nx]] in the raw
     units of {!Dco3d_congestion.Feature_maps}.  [x], [y], [z] are
     rank-1 values of length [n_cells]; IO pads are fixed on the bottom
-    die; the [placement] supplies everything that does not move. *)
+    die; the [placement] supplies everything that does not move.
+    [thermal] is a [[2; ny; nx]] temperature-rise map entering as a
+    {e frozen} channel (zeros when omitted): the UNet sees it, but no
+    gradient flows through it — thermal position gradients come from
+    the dedicated [Losses.thermal] penalty instead. *)
 
 val hard_assignment : Dco3d_tensor.Tensor.t -> int array
 (** [hard_assignment z] is the final tier per cell: top when

@@ -8,6 +8,7 @@ module Router = Dco3d_route.Router
 module Sta = Dco3d_sta.Sta
 module Cts = Dco3d_cts.Cts
 module Bo = Dco3d_bayesopt.Bayesopt
+module Thermal = Dco3d_thermal.Thermal
 module Obs = Dco3d_obs.Obs
 
 let log_src = Logs.Src.create "dco3d.flow" ~doc:"Pin-3D flow emulation"
@@ -37,6 +38,8 @@ type signoff = {
   wirelength_um : float;
   upsized_cells : int;
   clock_skew_ps : float;
+  peak_temp_c : float;
+  avg_temp_c : float;
 }
 
 type result = {
@@ -175,6 +178,19 @@ let run_with_placement_internal ctx ~name ~params (p : Pl.t) =
       ~clock_wirelength:clock.Cts.wirelength
       ~clock_buffers:clock.Cts.n_buffers ()
   in
+  (* steady-state thermal map from the signoff power (routed net
+     lengths, CTS clock tree) on the floorplan's GCell grid *)
+  let therm =
+    Obs.with_span "thermal" (fun () ->
+        Thermal.solve_power ~nx:ctx.fp.Fp.gcell_nx ~ny:ctx.fp.Fp.gcell_ny p pw)
+  in
+  (match therm.Thermal.cg_status with
+  | Dco3d_tensor.Linalg.Converged -> ()
+  | s ->
+      Log.warn (fun m ->
+          m "%s: thermal solve ended with %s after %d iters" name
+            (Dco3d_tensor.Linalg.string_of_cg_status s)
+            therm.Thermal.cg_iters));
   let signoff =
     {
       wns_ps = t.Sta.wns;
@@ -183,6 +199,8 @@ let run_with_placement_internal ctx ~name ~params (p : Pl.t) =
       wirelength_um = route.Router.wirelength +. clock.Cts.wirelength;
       upsized_cells = upsized;
       clock_skew_ps = clock.Cts.skew_ps;
+      peak_temp_c = therm.Thermal.peak_c;
+      avg_temp_c = therm.Thermal.avg_c;
     }
   in
   { flow_name = name; placement = p; route; place_stage; signoff; params }
@@ -218,7 +236,8 @@ let run_pin3d_bo ?(iterations = 12) ?(bo_seed = 7) ctx =
 
 let pp_result ppf r =
   Format.fprintf ppf
-    "%-14s | ovf %6d (%5.2f%% gcells, H %6d, V %6d) | wns %8.2f ps | tns %10.1f ps | %7.2f mW | WL %10.1f um"
+    "%-14s | ovf %6d (%5.2f%% gcells, H %6d, V %6d) | wns %8.2f ps | tns %10.1f ps | %7.2f mW | WL %10.1f um | T %5.1f/%5.1f C"
     r.flow_name r.place_stage.overflow r.place_stage.ovf_gcell_pct
     r.place_stage.ovf_h r.place_stage.ovf_v r.signoff.wns_ps r.signoff.tns_ps
-    r.signoff.power_mw r.signoff.wirelength_um
+    r.signoff.power_mw r.signoff.wirelength_um r.signoff.peak_temp_c
+    r.signoff.avg_temp_c

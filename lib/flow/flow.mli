@@ -49,8 +49,13 @@ type signoff = {
   wirelength_um : float;
   upsized_cells : int;  (** ECO repairs spent *)
   clock_skew_ps : float;
+  peak_temp_c : float;
+      (** hottest GCell of the steady-state thermal map solved from the
+          signoff power (routed wirelength + CTS clock tree) *)
+  avg_temp_c : float;  (** mean GCell temperature, deg C *)
 }
-(** The "after signoff optimization (end-of-flow)" columns. *)
+(** The "after signoff optimization (end-of-flow)" columns, plus the
+    thermal metrics (peak/avg temperature). *)
 
 type result = {
   flow_name : string;

@@ -3,7 +3,7 @@ module V = Dco3d_autodiff.Value
 
 type config = { in_channels : int; base_channels : int; depth : int }
 
-let default_config = { in_channels = 7; base_channels = 8; depth = 2 }
+let default_config = { in_channels = 8; base_channels = 8; depth = 2 }
 
 (* One resolution level of the encoder/decoder. *)
 type level = {

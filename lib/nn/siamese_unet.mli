@@ -11,20 +11,22 @@
 
     The network is an images-to-images model: it maps the per-die
     feature stacks [F0, F1 : [c_in; h; w]] to predicted post-route
-    congestion maps [C0, C1 : [1; h; w]] (paper: [c_in = 7],
-    [h = w = 224]; here the resolution is configurable — see DESIGN.md,
-    "Scale parameters"). *)
+    congestion maps [C0, C1 : [1; h; w]] (paper: [c_in = 7] and
+    [h = w = 224]; here [c_in = 8] — the Table-II seven plus the solved
+    thermal-rise plane — and the resolution is configurable, see
+    DESIGN.md, "Scale parameters"). *)
 
 type t
 
 type config = {
-  in_channels : int;  (** feature channels per die (paper: 7) *)
+  in_channels : int;  (** feature channels per die (paper: 7; here 8 with the thermal plane) *)
   base_channels : int;  (** encoder width at full resolution *)
   depth : int;  (** number of 2x downsamplings (1 or 2 supported) *)
 }
 
 val default_config : config
-(** [{ in_channels = 7; base_channels = 8; depth = 2 }]. *)
+(** [{ in_channels = 8; base_channels = 8; depth = 2 }] — the paper's
+    7 feature channels plus the thermal channel. *)
 
 val create : Dco3d_tensor.Rng.t -> config -> t
 

@@ -83,6 +83,18 @@ let build_system (p : Placement.t) =
 let c_cg_iters = Obs.counter "place/cg_iters"
 let c_cg_solves = Obs.counter "place/cg_solves"
 
+(* Terminal-status counters: every solve bumps exactly one of these, so
+   a non-zero place/cg_breakdowns is distinguishable from solves that
+   merely hit the iteration budget. *)
+let c_cg_converged = Obs.counter "place/cg_converged"
+let c_cg_max_iter = Obs.counter "place/cg_max_iter"
+let c_cg_breakdowns = Obs.counter "place/cg_breakdowns"
+
+let count_cg_status = function
+  | Linalg.Converged -> Obs.incr c_cg_converged
+  | Linalg.Max_iter -> Obs.incr c_cg_max_iter
+  | Linalg.Breakdown -> Obs.incr c_cg_breakdowns
+
 let quadratic_place ?(anchor_weight = 0.) ?anchors ?(cg_iters = 60)
     (p : Placement.t) =
   let nl = p.nl in
@@ -138,12 +150,14 @@ let quadratic_place ?(anchor_weight = 0.) ?anchors ?(cg_iters = 60)
     | None -> ());
     Obs.with_span "cg_solve" (fun () ->
         let iters = ref 0 in
+        let status = ref Linalg.Converged in
         let x =
           Linalg.conjugate_gradient ~max_iter:cg_iters ~tol:1e-6
-            ~iterations_out:iters matvec b init
+            ~iterations_out:iters ~status_out:status matvec b init
         in
         Obs.incr c_cg_solves;
         Obs.incr ~by:!iters c_cg_iters;
+        count_cg_status !status;
         x)
   in
   let ax, ay =

@@ -169,13 +169,34 @@ let run_batch t batch =
   let n = Array.length misses in
   if n > 0 then begin
     Obs.observe h_batch_size (float_of_int n);
+    (* the forward pass must not be able to kill the batcher thread: a
+       malformed payload (wrong channel count, bad shape) raising out
+       of here would leave every queued and future request waiting on
+       [cv] forever.  Fail the affected requests, keep the loop. *)
     let results =
-      Obs.with_span "serve/batch"
-        ~args:[ ("size", string_of_int n) ]
-        (fun () ->
-          Predictor.predict_batch ~numeric:t.cfg.numeric t.predictor
-            (Array.map (fun p -> (p.payload.P.f_bottom, p.payload.P.f_top)) misses))
+      try
+        Ok
+          (Obs.with_span "serve/batch"
+             ~args:[ ("size", string_of_int n) ]
+             (fun () ->
+               Predictor.predict_batch ~numeric:t.cfg.numeric t.predictor
+                 (Array.map
+                    (fun p -> (p.payload.P.f_bottom, p.payload.P.f_top))
+                    misses)))
+      with e -> Error (Printexc.to_string e)
     in
+    match results with
+    | Error msg ->
+        locked t (fun () ->
+            Array.iter
+              (fun p ->
+                List.iter
+                  (fun q ->
+                    resolve_pending q
+                      (P.Server_error ("predict failed: " ^ msg)))
+                  (Hashtbl.find by_key p.key))
+              misses)
+    | Ok results ->
     locked t (fun () ->
         t.stats.n_batches <- t.stats.n_batches + 1;
         if n > t.stats.max_batch_seen then t.stats.max_batch_seen <- n;

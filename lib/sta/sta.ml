@@ -310,11 +310,25 @@ let estimate_power cfg nl ~net_length ?(clock_wirelength = 0.)
           activity.(net.Nl.net_id) <- cfg.pi_activity
       | Nl.Io _ | Nl.Cell _ -> ())
     nl.Nl.nets;
+  (* Seed every source-driven net (FF / macro outputs) BEFORE the
+     propagation walk.  Sources sit at level 0 alongside combinational
+     cells, so assigning their outputs inside the level-order loop
+     would let a level-0 comb cell read a sibling source's output as 0.
+     or 0.20 depending on cell-array position — the result would leak
+     the netlist's array ordering.  With all sources (and PIs, above)
+     pre-seeded, comb→comb arcs strictly increase level and the walk
+     below is order-independent. *)
+  Array.iter
+    (fun c ->
+      let out = nl.Nl.cell_fanout.(c) in
+      if out >= 0 && (not nl.Nl.nets.(out).Nl.is_clock) && is_source c then
+        activity.(out) <- 0.20)
+    order;
   Array.iter
     (fun c ->
       let out = nl.Nl.cell_fanout.(c) in
       if out >= 0 && not nl.Nl.nets.(out).Nl.is_clock then
-        if is_source c then activity.(out) <- 0.20
+        if is_source c then ()
         else begin
           (* logic attenuates toggling *)
           let fanin = nl.Nl.cell_fanin.(c) in

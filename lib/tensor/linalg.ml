@@ -42,11 +42,31 @@ let solve_upper u b =
   done;
   Tensor.of_array1 x
 
+let solve_lower_transposed l b =
+  let n = Tensor.dim l 0 in
+  let x = Array.make n 0. in
+  for i = n - 1 downto 0 do
+    let s = ref (Tensor.get_flat b i) in
+    for k = i + 1 to n - 1 do
+      s := !s -. (Tensor.get2 l k i *. x.(k))
+    done;
+    x.(i) <- !s /. Tensor.get2 l i i
+  done;
+  Tensor.of_array1 x
+
 let cholesky_solve l b =
   let y = solve_lower l b in
-  solve_upper (Tensor.transpose2 l) y
+  solve_lower_transposed l y
 
-let conjugate_gradient ?(max_iter = 200) ?(tol = 1e-8) ?iterations_out matvec b x0 =
+type cg_status = Converged | Max_iter | Breakdown
+
+let string_of_cg_status = function
+  | Converged -> "converged"
+  | Max_iter -> "max_iter"
+  | Breakdown -> "breakdown"
+
+let conjugate_gradient ?(max_iter = 200) ?(tol = 1e-8) ?iterations_out
+    ?status_out matvec b x0 =
   let n = Array.length b in
   let x = Array.copy x0 in
   let ax = matvec x in
@@ -63,10 +83,11 @@ let conjugate_gradient ?(max_iter = 200) ?(tol = 1e-8) ?iterations_out matvec b 
   let target = tol *. Float.max bnorm 1e-30 in
   let rs = ref (dot r r) in
   let iter = ref 0 in
-  while !iter < max_iter && sqrt !rs > target do
+  let broke_down = ref false in
+  while (not !broke_down) && !iter < max_iter && sqrt !rs > target do
     let ap = matvec p in
     let denom = dot p ap in
-    if denom <= 0. then iter := max_iter (* lost positive-definiteness *)
+    if denom <= 0. then broke_down := true (* lost positive-definiteness *)
     else begin
       let alpha = !rs /. denom in
       for i = 0 to n - 1 do
@@ -82,5 +103,11 @@ let conjugate_gradient ?(max_iter = 200) ?(tol = 1e-8) ?iterations_out matvec b 
       incr iter
     end
   done;
+  let status =
+    if !broke_down then Breakdown
+    else if sqrt !rs <= target then Converged
+    else Max_iter
+  in
   (match iterations_out with Some r -> r := !iter | None -> ());
+  (match status_out with Some s -> s := status | None -> ());
   x

@@ -1,0 +1,100 @@
+(** Steady-state thermal analysis for the two-tier F2F stack.
+
+    HotSpot-style grid model in the spirit of TaiWei (PAPERS.md): the
+    activity-based power estimate ({!Dco3d_sta.Sta.estimate_power}) is
+    binned onto the congestion GCell grid per tier, and the steady-state
+    heat equation is solved on that grid with a 5-point lateral Laplacian
+    per tier, an inter-tier coupling term for the hybrid-bonded
+    face-to-face interface, and a heat-sink path from the bottom die.
+    The discrete system is a weighted graph Laplacian plus a positive
+    sink diagonal — symmetric positive definite — so it is solved
+    matrix-free with {!Dco3d_tensor.Linalg.conjugate_gradient}.  The
+    matvec is parallelized over grid rows on the domain pool; each
+    output element has exactly one writer, so the solve is bit-identical
+    at any [DCO3D_JOBS].
+
+    Physical picture (paper section V): the bottom die (tier 0) is
+    attached to the heat sink, the top die (tier 1) only cools through
+    the F2F interface, so top-die cells run hotter — which is what the
+    thermal penalty in the spreading loss exploits to pull hot cells
+    down a tier or apart laterally. *)
+
+type config = {
+  k_lateral : float;  (** lateral conductance between GCell neighbors, mW/K *)
+  k_vertical : float;  (** F2F inter-tier conductance per GCell, mW/K *)
+  h_sink : float;  (** bottom-die heat-sink conductance per GCell, mW/K *)
+  ambient_c : float;  (** ambient / heat-sink temperature, deg C *)
+  max_iter : int;  (** CG iteration budget *)
+  tol : float;  (** CG relative-residual tolerance *)
+}
+
+val default_config : config
+(** [k_lateral = 0.02], [k_vertical = 0.08], [h_sink = 0.05],
+    [ambient_c = 25.], [max_iter = 600], [tol = 1e-7]. *)
+
+type result = {
+  grid : Dco3d_tensor.Tensor.t;
+      (** temperatures, deg C, shape [\[2; ny; nx\]] (tier 0 = bottom) *)
+  peak_c : float;  (** hottest node, deg C *)
+  avg_c : float;  (** mean node temperature, deg C *)
+  cg_iters : int;  (** CG iterations spent *)
+  cg_status : Dco3d_tensor.Linalg.cg_status;
+      (** solver terminal status; {!Dco3d_tensor.Linalg.Breakdown} means
+          the discretization lost positive-definiteness (a config bug —
+          surfaced, never silently misreported as non-convergence) *)
+}
+
+val placement_power : Dco3d_place.Placement.t -> Dco3d_sta.Sta.power
+(** Pre-route power estimate from HPWL net lengths (the spreading
+    loop's view: no routed wirelength, no CTS clock tree). *)
+
+val cell_power :
+  Dco3d_place.Placement.t ->
+  power:Dco3d_sta.Sta.power ->
+  float array
+(** Per-cell power attribution, mW: internal + leakage + the switching
+    power of the net the cell drives (IO-driven nets split evenly over
+    their sink cells) + an equal flip-flop share of the clock power.
+    This is the vector {!power_density} bins; the spreading loss bins
+    it at the {e soft} cell positions instead. *)
+
+val power_density :
+  Dco3d_place.Placement.t ->
+  power:Dco3d_sta.Sta.power ->
+  nx:int ->
+  ny:int ->
+  Dco3d_tensor.Tensor.t
+(** Per-tier power map, mW per GCell, shape [\[2; ny; nx\]].  Each
+    cell contributes its internal + leakage power plus the switching
+    power of the net it drives, binned at the cell's location; nets
+    driven by IO pads split their switching power evenly over their
+    sink cells.  Clock power ([power.clock_mw]) is smeared over the
+    clock tree's sinks: distributed per tier proportionally to the
+    flip-flop population of each GCell (uniformly if the design has no
+    flip-flops). *)
+
+val solve :
+  ?config:config -> power_grid:Dco3d_tensor.Tensor.t -> unit -> result
+(** Solve steady state for a [\[2; ny; nx\]] power map (mW per GCell).
+    Deterministic at any [DCO3D_JOBS]. *)
+
+val solve_placement :
+  ?config:config ->
+  ?nx:int ->
+  ?ny:int ->
+  Dco3d_place.Placement.t ->
+  result
+(** One-call convenience for the placement loop: estimate power from
+    HPWL net lengths (pre-route, no CTS — clock power excluded), bin,
+    and solve.  Grid defaults to the floorplan's GCell grid. *)
+
+val solve_power :
+  ?config:config ->
+  nx:int ->
+  ny:int ->
+  Dco3d_place.Placement.t ->
+  Dco3d_sta.Sta.power ->
+  result
+(** [solve_power ~nx ~ny p power] bins an externally computed power
+    estimate (e.g. the signoff one with routed wirelength and CTS clock
+    power) and solves — the flow's Table-III path. *)

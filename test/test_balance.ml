@@ -34,7 +34,7 @@ let rm_rf path =
   in
   go path
 
-let rand_stack rng ny nx = T.rand_uniform rng ~lo:0. ~hi:4. [| 7; ny; nx |]
+let rand_stack rng ny nx = T.rand_uniform rng ~lo:0. ~hi:4. [| 8; ny; nx |]
 
 let check_bits what expected got =
   Alcotest.(check int)
@@ -299,7 +299,7 @@ let test_stop_latency () =
     let srv = Server.start (server_cfg ()) predictor in
     (* prove the server is actually accepting before timing the stop *)
     let c = Client.connect (Server.bound_addr srv) in
-    ignore (predict_ok "wake" c (T.zeros [| 7; 4; 4 |]) (T.zeros [| 7; 4; 4 |]));
+    ignore (predict_ok "wake" c (T.zeros [| 8; 4; 4 |]) (T.zeros [| 8; 4; 4 |]));
     Client.close c;
     let t0 = Unix.gettimeofday () in
     Server.stop srv;

@@ -100,9 +100,9 @@ let test_pin_rudy_counts_only_tier_pins () =
 let test_feature_stack_shape () =
   let p = placed "VGA" in
   let f0, f1 = Fm.both_dies p ~nx:16 ~ny:12 in
-  Alcotest.(check (array int)) "bottom shape" [| 7; 12; 16 |] (T.shape f0);
-  Alcotest.(check (array int)) "top shape" [| 7; 12; 16 |] (T.shape f1);
-  Alcotest.(check int) "channel names" 7 (Array.length Fm.channel_names)
+  Alcotest.(check (array int)) "bottom shape" [| 8; 12; 16 |] (T.shape f0);
+  Alcotest.(check (array int)) "top shape" [| 8; 12; 16 |] (T.shape f1);
+  Alcotest.(check int) "channel names" 8 (Array.length Fm.channel_names)
 
 let test_feature_channels_nonneg () =
   let p = placed "LDPC" in
@@ -131,7 +131,7 @@ let test_resize_stack () =
   let p = placed "DMA" in
   let f = Fm.per_die p ~tier:0 ~nx:12 ~ny:12 in
   let r = Fm.resize_stack f 8 8 in
-  Alcotest.(check (array int)) "resized" [| 7; 8; 8 |] (T.shape r);
+  Alcotest.(check (array int)) "resized" [| 8; 8; 8 |] (T.shape r);
   (* nearest-neighbour: no new values *)
   Alcotest.(check bool) "range preserved" true
     (T.max_elt r <= T.max_elt f +. 1e-12)

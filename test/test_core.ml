@@ -46,7 +46,7 @@ let test_dataset_shapes () =
   Alcotest.(check int) "sample count" 6 (Array.length d.Dataset.samples);
   Array.iter
     (fun s ->
-      Alcotest.(check (array int)) "features" [| 7; 16; 16 |]
+      Alcotest.(check (array int)) "features" [| 8; 16; 16 |]
         (T.shape s.Dataset.f_bottom);
       Alcotest.(check (array int)) "labels" [| 16; 16 |]
         (T.shape s.Dataset.c_top);
@@ -220,7 +220,7 @@ let tiny_pair () =
 
 let soft_loss p wmap xt yt zt =
   let x = V.param (T.copy xt) and y = V.param (T.copy yt) and z = V.param (T.copy zt) in
-  let f0, f1 = Sm.build ~placement:p ~x ~y ~z ~nx:4 ~ny:4 in
+  let f0, f1 = Sm.build ~placement:p ~x ~y ~z ~nx:4 ~ny:4 () in
   (V.add (V.dot f0 (V.const wmap)) (V.scale 2. (V.dot f1 (V.const wmap))), x, y, z)
 
 let test_soft_maps_match_hard_at_binary_z () =
@@ -232,7 +232,7 @@ let test_soft_maps_match_hard_at_binary_z () =
   let x = V.const (T.of_array1 p.Pl.x) in
   let y = V.const (T.of_array1 p.Pl.y) in
   let z = V.const (T.init [| n |] (fun i -> float_of_int p.Pl.tier.(i.(0)))) in
-  let f0, f1 = Sm.build ~placement:p ~x ~y ~z ~nx:16 ~ny:16 in
+  let f0, f1 = Sm.build ~placement:p ~x ~y ~z ~nx:16 ~ny:16 () in
   let h0, h1 = Dco3d_congestion.Feature_maps.both_dies p ~nx:16 ~ny:16 in
   List.iter
     (fun (soft, hard, die) ->
@@ -253,9 +253,11 @@ let test_soft_maps_exact_gradients () =
   let z0 = T.of_array1 [| 0.3; 0.7 |] in
   let rng = Rng.create 7 in
   (* the PinRUDY channels use a documented stop-gradient on the net
-     scale, so the exactness check covers the other five channels *)
+     scale, so the exactness check covers the other channels (the
+     thermal plane is a frozen constant — zeros here — so it cannot
+     perturb the check either way) *)
   let wmap =
-    T.init [| 7; 4; 4 |] (fun i ->
+    T.init [| 8; 4; 4 |] (fun i ->
         if i.(0) = 4 || i.(0) = 5 then 0. else Rng.gaussian rng)
   in
   let l, x, y, z = soft_loss p wmap x0 y0 z0 in
@@ -291,10 +293,10 @@ let test_soft_maps_descent_direction () =
   let x0 = T.init [| n |] (fun i -> p.Pl.x.(i.(0)) +. (0.011 *. Rng.uniform rng)) in
   let y0 = T.init [| n |] (fun i -> p.Pl.y.(i.(0)) +. (0.011 *. Rng.uniform rng)) in
   let z0 = T.init [| n |] (fun _ -> 0.2 +. (0.6 *. Rng.uniform rng)) in
-  let wmap = T.map (fun v -> abs_float v) (T.randn (Rng.create 13) [| 7; 16; 16 |]) in
+  let wmap = T.map (fun v -> abs_float v) (T.randn (Rng.create 13) [| 8; 16; 16 |]) in
   let build xt yt zt =
     let x = V.param (T.copy xt) and y = V.param (T.copy yt) and z = V.param (T.copy zt) in
-    let f0, f1 = Sm.build ~placement:p ~x ~y ~z ~nx:16 ~ny:16 in
+    let f0, f1 = Sm.build ~placement:p ~x ~y ~z ~nx:16 ~ny:16 () in
     (V.add (V.dot f0 (V.const wmap)) (V.dot f1 (V.const wmap)), x, y, z)
   in
   let l, x, y, z = build x0 y0 z0 in
@@ -325,14 +327,14 @@ let prop_soft_density_mass_conserved =
       let x = V.const (T.of_array1 p.Pl.x) in
       let y = V.const (T.of_array1 p.Pl.y) in
       let z = V.const (T.init [| n |] (fun _ -> Rng.uniform rng)) in
-      let f0, f1 = Sm.build ~placement:p ~x ~y ~z ~nx:16 ~ny:16 in
+      let f0, f1 = Sm.build ~placement:p ~x ~y ~z ~nx:16 ~ny:16 () in
       let mass f = T.sum (T.channel (V.data f) 0) in
       let total = mass f0 +. mass f1 in
       (* reference at z = tier *)
       let z_hard =
         V.const (T.init [| n |] (fun i -> float_of_int p.Pl.tier.(i.(0))))
       in
-      let g0, g1 = Sm.build ~placement:p ~x ~y ~z:z_hard ~nx:16 ~ny:16 in
+      let g0, g1 = Sm.build ~placement:p ~x ~y ~z:z_hard ~nx:16 ~ny:16 () in
       let total_ref = mass g0 +. mass g1 in
       abs_float (total -. total_ref) < 1e-6 *. Float.max 1. total_ref)
 
@@ -347,7 +349,7 @@ let prop_soft_rudy3d_symmetric =
       let x = V.const (T.of_array1 p.Pl.x) in
       let y = V.const (T.of_array1 p.Pl.y) in
       let z = V.const (T.init [| n |] (fun _ -> Rng.uniform rng)) in
-      let f0, f1 = Sm.build ~placement:p ~x ~y ~z ~nx:16 ~ny:16 in
+      let f0, f1 = Sm.build ~placement:p ~x ~y ~z ~nx:16 ~ny:16 () in
       T.approx_equal ~eps:1e-9
         (T.channel (V.data f0) 3)
         (T.channel (V.data f1) 3))
@@ -411,7 +413,7 @@ let test_cutsize_gradient_reduces_cut () =
     (T.get_flat g 0 *. T.get_flat g 1 < 0.)
 
 let test_overlap_loss_detects_overfill () =
-  let mk v = V.const (T.full [| 7; 4; 4 |] v) in
+  let mk v = V.const (T.full [| 8; 4; 4 |] v) in
   let low = Losses.overlap ~target:0.8 (mk 0.5) (mk 0.5) in
   let high = Losses.overlap ~target:0.8 (mk 1.2) (mk 1.2) in
   Alcotest.(check (float 1e-9)) "under target" 0. (T.get_flat (V.data low) 0);
@@ -524,12 +526,66 @@ let test_dco_optimize_smoke () =
   Alcotest.(check bool) "stats recorded" true
     (Array.length report.Dco.stats >= 1 && Array.length report.Dco.stats <= 8)
 
+(* epsilon > 0 threads the steady-state solver through every iteration:
+   the rise becomes the UNet's 8th channel and the frozen-field penalty
+   joins the objective.  Smoke: it must run and come back legal. *)
+let test_dco_optimize_thermal_coupling () =
+  let _, _, base, _ = Lazy.force env in
+  let predictor, _ = Lazy.force trained in
+  let config =
+    { Dco.default_config with Dco.iterations = 2; seed = 4; epsilon = 0.15 }
+  in
+  let p', report = Dco.optimize ~config ~predictor base in
+  (match Placer.legal_check p' with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "stats recorded" true
+    (Array.length report.Dco.stats >= 1)
+
 let test_dco_deterministic () =
   let _, _, base, _ = Lazy.force env in
   let predictor, _ = Lazy.force trained in
   let config = { Dco.default_config with Dco.iterations = 3; seed = 4 } in
   let a, _ = Dco.optimize ~config ~predictor base in
   let b, _ = Dco.optimize ~config ~predictor base in
+  Alcotest.(check bool) "same result" true
+    (a.Pl.x = b.Pl.x && a.Pl.tier = b.Pl.tier)
+
+(* Alternating minimization on the penalty alone must actually cool a
+   hotspot: compress the placement toward the die center (unlegalized —
+   legalization is a density flattener that would erase the hotspot),
+   run [Dco.cool], and check both the penalty and the measured peak
+   rise went down on the legalized result. *)
+let test_dco_cool_reduces_peak () =
+  let nl, fp, base, _ = Lazy.force env in
+  let hot = Pl.copy base in
+  let cx = fp.Fp.width /. 2. and cy = fp.Fp.height /. 2. in
+  for c = 0 to Nl.n_cells nl - 1 do
+    if not (Nl.is_macro nl c) then begin
+      hot.Pl.x.(c) <- cx +. (0.35 *. (hot.Pl.x.(c) -. cx));
+      hot.Pl.y.(c) <- cy +. (0.35 *. (hot.Pl.y.(c) -. cy))
+    end
+  done;
+  let cold, report = Dco.cool ~iterations:40 hot in
+  (match Placer.legal_check cold with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool)
+    (Printf.sprintf "penalty %.4g -> %.4g" report.Dco.loss_start
+       report.Dco.loss_end)
+    true
+    (report.Dco.loss_end < report.Dco.loss_start);
+  let module Th = Dco3d_thermal.Thermal in
+  let peak p = (Th.solve_placement ~nx:8 ~ny:8 p).Th.peak_c in
+  let hot_peak = peak hot and cold_peak = peak cold in
+  Alcotest.(check bool)
+    (Printf.sprintf "peak %.4f -> %.4f C" hot_peak cold_peak)
+    true (cold_peak < hot_peak)
+
+let test_dco_cool_deterministic () =
+  let _, _, base, _ = Lazy.force env in
+  let a, _ = Dco.cool ~iterations:5 base in
+  let b, _ = Dco.cool ~iterations:5 base in
   Alcotest.(check bool) "same result" true
     (a.Pl.x = b.Pl.x && a.Pl.tier = b.Pl.tier)
 
@@ -543,7 +599,7 @@ let test_normalize_features_gradcheck () =
   Alcotest.(check bool) "normalize gradient" true
     (V.gradient_check
        (fun v -> V.sum (V.sqr (Dco.normalize_features v)))
-       (T.randn (Rng.create 22) [| 7; 3; 3 |]))
+       (T.randn (Rng.create 22) [| 8; 3; 3 |]))
 
 (* ------------------------------------------------------------------ *)
 (* TCL export                                                          *)
@@ -623,7 +679,11 @@ let suites =
     ( "core.dco",
       [
         Alcotest.test_case "optimize smoke" `Slow test_dco_optimize_smoke;
+        Alcotest.test_case "thermal coupling smoke" `Slow
+          test_dco_optimize_thermal_coupling;
         Alcotest.test_case "deterministic" `Slow test_dco_deterministic;
+        Alcotest.test_case "cool reduces peak" `Quick test_dco_cool_reduces_peak;
+        Alcotest.test_case "cool deterministic" `Quick test_dco_cool_deterministic;
         Alcotest.test_case "resize gradcheck" `Quick test_resize_value_gradcheck;
         Alcotest.test_case "normalize gradcheck" `Quick test_normalize_features_gradcheck;
       ] );

@@ -93,7 +93,7 @@ let test_lru_clear_and_churn () =
 (* ------------------------------------------------------------------ *)
 
 let rand_stack rng ny nx =
-  T.rand_uniform rng ~lo:0. ~hi:4. [| 7; ny; nx |]
+  T.rand_uniform rng ~lo:0. ~hi:4. [| 8; ny; nx |]
 
 let test_protocol_roundtrip () =
   let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -302,7 +302,7 @@ let test_load_rejects_incoherent_pair () =
             (contains ~affix:"divisible" msg))
 
 let test_load_rejects_wrong_channels () =
-  (* Weights for a 5-channel network can never serve the 7-channel
+  (* Weights for a 5-channel network can never serve the 8-channel
      feature pipeline, even though they Marshal-decode fine. *)
   let path = tmp_name ".bin" in
   let cfg = { SiaUNet.default_config with SiaUNet.in_channels = 5 } in
@@ -525,6 +525,28 @@ let test_e2e_survives_rude_clients () =
   | Client.Ok _ -> ()
   | _ -> Alcotest.fail "daemon should keep serving after rude clients"
 
+(* A payload the predictor cannot evaluate (wrong channel count) must
+   fail that request with a server error — and must NOT kill the
+   batcher: the next well-formed predict on the same daemon succeeds.
+   (Regression: an exception escaping [predict_batch] terminated the
+   batcher thread, wedging every subsequent client forever.) *)
+let test_bad_payload_does_not_kill_batcher () =
+  let rng = Rng.create 83 in
+  let predictor = mk_predictor 83 in
+  with_server predictor @@ fun srv ->
+  let c = Client.connect (Server.bound_addr srv) in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let bad = T.zeros [| 7; 6; 6 |] in
+  (match try `R (Client.predict c bad bad) with Client.Error m -> `E m with
+  | `E msg ->
+      Alcotest.(check bool) "names the failure" true
+        (contains ~affix:"predict failed" msg)
+  | `R _ -> Alcotest.fail "7-channel payload must not predict");
+  let fb = rand_stack rng 6 6 and ft = rand_stack rng 6 6 in
+  match Client.predict c fb ft with
+  | Client.Ok _ -> ()
+  | _ -> Alcotest.fail "batcher must survive a malformed payload"
+
 let test_e2e_flow_job () =
   let predictor = mk_predictor 71 in
   with_server predictor @@ fun srv ->
@@ -648,13 +670,20 @@ let test_e2e_quantized_serving () =
       let eb, et = Predictor.predict ~numeric:`I8 predictor fb ft in
       check_bits "quantized bottom" eb c_bottom;
       check_bits "quantized top" et c_top;
-      let fb32, _ = Predictor.predict ~numeric:`F32 predictor fb ft in
+      let fb32, ft32 = Predictor.predict ~numeric:`F32 predictor fb ft in
+      (* Either die's map may saturate to the clamp floor on a given
+         fixture; the numeric paths must diverge somewhere across the
+         pair. *)
       let differs = ref false in
-      Array.iteri
-        (fun i v ->
-          if Int64.bits_of_float v <> Int64.bits_of_float c_bottom.T.data.(i)
-          then differs := true)
-        fb32.T.data;
+      let scan f32 i8 =
+        Array.iteri
+          (fun i v ->
+            if Int64.bits_of_float v <> Int64.bits_of_float i8.T.data.(i)
+            then differs := true)
+          f32.T.data
+      in
+      scan fb32 c_bottom;
+      scan ft32 c_top;
       Alcotest.(check bool) "i8 reply is not the f32 reply" true !differs
   | _ -> Alcotest.fail "quantized predict not served"
 
@@ -789,6 +818,8 @@ let suites =
         Alcotest.test_case "deadline timeout" `Quick test_e2e_deadline_timeout;
         Alcotest.test_case "survives rude clients" `Quick
           test_e2e_survives_rude_clients;
+        Alcotest.test_case "bad payload fails, batcher survives" `Quick
+          test_bad_payload_does_not_kill_batcher;
         Alcotest.test_case "flow job lifecycle" `Quick test_e2e_flow_job;
         Alcotest.test_case "drain on stop" `Quick test_e2e_drain_on_stop;
         Alcotest.test_case "numeric-distinct fingerprints" `Quick

@@ -156,6 +156,73 @@ let test_node_features_shape_and_scale () =
     (T.get2 f c0 6)
 
 (* ------------------------------------------------------------------ *)
+(* Activity propagation vs cell ordering                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Two structurally identical netlists — FF -> INV -> output — that
+   differ only in cell-array order.  Both the FF (a source) and the INV
+   sit at levelization level 0, so before the source-pre-seeding fix
+   the INV could read its fan-in activity as 0.0 or 0.20 depending on
+   which cell the walk visited first: the power model leaked the
+   netlist's array ordering. *)
+let ff_inv_netlist ~ff_first =
+  let module Cl = Dco3d_netlist.Cell_lib in
+  let dff = Cl.master_of Cl.Dff ~drive:1 in
+  let inv = Cl.master_of Cl.Inv ~drive:1 in
+  let ff = if ff_first then 0 else 1 in
+  let iv = if ff_first then 1 else 0 in
+  let masters = Array.make 2 dff in
+  masters.(iv) <- inv;
+  let net id name driver sinks =
+    { Nl.net_id = id; net_name = name; driver; sinks; is_clock = false }
+  in
+  let nets =
+    [|
+      net 0 "in" (Nl.Io 0) [| Nl.Cell ff |];
+      net 1 "q" (Nl.Cell ff) [| Nl.Cell iv |];
+      net 2 "y" (Nl.Cell iv) [| Nl.Io 1 |];
+    |]
+  in
+  let cell_fanin = Array.make 2 [||] in
+  cell_fanin.(ff) <- [| 0 |];
+  cell_fanin.(iv) <- [| 1 |];
+  let cell_fanout = Array.make 2 (-1) in
+  cell_fanout.(ff) <- 1;
+  cell_fanout.(iv) <- 2;
+  {
+    Nl.design = (if ff_first then "ff_first" else "inv_first");
+    masters;
+    nets;
+    ios =
+      [|
+        { Nl.io_id = 0; io_name = "in"; dir = Nl.In };
+        { Nl.io_id = 1; io_name = "out"; dir = Nl.Out };
+      |];
+    cell_fanin;
+    cell_fanout;
+  }
+
+let test_activity_order_independent () =
+  let cfg = Sta.default_config ~clock_period_ps:1000. in
+  let net_length = [| 1.; 1.; 1. |] in
+  let run ~ff_first =
+    let nl = ff_inv_netlist ~ff_first in
+    (match Nl.validate nl with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "bad fixture: %s" e);
+    Sta.estimate_power cfg nl ~net_length ()
+  in
+  let a = run ~ff_first:true and b = run ~ff_first:false in
+  (* the INV's output activity is 0.85 x its FF fan-in's 0.20, in both
+     orderings — before the fix the inv-first variant read 0. *)
+  Alcotest.(check (float 1e-12)) "ff-first inv activity" (0.85 *. 0.20)
+    a.Sta.activity.(2);
+  Alcotest.(check (float 1e-12)) "inv-first inv activity" (0.85 *. 0.20)
+    b.Sta.activity.(2);
+  Alcotest.(check (float 1e-12)) "total power order-independent"
+    a.Sta.total_mw b.Sta.total_mw
+
+(* ------------------------------------------------------------------ *)
 (* CTS                                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -210,6 +277,8 @@ let suites =
         Alcotest.test_case "components positive" `Quick test_power_components_positive;
         Alcotest.test_case "wirelength coupling" `Quick test_power_grows_with_wirelength;
         Alcotest.test_case "activity bounded" `Quick test_activity_bounded;
+        Alcotest.test_case "activity ordering (shuffled netlist)" `Quick
+          test_activity_order_independent;
       ] );
     ( "sta.features",
       [ Alcotest.test_case "Table-II features" `Quick test_node_features_shape_and_scale ] );

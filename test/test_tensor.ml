@@ -474,6 +474,83 @@ let prop_cg_solves_spd =
       done;
       !ok)
 
+let test_solve_lower_transposed () =
+  let a = spd_of_seed 21 6 in
+  let l = Linalg.cholesky a in
+  let rng = Rng.create 22 in
+  let b = T.randn rng [| 6 |] in
+  let x_fast = Linalg.solve_lower_transposed l b in
+  let x_ref = Linalg.solve_upper (T.transpose2 l) b in
+  Alcotest.(check bool)
+    "matches transpose2 + solve_upper" true
+    (T.approx_equal ~eps:1e-12 x_ref x_fast)
+
+let test_cg_breakdown_reported () =
+  (* indefinite diag(1, -1) with b = (1, 1): the very first search
+     direction has p.Ap = 0, so the solver must report Breakdown after
+     0 iterations — NOT Max_iter (the bug this pins down: breakdown
+     used to be folded into iter := max_iter) *)
+  let matvec (v : float array) = [| v.(0); -.v.(1) |] in
+  let iters = ref (-1) in
+  let status = ref Linalg.Converged in
+  let _ =
+    Linalg.conjugate_gradient ~max_iter:50 ~tol:1e-12 ~iterations_out:iters
+      ~status_out:status matvec [| 1.; 1. |] [| 0.; 0. |]
+  in
+  Alcotest.(check bool)
+    "status is Breakdown" true
+    (!status = Linalg.Breakdown);
+  Alcotest.(check bool)
+    "breakdown is not Max_iter" true
+    (!status <> Linalg.Max_iter);
+  Alcotest.(check int) "real iteration count, not max_iter" 0 !iters;
+  Alcotest.(check string) "printable" "breakdown"
+    (Linalg.string_of_cg_status !status)
+
+let test_cg_max_iter_reported () =
+  let n = 8 in
+  let a = spd_of_seed 31 n in
+  let rng = Rng.create 32 in
+  let x_true = T.randn rng [| n |] in
+  let b = T.matvec a x_true in
+  let matvec v =
+    let t = T.matvec a (T.of_array1 v) in
+    Array.init n (T.get_flat t)
+  in
+  let iters = ref (-1) in
+  let status = ref Linalg.Breakdown in
+  let _ =
+    Linalg.conjugate_gradient ~max_iter:2 ~tol:1e-14 ~iterations_out:iters
+      ~status_out:status matvec
+      (Array.init n (T.get_flat b))
+      (Array.make n 0.)
+  in
+  Alcotest.(check bool) "status is Max_iter" true (!status = Linalg.Max_iter);
+  Alcotest.(check int) "spent the whole budget" 2 !iters
+
+let prop_cg_status_consistent =
+  QCheck.Test.make ~name:"CG status matches iterations_out" ~count:25
+    (QCheck.int_bound 10_000) (fun seed ->
+      let n = 4 + (seed mod 12) in
+      let a = spd_of_seed seed n in
+      let rng = Rng.create (seed + 1) in
+      let x_true = T.randn rng [| n |] in
+      let b = T.matvec a x_true in
+      let matvec v =
+        let t = T.matvec a (T.of_array1 v) in
+        Array.init n (T.get_flat t)
+      in
+      let iters = ref (-1) in
+      let status = ref Linalg.Breakdown in
+      let _ =
+        Linalg.conjugate_gradient ~max_iter:500 ~tol:1e-12
+          ~iterations_out:iters ~status_out:status matvec
+          (Array.init n (T.get_flat b))
+          (Array.make n 0.)
+      in
+      (* a well-conditioned SPD system must converge, within budget *)
+      !status = Linalg.Converged && !iters >= 0 && !iters < 500)
+
 let qtest = QCheck_alcotest.to_alcotest
 
 let suites =
@@ -535,6 +612,13 @@ let suites =
         Alcotest.test_case "cholesky reconstructs" `Quick test_cholesky_reconstruct;
         Alcotest.test_case "cholesky solve" `Quick test_cholesky_solve;
         Alcotest.test_case "cholesky rejects indefinite" `Quick test_cholesky_rejects_indefinite;
+        Alcotest.test_case "transposed back-substitution" `Quick
+          test_solve_lower_transposed;
+        Alcotest.test_case "CG breakdown reported" `Quick
+          test_cg_breakdown_reported;
+        Alcotest.test_case "CG max_iter reported" `Quick
+          test_cg_max_iter_reported;
         qtest prop_cg_solves_spd;
+        qtest prop_cg_status_consistent;
       ] );
   ]

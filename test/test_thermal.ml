@@ -1,0 +1,165 @@
+(* Tests for the steady-state thermal solver (lib/thermal) and the
+   differentiable thermal penalty it feeds. *)
+
+module T = Dco3d_tensor.Tensor
+module Linalg = Dco3d_tensor.Linalg
+module V = Dco3d_autodiff.Value
+module Rng = Dco3d_tensor.Rng
+module Nl = Dco3d_netlist.Netlist
+module Gen = Dco3d_netlist.Generator
+module Fp = Dco3d_place.Floorplan
+module Pl = Dco3d_place.Placement
+module Placer = Dco3d_place.Placer
+module Pool = Dco3d_parallel.Pool
+module Losses = Dco3d_core.Losses
+module Thermal = Dco3d_thermal.Thermal
+
+let with_jobs n f =
+  Pool.set_jobs ~exact:true n;
+  Fun.protect ~finally:(fun () -> Pool.set_jobs 1) f
+
+let placed = lazy (
+  let nl = Gen.generate ~scale:0.02 ~seed:5 (Gen.profile "DMA") in
+  let fp = Fp.create nl in
+  Placer.global_place ~seed:1 ~params:Dco3d_place.Params.default nl fp)
+
+(* ------------------------------------------------------------------ *)
+(* Power binning                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_power_density_conserves_power () =
+  let p = Lazy.force placed in
+  let power = Thermal.placement_power p in
+  let per_cell = Thermal.cell_power p ~power in
+  let grid = Thermal.power_density p ~power ~nx:12 ~ny:10 in
+  Alcotest.(check (array int)) "shape" [| 2; 10; 12 |] (T.shape grid);
+  let cell_total = Array.fold_left ( +. ) 0. per_cell in
+  Alcotest.(check bool) "some power" true (cell_total > 0.);
+  (* binning moves power around, it must not create or destroy any *)
+  Alcotest.(check (float 1e-9)) "grid total = cell total" cell_total
+    (T.sum grid);
+  Alcotest.(check bool) "non-negative everywhere" true (T.min_elt grid >= 0.)
+
+(* ------------------------------------------------------------------ *)
+(* Steady-state solve                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_solve_sanity () =
+  let p = Lazy.force placed in
+  let r = Thermal.solve_placement ~nx:12 ~ny:10 p in
+  let amb = Thermal.default_config.Thermal.ambient_c in
+  (match r.Thermal.cg_status with
+  | Linalg.Converged -> ()
+  | s -> Alcotest.failf "solve did not converge: %s" (Linalg.string_of_cg_status s));
+  Alcotest.(check bool) "iters spent" true (r.Thermal.cg_iters > 0);
+  Alcotest.(check bool) "peak >= avg" true (r.Thermal.peak_c >= r.Thermal.avg_c);
+  Alcotest.(check bool) "avg above ambient" true (r.Thermal.avg_c > amb);
+  Alcotest.(check bool) "all nodes above ambient" true
+    (T.min_elt r.Thermal.grid >= amb)
+
+let test_top_tier_runs_hotter () =
+  (* identical power on both tiers: only tier 0 touches the heat sink,
+     so the top die must come out strictly hotter on average *)
+  let power_grid = T.full [| 2; 8; 8 |] 0.5 in
+  let r = Thermal.solve ~power_grid () in
+  let tier_avg t =
+    let acc = ref 0. in
+    for y = 0 to 7 do
+      for x = 0 to 7 do
+        acc := !acc +. T.get3 r.Thermal.grid t y x
+      done
+    done;
+    !acc /. 64.
+  in
+  Alcotest.(check bool) "top hotter than bottom" true
+    (tier_avg 1 > tier_avg 0 +. 1e-6)
+
+let test_zero_power_is_ambient () =
+  let r = Thermal.solve ~power_grid:(T.zeros [| 2; 6; 7 |]) () in
+  let amb = Thermal.default_config.Thermal.ambient_c in
+  Alcotest.(check (float 1e-9)) "peak ambient" amb r.Thermal.peak_c;
+  Alcotest.(check (float 1e-9)) "avg ambient" amb r.Thermal.avg_c
+
+let test_solve_jobs_bit_identical () =
+  (* the row-parallel matvec has one writer per element: the whole CG
+     trajectory, and therefore the map, must be bit-identical at any
+     DCO3D_JOBS *)
+  let p = Lazy.force placed in
+  let solve () = Thermal.solve_placement ~nx:16 ~ny:16 p in
+  let a = with_jobs 1 solve and b = with_jobs 4 solve in
+  Alcotest.(check int) "same iters" a.Thermal.cg_iters b.Thermal.cg_iters;
+  let ga = a.Thermal.grid and gb = b.Thermal.grid in
+  Alcotest.(check int) "same size" (T.numel ga) (T.numel gb);
+  for i = 0 to T.numel ga - 1 do
+    if not (Float.equal (T.get_flat ga i) (T.get_flat gb i)) then
+      Alcotest.failf "node %d differs: %.17g vs %.17g" i (T.get_flat ga i)
+        (T.get_flat gb i)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Thermal penalty gradients                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_penalty_gradients_match_fd () =
+  (* frozen field, soft positions: the penalty's hand-rolled bilinear
+     gradients must match central differences *)
+  let nl = Gen.generate ~scale:0.01 ~seed:9 (Gen.profile "DMA") in
+  let fp = { Fp.width = 8.; height = 8.; gcell_nx = 4; gcell_ny = 4; n_rows = 8 } in
+  let p = Pl.create nl fp in
+  let n = Nl.n_cells nl in
+  let rng = Rng.create 11 in
+  let grid =
+    T.map (fun v -> 5. *. abs_float v) (T.randn (Rng.create 3) [| 2; 4; 4 |])
+  in
+  let cell_mw = Array.init n (fun _ -> 0.1 +. Rng.uniform rng) in
+  let x0 = T.init [| n |] (fun _ -> 0.5 +. (7. *. Rng.uniform rng)) in
+  let y0 = T.init [| n |] (fun _ -> 0.5 +. (7. *. Rng.uniform rng)) in
+  let z0 = T.init [| n |] (fun _ -> 0.2 +. (0.6 *. Rng.uniform rng)) in
+  let loss xt yt zt =
+    let x = V.param (T.copy xt)
+    and y = V.param (T.copy yt)
+    and z = V.param (T.copy zt) in
+    (Losses.thermal ~grid ~cell_mw ~placement:p ~nx:4 ~ny:4 ~x ~y ~z, x, y, z)
+  in
+  let l, x, y, z = loss x0 y0 z0 in
+  Alcotest.(check bool) "positive on a hot field" true
+    (T.get_flat (V.data l) 0 > 0.);
+  V.backward l;
+  let eps = 1e-6 in
+  let fd base rebuild i =
+    let tp = T.copy base and tm = T.copy base in
+    T.set_flat tp i (T.get_flat base i +. eps);
+    T.set_flat tm i (T.get_flat base i -. eps);
+    let lp, _, _, _ = rebuild tp and lm, _, _, _ = rebuild tm in
+    (T.get_flat (V.data lp) 0 -. T.get_flat (V.data lm) 0) /. (2. *. eps)
+  in
+  for c = 0 to min 5 (n - 1) do
+    Alcotest.(check (float 1e-4)) "d/dx"
+      (fd x0 (fun t -> loss t y0 z0) c)
+      (T.get_flat (V.grad x) c);
+    Alcotest.(check (float 1e-4)) "d/dy"
+      (fd y0 (fun t -> loss x0 t z0) c)
+      (T.get_flat (V.grad y) c);
+    Alcotest.(check (float 1e-4)) "d/dz"
+      (fd z0 (fun t -> loss x0 y0 t) c)
+      (T.get_flat (V.grad z) c)
+  done
+
+let suites =
+  [
+    ( "thermal.power",
+      [ Alcotest.test_case "density conserves power" `Quick
+          test_power_density_conserves_power ] );
+    ( "thermal.solve",
+      [
+        Alcotest.test_case "sanity" `Quick test_solve_sanity;
+        Alcotest.test_case "top tier hotter" `Quick test_top_tier_runs_hotter;
+        Alcotest.test_case "zero power is ambient" `Quick
+          test_zero_power_is_ambient;
+        Alcotest.test_case "jobs 1 = jobs 4 bit-identical" `Quick
+          test_solve_jobs_bit_identical;
+      ] );
+    ( "thermal.penalty",
+      [ Alcotest.test_case "gradients match FD" `Quick
+          test_penalty_gradients_match_fd ] );
+  ]
