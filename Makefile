@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples clean bench-deterministic bench-check serve-smoke quantize-smoke balance-smoke thermal-smoke
+.PHONY: all build test bench examples clean bench-deterministic bench-check serve-smoke quantize-smoke balance-smoke thermal-smoke warm-smoke
 
 # Parallel jobs used for the determinism check's "parallel" leg.
 JOBS ?= 4
@@ -162,6 +162,25 @@ thermal-smoke:
 	DCO3D_JOBS=1 dune exec --no-build bin/dco3d.exe -- thermal --check
 	DCO3D_JOBS=$(JOBS) dune exec --no-build bin/dco3d.exe -- thermal --check
 	@echo "thermal-smoke: OK"
+
+# Incremental-routing smoke: `dco3d route --warm-check` perturbs the
+# DMA placement, re-routes it cold and warm-started, and fails unless
+# the warm start reused paths (route/warm/reused > 0), won >= 2x wall
+# clock, and matched the cold route's overflow/wirelength within 5%.
+# Run at DCO3D_JOBS=1 and $(JOBS); the warm result digest printed by
+# the gate must be identical across the two legs.
+warm-smoke:
+	dune build bin/dco3d.exe
+	mkdir -p $(LOGS)
+	DCO3D_JOBS=1 dune exec --no-build bin/dco3d.exe -- route --warm-check \
+	  | tee $(LOGS)/warm-smoke.jobs1.log
+	DCO3D_JOBS=$(JOBS) dune exec --no-build bin/dco3d.exe -- route --warm-check \
+	  | tee $(LOGS)/warm-smoke.jobsN.log
+	@D1=$$(grep "warm digest" $(LOGS)/warm-smoke.jobs1.log); \
+	DN=$$(grep "warm digest" $(LOGS)/warm-smoke.jobsN.log); \
+	[ -n "$$D1" ] && [ "$$D1" = "$$DN" ] || \
+	  { echo "warm-smoke: FAILED (digest differs between DCO3D_JOBS=1 and $(JOBS))"; exit 1; }
+	@echo "warm-smoke: OK"
 
 examples:
 	dune exec examples/quickstart.exe

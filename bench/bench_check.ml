@@ -26,7 +26,10 @@
                          serve_fleet's is 2-shard over 1-shard wall
                          time, with a >= 1.5x scaling contract on
                          multi-core hosts (the fresh file's "cores"
-                         header says what the bench machine had).
+                         header says what the bench machine had);
+                         route_warm's is cold re-route over warm-start
+                         time on a perturbed placement, with a >= 2x
+                         incremental-routing contract.
                          Floors are gated with the same noise
                          tolerance: speedup < floor * (1 - tol) fails.
 
@@ -191,6 +194,11 @@ let () =
       let floor =
         match r.op with
         | "predict_i8" -> 2.0
+        (* warm-started incremental re-route promises >= 2x over a cold
+           re-route of the same perturbed placement; the ratio compares
+           two routing runs on the same schedule, so it holds at any
+           core count *)
+        | "route_warm" -> 2.0
         (* the sharded fleet promises >= 1.5x throughput at 2 shards,
            but only where a second core exists to scale onto; on a
            single-core host both legs time-slice one CPU and the bench

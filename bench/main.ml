@@ -555,16 +555,24 @@ let digest_tensors ts =
     ts;
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
+(* Median-of-N timing.  These numbers feed bench_check's par_ms drift
+   cap against the committed baseline, and on a loaded CI host the
+   best-of-N minimum still jitters enough to trip a 15% cap — the
+   median of three discards a whole outlier leg instead.  With fewer
+   than three reps this degrades to the minimum. *)
 let time_best reps f =
-  let best = ref infinity and result = ref None in
-  for _ = 1 to reps do
+  let reps = max 1 reps in
+  let samples = Array.make reps infinity in
+  let result = ref None in
+  for i = 0 to reps - 1 do
     let t0 = Unix.gettimeofday () in
     let r = f () in
-    let dt = Unix.gettimeofday () -. t0 in
-    if dt < !best then best := dt;
+    samples.(i) <- Unix.gettimeofday () -. t0;
     if !result = None then result := Some r
   done;
-  (!best, Option.get !result)
+  Array.sort compare samples;
+  let t = if reps >= 3 then samples.(reps / 2) else samples.(0) in
+  (t, Option.get !result)
 
 type kernel_row = {
   k_name : string;
@@ -647,7 +655,7 @@ let kernels () =
       ( "dataset_build",
         Printf.sprintf "%s, 4 layouts" e.name,
         None,
-        1,
+        3,
         fun () ->
           let d =
             Dataset.build ~n_samples:4 ~seed:11 ~route_cfg:e.ctx.Flow.route_cfg
@@ -771,6 +779,53 @@ let route_bench () =
        mismatch)";
     exit 1
   end;
+  (* Incremental re-route after an ECO-sized perturbation (2% of cells
+     nudged sub-GCell distances).  The row's headline ratio is cold
+     re-route time over warm-start time on the same schedule,
+     floor-gated at >= 2x by bench_check; the congestion-parity
+     contract (warm overflow/wirelength within 5% of the cold route)
+     and jobs-invariance of the warm digest are asserted right here. *)
+  let perturbed = P.Placer.perturb ~seed:1 ~fraction:0.02 p in
+  Pool.set_jobs 1;
+  let _, warm_seq_r =
+    time_best reps (fun () -> Router.route ~config:cfg ~warm_start:(seq_r, p) perturbed)
+  in
+  Pool.set_jobs target_jobs;
+  let cold_t, cold_r =
+    time_best reps (fun () -> Router.route ~config:cfg perturbed)
+  in
+  let warm_t, warm_r =
+    time_best reps (fun () -> Router.route ~config:cfg ~warm_start:(seq_r, p) perturbed)
+  in
+  let dwseq = Router.digest warm_seq_r and dwpar = Router.digest warm_r in
+  let warm_jobs_ok = String.equal dwseq dwpar in
+  let ovf_ok =
+    float_of_int warm_r.Router.overflow_total
+    <= 1.05 *. Float.max 1. (float_of_int cold_r.Router.overflow_total)
+  in
+  let wl_dev =
+    abs_float (warm_r.Router.wirelength -. cold_r.Router.wirelength)
+    /. Float.max 1. cold_r.Router.wirelength
+  in
+  let warm_ok = warm_jobs_ok && ovf_ok && wl_dev <= 0.05 in
+  Printf.printf "  %-24s %-28s %9.2f %9.2f %7.2fx %s\n%!" "route_warm" size
+    (cold_t *. 1e3) (warm_t *. 1e3) (cold_t /. warm_t)
+    (if warm_ok then "ok" else "MISMATCH");
+  Printf.printf
+    "    warm: overflow %d vs cold %d, WL dev %.2f%%, %d repair passes\n"
+    warm_r.Router.overflow_total cold_r.Router.overflow_total (100. *. wl_dev)
+    warm_r.Router.iterations_run;
+  if not warm_jobs_ok then begin
+    prerr_endline
+      "route_warm: warm-start digest differs between DCO3D_JOBS=1 and N";
+    exit 1
+  end;
+  if not warm_ok then begin
+    prerr_endline
+      "route_warm: warm start broke congestion parity (overflow or \
+       wirelength more than 5% off the cold route)";
+    exit 1
+  end;
   [
     {
       k_name = "route";
@@ -780,6 +835,18 @@ let route_bench () =
       k_par_ms = par_t *. 1e3;
       k_digest = dseq;
       k_ok = ok;
+    };
+    {
+      k_name = "route_warm";
+      k_size = size;
+      k_flops = None;
+      (* seq_ms = cold re-route of the perturbed placement, par_ms =
+         warm-started re-route: the row's speedup is the incremental
+         payoff, floor-gated at >= 2x by bench_check *)
+      k_seq_ms = cold_t *. 1e3;
+      k_par_ms = warm_t *. 1e3;
+      k_digest = dwpar;
+      k_ok = warm_ok;
     };
   ]
 

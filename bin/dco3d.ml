@@ -11,6 +11,7 @@ module Gen = Dco3d_netlist.Generator
 module Nio = Dco3d_netlist.Netlist_io
 module P = Dco3d_place
 module Router = Dco3d_route.Router
+module Route_cache = Dco3d_route.Route_cache
 module Flow = Dco3d_flow.Flow
 module Thermal = Dco3d_thermal.Thermal
 module Dataset = Dco3d_core.Dataset
@@ -90,6 +91,16 @@ let gcell_t =
 let netlist_of design scale seed =
   Gen.generate ~scale ~seed (Gen.profile design)
 
+let route_cache_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "route-cache" ] ~docv:"DIR"
+        ~doc:
+          "Content-addressed route cache: routing results are persisted            under $(docv) keyed by netlist, GCell-binned placement and            config, and replayed bit-identically on repeat runs.  Safe            to share between concurrent processes and shards.")
+
+let route_cache_of = Option.map Route_cache.create
+
 (* ------------------------------------------------------------------ *)
 (* gen                                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -167,7 +178,7 @@ let place_cmd =
 (* ------------------------------------------------------------------ *)
 
 let route_cmd =
-  let run () design scale seed gcell preset =
+  let run () design scale seed gcell preset warm_check =
     let nl = netlist_of design scale seed in
     let fp = P.Floorplan.create ~gcell_nx:gcell ~gcell_ny:gcell nl in
     let params =
@@ -181,18 +192,102 @@ let route_cmd =
       if params == P.Params.default then base
       else P.Placer.global_place ~seed ~params nl fp
     in
+    (* the warm-check gate reads the route/warm/* counters, which only
+       record once observability is on *)
+    if warm_check then Obs.enable ();
     let r = Router.route ~config p in
     Printf.printf
       "overflow: %d total (H %d, V %d, via %d)\noverflowed gcells: %.2f%%\n\
        routed wirelength: %.1f um (HPWL %.1f)\nrip-up iterations: %d\n"
       r.Router.overflow_total r.Router.overflow_h r.Router.overflow_v
       r.Router.overflow_via r.Router.overflow_gcell_pct r.Router.wirelength
-      (P.Placement.hpwl p) r.Router.iterations_run
+      (P.Placement.hpwl p) r.Router.iterations_run;
+    if warm_check then begin
+      (* Perturb a few percent of the cells by sub-GCell distances (an
+         ECO-sized delta), then route the perturbed placement twice:
+         cold from scratch, and warm-started from the base result.
+         The gate asserts the warm start actually reused paths, won
+         >=2x wall clock, and stayed congestion-faithful (overflow and
+         wirelength within 5% of the cold route). *)
+      let perturbed = P.Placer.perturb ~seed ~fraction:0.02 p in
+      let time_best f =
+        (* best of 3: smoke runs share loaded CI hosts *)
+        let best = ref infinity in
+        let out = ref None in
+        for _ = 1 to 3 do
+          let t0 = Unix.gettimeofday () in
+          let r = f () in
+          let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+          if ms < !best then best := ms;
+          out := Some r
+        done;
+        (Option.get !out, !best)
+      in
+      let cold, cold_ms = time_best (fun () -> Router.route ~config perturbed) in
+      let reused0 = Obs.counter_value "route/warm/reused" in
+      let warm, warm_ms =
+        time_best (fun () -> Router.route ~config ~warm_start:(r, p) perturbed)
+      in
+      let reused = Obs.counter_value "route/warm/reused" - reused0 in
+      let ripped = Obs.counter_value "route/warm/ripped" in
+      let speedup = cold_ms /. Float.max 1e-6 warm_ms in
+      Printf.printf
+        "warm-check: cold %.1f ms, warm %.1f ms (%.2fx), reused %d / ripped \
+         %d\n\
+         warm-check: overflow cold %d / warm %d, WL cold %.1f / warm %.1f\n\
+         warm-check: warm digest %s\n"
+        cold_ms warm_ms speedup reused ripped cold.Router.overflow_total
+        warm.Router.overflow_total cold.Router.wirelength
+        warm.Router.wirelength
+        (Router.digest warm);
+      let fail = ref false in
+      if reused <= 0 then begin
+        prerr_endline "warm-check: FAIL: warm start reused no nets";
+        fail := true
+      end;
+      if speedup < 2.0 then begin
+        Printf.eprintf
+          "warm-check: FAIL: warm %.1f ms vs cold %.1f ms (%.2fx < 2.0x)\n"
+          warm_ms cold_ms speedup;
+        fail := true
+      end;
+      (* one-sided: a warm route that finds *less* overflow is fine *)
+      if
+        float_of_int warm.Router.overflow_total
+        > 1.05 *. Float.max 1. (float_of_int cold.Router.overflow_total)
+      then begin
+        Printf.eprintf
+          "warm-check: FAIL: warm overflow %d exceeds cold %d by more than \
+           5%%\n"
+          warm.Router.overflow_total cold.Router.overflow_total;
+        fail := true
+      end;
+      let wl_dev =
+        abs_float (warm.Router.wirelength -. cold.Router.wirelength)
+        /. Float.max 1. cold.Router.wirelength
+      in
+      if wl_dev > 0.05 then begin
+        Printf.eprintf
+          "warm-check: FAIL: warm wirelength deviates %.1f%% from cold\n"
+          (100. *. wl_dev);
+        fail := true
+      end;
+      if !fail then exit 1;
+      print_endline "warm-check: OK"
+    end
+  in
+  let warm_check_t =
+    Arg.(
+      value & flag
+      & info [ "warm-check" ]
+          ~doc:
+            "After the cold route, perturb the placement slightly,            re-route it cold and warm-started, and fail unless the warm            start reused paths, ran at least 2x faster, and matched the            cold route's overflow and wirelength within 5%.  The CI            smoke gate for incremental routing.")
   in
   Cmd.v
     (Cmd.info "route" ~doc:"Place and globally route; report congestion.")
     Term.(
-      const run $ setup_t $ design_t $ scale_t $ seed_t $ gcell_t $ preset_t)
+      const run $ setup_t $ design_t $ scale_t $ seed_t $ gcell_t $ preset_t
+      $ warm_check_t)
 
 (* ------------------------------------------------------------------ *)
 (* timing                                                               *)
@@ -235,9 +330,12 @@ let timing_cmd =
 (* ------------------------------------------------------------------ *)
 
 let flow_cmd =
-  let run () design scale seed gcell which bo_iters =
+  let run () design scale seed gcell which bo_iters cache_dir =
     let nl = netlist_of design scale seed in
-    let ctx = Flow.make_context ~seed ~gcell_nx:gcell ~gcell_ny:gcell nl in
+    let ctx =
+      Flow.make_context ~seed ~gcell_nx:gcell ~gcell_ny:gcell
+        ?route_cache:(route_cache_of cache_dir) nl
+    in
     let results =
       match which with
       | `Pin3d -> [ Flow.run_pin3d ctx ]
@@ -272,19 +370,23 @@ let flow_cmd =
     (Cmd.info "flow" ~doc:"Run a full Pin-3D flow variant and report PPA.")
     Term.(
       const run $ setup_t $ design_t $ scale_t $ seed_t $ gcell_t $ which_t
-      $ bo_t)
+      $ bo_t $ route_cache_t)
 
 (* ------------------------------------------------------------------ *)
 (* train                                                                *)
 (* ------------------------------------------------------------------ *)
 
 let train_cmd =
-  let run () design scale seed gcell n_samples epochs input_hw output =
+  let run () design scale seed gcell n_samples epochs input_hw output cache_dir
+      =
     let nl = netlist_of design scale seed in
-    let ctx = Flow.make_context ~seed ~gcell_nx:gcell ~gcell_ny:gcell nl in
+    let route_cache = route_cache_of cache_dir in
+    let ctx =
+      Flow.make_context ~seed ~gcell_nx:gcell ~gcell_ny:gcell ?route_cache nl
+    in
     let d =
-      Dataset.build ~n_samples ~seed ~route_cfg:ctx.Flow.route_cfg nl
-        ctx.Flow.fp
+      Dataset.build ~n_samples ~seed ?route_cache
+        ~route_cfg:ctx.Flow.route_cfg nl ctx.Flow.fp
     in
     let train, test = Dataset.split ~test_fraction:0.2 ~seed d in
     let predictor, report =
@@ -331,19 +433,23 @@ let train_cmd =
              (Algorithm 1).")
     Term.(
       const run $ setup_t $ design_t $ scale_t $ seed_t $ gcell_t $ samples_t
-      $ epochs_t $ hw_t $ out_t)
+      $ epochs_t $ hw_t $ out_t $ route_cache_t)
 
 (* ------------------------------------------------------------------ *)
 (* optimize (Algorithm 2, end to end)                                   *)
 (* ------------------------------------------------------------------ *)
 
 let optimize_cmd =
-  let run () design scale seed gcell n_samples epochs iterations tcl_out =
+  let run () design scale seed gcell n_samples epochs iterations tcl_out
+      cache_dir =
     let nl = netlist_of design scale seed in
-    let ctx = Flow.make_context ~seed ~gcell_nx:gcell ~gcell_ny:gcell nl in
+    let route_cache = route_cache_of cache_dir in
+    let ctx =
+      Flow.make_context ~seed ~gcell_nx:gcell ~gcell_ny:gcell ?route_cache nl
+    in
     let d =
-      Dataset.build ~n_samples ~seed ~route_cfg:ctx.Flow.route_cfg nl
-        ctx.Flow.fp
+      Dataset.build ~n_samples ~seed ?route_cache
+        ~route_cfg:ctx.Flow.route_cfg nl ctx.Flow.fp
     in
     let train, test = Dataset.split ~test_fraction:0.2 ~seed d in
     let predictor, _ = Predictor.train ~epochs ~seed ~train ~test () in
@@ -391,7 +497,7 @@ let optimize_cmd =
              (Algorithm 2), finish the flow, compare against Pin-3D.")
     Term.(
       const run $ setup_t $ design_t $ scale_t $ seed_t $ gcell_t $ samples_t
-      $ epochs_t $ iters_t $ tcl_t)
+      $ epochs_t $ iters_t $ tcl_t $ route_cache_t)
 
 (* ------------------------------------------------------------------ *)
 (* serve / client                                                       *)
@@ -631,7 +737,7 @@ let thermal_cmd =
 
 let serve_cmd =
   let run () socket port model seed input_hw queue_cap max_batch linger_ms
-      cache_cap numeric shard_of shard_id spill_dir =
+      cache_cap numeric shard_of shard_id spill_dir route_cache_dir =
     let predictor =
       match model with
       | Some path -> load_any_model path
@@ -650,6 +756,7 @@ let serve_cmd =
         cache_capacity = cache_cap;
         numeric;
         spill_dir;
+        route_cache_dir;
         shard_id;
       }
     in
@@ -778,7 +885,7 @@ let serve_cmd =
     Term.(
       const run $ setup_t $ socket_t $ port_t $ model_t $ seed_t $ hw_t
       $ queue_t $ batch_t $ linger_t $ cache_t $ numeric_t $ shard_of_t
-      $ shard_id_t $ spill_t)
+      $ shard_id_t $ spill_t $ route_cache_t)
 
 (* ------------------------------------------------------------------ *)
 (* balance                                                              *)
@@ -786,7 +893,7 @@ let serve_cmd =
 
 let balance_cmd =
   let run () socket port ctl shards numerics model seed input_hw queue_cap
-      max_batch linger_ms cache_cap spill_root =
+      max_batch linger_ms cache_cap spill_root route_cache_dir =
     let addr = address_of socket port in
     let ctl_path =
       match ctl with
@@ -852,7 +959,15 @@ let balance_cmd =
             @ [ "--spill-dir"; Filename.concat root (Printf.sprintf "shard-%d" i) ]
         | None -> with_model
       in
-      Array.of_list with_spill
+      (* ONE directory for the whole fleet (unlike the per-shard spill):
+         the cache is content-addressed and written atomically, so
+         shards share a routed corpus instead of each re-routing it *)
+      let with_route_cache =
+        match route_cache_dir with
+        | Some dir -> with_spill @ [ "--route-cache"; dir ]
+        | None -> with_spill
+      in
+      Array.of_list with_route_cache
     in
     let cfg = Balance.default_config ~address:addr ~ctl_path ~n_shards:shards in
     (* Same sigwait-watcher discipline as `dco3d serve`: an idle
@@ -978,7 +1093,7 @@ let balance_cmd =
     Term.(
       const run $ setup_t $ socket_t $ port_t $ ctl_t $ shards_t $ numerics_t
       $ model_t $ seed_t $ hw_t $ queue_t $ batch_t $ linger_t $ cache_t
-      $ spill_t)
+      $ spill_t $ route_cache_t)
 
 (* ------------------------------------------------------------------ *)
 (* quantize                                                             *)

@@ -5,6 +5,7 @@ module Fp = Dco3d_place.Floorplan
 module Params = Dco3d_place.Params
 module Placer = Dco3d_place.Placer
 module Router = Dco3d_route.Router
+module Route_cache = Dco3d_route.Route_cache
 module Fm = Dco3d_congestion.Feature_maps
 module Pool = Dco3d_parallel.Pool
 module Obs = Dco3d_obs.Obs
@@ -24,7 +25,7 @@ type sample = {
 
 type t = { design : string; nx : int; ny : int; samples : sample array }
 
-let build ?(n_samples = 24) ?(seed = 0) ~route_cfg nl fp =
+let build ?(n_samples = 24) ?(seed = 0) ?route_cache ~route_cfg nl fp =
   let nx = fp.Fp.gcell_nx and ny = fp.Fp.gcell_ny in
   (* Samples are independent layouts, so they build in parallel on the
      domain pool.  Each sample seeds its own RNG stream from its index
@@ -49,7 +50,10 @@ let build ?(n_samples = 24) ?(seed = 0) ~route_cfg nl fp =
         let params = Params.sample rng in
         let sample_seed = seed + (1000 * i) + 17 in
         let p = Placer.global_place ~seed:sample_seed ~params nl fp in
-        let r = Router.route ~config:route_cfg p in
+        (* shared routed corpus: identical (netlist, binned placement,
+           config) samples — repeated sweeps, other shards — replay
+           from the cache bit-identically instead of re-routing *)
+        let r = Route_cache.find_or_route ?cache:route_cache ~config:route_cfg p in
         let f_bottom, f_top = Fm.both_dies p ~nx ~ny in
         Log.debug (fun m ->
             m "%s sample %d/%d: overflow %d" nl.Nl.design (i + 1) n_samples

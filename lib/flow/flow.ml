@@ -5,6 +5,7 @@ module Pl = Dco3d_place.Placement
 module Placer = Dco3d_place.Placer
 module Params = Dco3d_place.Params
 module Router = Dco3d_route.Router
+module Route_cache = Dco3d_route.Route_cache
 module Sta = Dco3d_sta.Sta
 module Cts = Dco3d_cts.Cts
 module Bo = Dco3d_bayesopt.Bayesopt
@@ -21,6 +22,7 @@ type context = {
   route_cfg : Router.config;
   clock_period_ps : float;
   seed : int;
+  route_cache : Route_cache.t option;
 }
 
 type place_stage = {
@@ -54,18 +56,18 @@ type result = {
 let net_is_3d_fn (p : Pl.t) nid = Pl.net_is_3d p p.Pl.nl.Nl.nets.(nid)
 
 let make_context ?(seed = 1) ?(utilization = 0.55) ?(gcell_nx = 48)
-    ?(gcell_ny = 48) nl =
+    ?(gcell_ny = 48) ?route_cache nl =
   Obs.with_span "flow/calibrate" @@ fun () ->
   let fp = Fp.create ~utilization ~gcell_nx ~gcell_ny nl in
   (* calibrate the routing fabric and the clock on the Pin-3D baseline *)
   let base = Placer.global_place ~seed ~params:Params.default nl fp in
   let route_cfg = Router.calibrated_config base in
-  let r = Router.route ~config:route_cfg base in
+  let r = Route_cache.find_or_route ?cache:route_cache ~config:route_cfg base in
   let clock_period_ps =
     Sta.suggest_period nl ~net_length:r.Router.net_length
       ~net_is_3d:(net_is_3d_fn base)
   in
-  { nl; fp; route_cfg; clock_period_ps; seed }
+  { nl; fp; route_cfg; clock_period_ps; seed; route_cache }
 
 (* ------------------------------------------------------------------ *)
 (* Signoff ECO sizing                                                  *)
@@ -148,8 +150,12 @@ let signoff_optimize ctx nl ~net_length ~net_is_3d =
    open the "flow" root span; this internal driver does not, so the
    stage tree has a single flow root (flow/place, flow/route, ...). *)
 let run_with_placement_internal ctx ~name ~params (p : Pl.t) =
-  (* placement-stage congestion evaluation (global route) *)
-  let route = Router.route ~config:ctx.route_cfg p in
+  (* placement-stage congestion evaluation (global route), replayed
+     from the shared route cache when this binned placement has been
+     routed before (bit-identical, so flow metrics are unchanged) *)
+  let route =
+    Route_cache.find_or_route ?cache:ctx.route_cache ~config:ctx.route_cfg p
+  in
   let place_stage =
     {
       overflow = route.Router.overflow_total;
@@ -227,7 +233,9 @@ let run_pin3d_bo ?(iterations = 12) ?(bo_seed = 7) ctx =
   let evaluate v =
     let params = Params.of_vector v in
     let p = Placer.global_place ~seed:ctx.seed ~params ctx.nl ctx.fp in
-    let r = Router.route ~config:probe_cfg p in
+    (* probes key under probe_cfg (reduced repair budget), so they can
+       never collide with full-budget entries *)
+    let r = Route_cache.find_or_route ?cache:ctx.route_cache ~config:probe_cfg p in
     float_of_int r.Router.overflow_total
   in
   let best_v, best_y = Bo.minimize ~iterations ~init:4 bo evaluate in

@@ -18,6 +18,11 @@ type context = {
   route_cfg : Dco3d_route.Router.config;
   clock_period_ps : float;
   seed : int;
+  route_cache : Dco3d_route.Route_cache.t option;
+      (** when present, every route the flow runs (calibration, the
+          placement-stage route, BO probes) goes through the
+          content-addressed cache — replays are bit-identical, so flow
+          metrics are unchanged whether a route hits or misses *)
 }
 
 val make_context :
@@ -25,6 +30,7 @@ val make_context :
   ?utilization:float ->
   ?gcell_nx:int ->
   ?gcell_ny:int ->
+  ?route_cache:Dco3d_route.Route_cache.t ->
   Dco3d_netlist.Netlist.t ->
   context
 (** Builds the shared environment: floorplans the netlist, runs the

@@ -1,0 +1,73 @@
+(* Shared magic+digest+rename framing for content-addressed cache
+   files — the spill tier and the route cache persist through this one
+   module so the corruption-handling discipline can't drift. *)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let path_of ~dir ~suffix key =
+  Filename.concat dir (Digest.to_hex (Digest.string key) ^ suffix)
+
+(* Temp names carry a per-process sequence besides the pid: two threads
+   writing the same key concurrently (e.g. the LRU eviction hook vs.
+   the shutdown flush in [Server.wait]) would otherwise share one temp
+   path and interleave writes — the digest check downgrades that to a
+   deleted entry, but the entry is still silently lost. *)
+let tmp_seq = Atomic.make 0
+
+let write_file ~magic ~path ~body =
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+      (Atomic.fetch_and_add tmp_seq 1)
+  in
+  try
+    let oc = open_out_bin tmp in
+    (try
+       output_string oc magic;
+       output_string oc (Digest.string body);
+       output_string oc body;
+       close_out oc
+     with e ->
+       close_out_noerr oc;
+       raise e);
+    Sys.rename tmp path;
+    true
+  with Sys_error _ | Unix.Unix_error _ ->
+    (* Best-effort: a full or read-only disk must not break the caller. *)
+    (try Sys.remove tmp with Sys_error _ -> ());
+    false
+
+let discard path = try Sys.remove path with Sys_error _ -> ()
+
+let read_file ~magic ~path =
+  if not (Sys.file_exists path) then None
+  else
+    match
+      let ic = open_in_bin path in
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+      let m = really_input_string ic (String.length magic) in
+      if m <> magic then raise Exit;
+      let digest = really_input_string ic (String.length (Digest.string "")) in
+      let blen = in_channel_length ic - pos_in ic in
+      let body = really_input_string ic blen in
+      if Digest.string body <> digest then raise Exit;
+      body
+    with
+    | body -> Some body
+    | exception (Exit | End_of_file | Failure _ | Sys_error _) ->
+        (* Truncated, corrupted, foreign, or unreadable: drop it so the
+           next write can install a good copy. *)
+        discard path;
+        None
+
+let count_entries ~dir ~suffix =
+  match Sys.readdir dir with
+  | entries ->
+      Array.fold_left
+        (fun n e -> if Filename.check_suffix e suffix then n + 1 else n)
+        0 entries
+  | exception Sys_error _ -> 0

@@ -1,0 +1,44 @@
+(** Shared on-disk framing for content-addressed cache files.
+
+    Both the serving tier's LRU spill and the route cache persist
+    entries as one file per key under a cache directory, framed as
+
+      magic | 16-byte MD5(body) | body
+
+    where [body] is a caller-supplied string (in practice a [Marshal]
+    of [(key, value)] — the caller re-checks the stored key after
+    unmarshalling, so an MD5 filename collision or a foreign file can
+    never serve the wrong value).  Writes go through a temp file +
+    rename so a crash mid-write leaves no torn entry; any file that
+    fails the magic or digest check on read is deleted and treated as
+    a miss.
+
+    All operations are best-effort and never raise on IO failure:
+    [write_file] reports success as a bool, [read_file] returns
+    [None]. *)
+
+val mkdir_p : string -> unit
+(** Create a directory and its parents if missing.
+    @raise Unix.Unix_error if a component cannot be created. *)
+
+val path_of : dir:string -> suffix:string -> string -> string
+(** [path_of ~dir ~suffix key] is the entry file for [key]:
+    [dir]/MD5-hex([key])[suffix]. *)
+
+val write_file : magic:string -> path:string -> body:string -> bool
+(** Frame [body] under [magic] and atomically install it at [path]
+    (temp file carrying pid + a per-process sequence, then rename).
+    [false] if the write failed (disk full, read-only dir, …); a
+    failed write leaves no temp file behind. *)
+
+val read_file : magic:string -> path:string -> string option
+(** Load and verify a framed file: magic and body digest are checked;
+    a missing file is a miss, and a file failing either check is
+    deleted and reported as a miss. *)
+
+val discard : string -> unit
+(** Best-effort delete (callers use it when the unmarshalled stored
+    key does not match the probe key). *)
+
+val count_entries : dir:string -> suffix:string -> int
+(** Number of [suffix] entries currently in [dir]; 0 if unreadable. *)

@@ -828,3 +828,31 @@ let global_place ~seed ~params nl fp =
   Obs.with_span "legalize" (fun () ->
       legalize ~max_row_search:(8 + (3 * params.Params.displacement_threshold)) p);
   p)
+
+(* Deterministic placement perturbation: move a seeded random fraction
+   of the standard cells by a bounded jitter, modelling the small
+   deltas an incremental placement pass (or an ECO) applies between
+   routing runs.  Each cell consumes a fixed number of RNG draws
+   whether or not it moves, so the moved set is a function of the seed
+   alone.  No legalization: the router only reads GCell-binned
+   coordinates, and warm-start benchmarks want sub-GCell and
+   cross-GCell moves in controlled proportion. *)
+let perturb ?(seed = 0) ?(fraction = 0.05) ?max_dist (p : Placement.t) =
+  let q = Placement.copy p in
+  let md =
+    match max_dist with
+    | Some d -> d
+    | None -> 0.5 *. Floorplan.gcell_w q.Placement.fp
+  in
+  let rng = Rng.create (seed lxor 0x7f4a7c15) in
+  for c = 0 to Nl.n_cells q.Placement.nl - 1 do
+    let roll = Rng.uniform rng in
+    let dx = Rng.range rng (-.md) md in
+    let dy = Rng.range rng (-.md) md in
+    if roll < fraction && not (Nl.is_macro q.Placement.nl c) then begin
+      q.Placement.x.(c) <- q.Placement.x.(c) +. dx;
+      q.Placement.y.(c) <- q.Placement.y.(c) +. dy
+    end
+  done;
+  Placement.clamp_to_die q;
+  q

@@ -66,3 +66,13 @@ val relieve_hot_nets :
     near-zero-wirelength congestion move).  Returns the number of nets
     moved.  Used by the congestion-driven placement mode and by the
     tests. *)
+
+val perturb :
+  ?seed:int -> ?fraction:float -> ?max_dist:float -> Placement.t ->
+  Placement.t
+(** A fresh placement with a seeded random [fraction] (default 0.05)
+    of the standard cells moved by up to [max_dist] um in each axis
+    (default: half a GCell width), clamped to the die; macros stay
+    put.  Deterministic in [(seed, placement)].  Models the small
+    placement deltas between consecutive routing runs — the
+    warm-start router and its benchmarks exercise exactly this. *)

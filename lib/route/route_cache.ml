@@ -1,0 +1,196 @@
+(* Content-addressed disk cache of full routing results.
+
+   Routing is a pure function of (netlist structure, GCell-binned
+   placement, grid geometry, config) — the router's sort keys, pin
+   densities and traces all read the placement through `Fp.gcell_of`
+   (see [Router.endpoint_bins]) — so those inputs hash to the cache
+   key and a hit replays the stored result bit-identically (the
+   determinism digest of a replay equals the cold route's).
+
+   One file per key under the cache dir, shared [Framing] layout:
+
+     "DCO3D-ROUTE-V1" | 16-byte MD5(body) | body
+
+   with body = Marshal of (key, flattened result).  The stored key is
+   re-checked after unmarshalling, so an MD5 filename collision or a
+   foreign file can never serve the wrong layout.  Writes are
+   temp-file + rename, so shard daemons and parallel dataset workers
+   can share one cache directory; all IO is best-effort. *)
+
+module T = Dco3d_tensor.Tensor
+module Nl = Dco3d_netlist.Netlist
+module Fp = Dco3d_place.Floorplan
+module Pl = Dco3d_place.Placement
+module Obs = Dco3d_obs.Obs
+module Framing = Dco3d_framing.Framing
+
+type t = { dir : string }
+
+let magic = "DCO3D-ROUTE-V1"
+let suffix = ".route"
+
+let create dir =
+  Framing.mkdir_p dir;
+  { dir }
+
+let dir t = t.dir
+
+(* Hits and misses are functions of the request stream alone, so both
+   counters are jobs-invariant. *)
+let c_hit = Obs.counter "route/cache_hit"
+let c_miss = Obs.counter "route/cache_miss"
+
+let add_int buf i = Buffer.add_string buf (Printf.sprintf " %d" i)
+
+(* exact bit pattern — "%g"-style rounding could alias two configs *)
+let add_float buf f =
+  Buffer.add_string buf (Printf.sprintf " %Lx" (Int64.bits_of_float f))
+
+let key ~(config : Router.config) (p : Pl.t) =
+  let buf = Buffer.create 65536 in
+  let nl = p.Pl.nl and fp = p.Pl.fp in
+  let add_endpoint e =
+    match e with
+    | Nl.Cell c ->
+        add_int buf 0;
+        add_int buf c
+    | Nl.Io i ->
+        add_int buf 1;
+        add_int buf i
+  in
+  (* netlist structure, in net order (signal_nets derives from it);
+     masters are excluded — routing never reads them *)
+  Buffer.add_string buf nl.Nl.design;
+  add_int buf (Nl.n_cells nl);
+  add_int buf (Nl.n_ios nl);
+  Array.iter
+    (fun (net : Nl.net) ->
+      add_int buf net.Nl.net_id;
+      add_int buf (if net.Nl.is_clock then 1 else 0);
+      add_endpoint net.Nl.driver;
+      add_int buf (Array.length net.Nl.sinks);
+      Array.iter add_endpoint net.Nl.sinks)
+    nl.Nl.nets;
+  (* grid geometry (gcell_w/gcell_h derive from these) *)
+  add_int buf fp.Fp.gcell_nx;
+  add_int buf fp.Fp.gcell_ny;
+  add_float buf fp.Fp.width;
+  add_float buf fp.Fp.height;
+  (* GCell-binned placement: every signal-net endpoint's (gx, gy, tier)
+     — sub-GCell moves leave the key (and the routing) unchanged *)
+  List.iter
+    (fun (net : Nl.net) ->
+      let bin e =
+        let x, y, tier = Pl.endpoint_position p e in
+        let gx, gy = Fp.gcell_of fp x y in
+        add_int buf gx;
+        add_int buf gy;
+        add_int buf tier
+      in
+      bin net.Nl.driver;
+      Array.iter bin net.Nl.sinks)
+    (Nl.signal_nets nl);
+  (* full config *)
+  add_int buf config.Router.cap_h;
+  add_int buf config.Router.cap_v;
+  add_int buf config.Router.cap_via;
+  add_int buf config.Router.max_iterations;
+  add_float buf config.Router.history_weight;
+  add_float buf config.Router.overflow_penalty;
+  add_float buf config.Router.pin_blockage;
+  add_float buf config.Router.pin_saturation;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* Tensors are flattened to (shape, data) pairs so the Marshal image
+   stays independent of the Tensor module's internals (same idiom as
+   the dataset files). *)
+type flat = {
+  x_overflow_total : int;
+  x_overflow_h : int;
+  x_overflow_v : int;
+  x_overflow_via : int;
+  x_overflow_gcell_pct : float;
+  x_wirelength : float;
+  x_congestion : (int array * float array) array;
+  x_utilization : (int array * float array) array;
+  x_net_length : float array;
+  x_iterations_run : int;
+  x_net_edges : int array array;
+  x_history : float array;
+  x_config : Router.config;
+}
+
+let flatten_tensor t = (T.shape t, Array.init (T.numel t) (T.get_flat t))
+let unflatten (shape, data) = T.make shape data
+
+let flat_of_result (r : Router.result) =
+  {
+    x_overflow_total = r.Router.overflow_total;
+    x_overflow_h = r.Router.overflow_h;
+    x_overflow_v = r.Router.overflow_v;
+    x_overflow_via = r.Router.overflow_via;
+    x_overflow_gcell_pct = r.Router.overflow_gcell_pct;
+    x_wirelength = r.Router.wirelength;
+    x_congestion = Array.map flatten_tensor r.Router.congestion;
+    x_utilization = Array.map flatten_tensor r.Router.utilization;
+    x_net_length = r.Router.net_length;
+    x_iterations_run = r.Router.iterations_run;
+    x_net_edges = r.Router.net_edges;
+    x_history = r.Router.history;
+    x_config = r.Router.config;
+  }
+
+let result_of_flat f : Router.result =
+  {
+    Router.overflow_total = f.x_overflow_total;
+    overflow_h = f.x_overflow_h;
+    overflow_v = f.x_overflow_v;
+    overflow_via = f.x_overflow_via;
+    overflow_gcell_pct = f.x_overflow_gcell_pct;
+    wirelength = f.x_wirelength;
+    congestion = Array.map unflatten f.x_congestion;
+    utilization = Array.map unflatten f.x_utilization;
+    net_length = f.x_net_length;
+    iterations_run = f.x_iterations_run;
+    net_edges = f.x_net_edges;
+    history = f.x_history;
+    config = f.x_config;
+  }
+
+let find t ~config p =
+  let k = key ~config p in
+  let path = Framing.path_of ~dir:t.dir ~suffix k in
+  let result =
+    match Framing.read_file ~magic ~path with
+    | None -> None
+    | Some body -> (
+        match (Marshal.from_string body 0 : string * flat) with
+        | stored_key, f when stored_key = k -> Some (result_of_flat f)
+        | _ ->
+            (* digest-valid but colliding/stale key *)
+            Framing.discard path;
+            None
+        | exception Failure _ ->
+            Framing.discard path;
+            None)
+  in
+  (match result with Some _ -> Obs.incr c_hit | None -> Obs.incr c_miss);
+  result
+
+let put t ~config p (r : Router.result) =
+  let k = key ~config p in
+  let body = Marshal.to_string (k, flat_of_result r) [] in
+  Framing.write_file ~magic ~path:(Framing.path_of ~dir:t.dir ~suffix k) ~body
+
+let count t = Framing.count_entries ~dir:t.dir ~suffix
+
+let find_or_route ?cache ?(validate = false) ~config p =
+  match cache with
+  | None -> Router.route ~config ~validate p
+  | Some t -> (
+      match find t ~config p with
+      | Some r -> r
+      | None ->
+          let r = Router.route ~config ~validate p in
+          ignore (put t ~config p r : bool);
+          r)

@@ -1,0 +1,52 @@
+(** Content-addressed disk cache of full routing results.
+
+    Routing is a pure function of the netlist structure, the
+    GCell-binned placement, the grid geometry and the router config —
+    every placement read in {!Router.route} goes through
+    [Floorplan.gcell_of] — so a result is keyed by
+    [MD5(netlist digest x binned placement x config)] and a hit replays
+    it {e bit-identically}: [Router.digest] of a replay equals the cold
+    route's.  Sub-GCell placement jitter maps to the same key.
+
+    Entries share the {!Dco3d_framing.Framing} on-disk layout
+    ("DCO3D-ROUTE-V1" + MD5(body) + Marshal of (key, value)) with
+    temp-file + rename writes, so shard daemons, parallel dataset
+    workers and repeated sweeps can all share one cache directory.
+    Corrupt, truncated or foreign files are deleted and treated as
+    misses; all IO is best-effort.  Counters [route/cache_hit] and
+    [route/cache_miss] report effectiveness. *)
+
+type t
+
+val create : string -> t
+(** [create dir] opens a cache rooted at [dir], creating it (and
+    parents) if missing.
+    @raise Unix.Unix_error if the directory cannot be created. *)
+
+val dir : t -> string
+
+val key : config:Router.config -> Dco3d_place.Placement.t -> string
+(** The content key (hex MD5) a placement routes under — exposed for
+    tests and diagnostics. *)
+
+val find : t -> config:Router.config -> Dco3d_place.Placement.t ->
+  Router.result option
+(** Cached result for this (netlist, binned placement, config), if
+    present and intact. *)
+
+val put : t -> config:Router.config -> Dco3d_place.Placement.t ->
+  Router.result -> bool
+(** Persist a result; [false] if the write failed (disk full, …). *)
+
+val count : t -> int
+(** Number of [.route] entries currently on disk (for stats). *)
+
+val find_or_route :
+  ?cache:t ->
+  ?validate:bool ->
+  config:Router.config ->
+  Dco3d_place.Placement.t ->
+  Router.result
+(** Cache-through routing: look up, route on miss, persist the fresh
+    result (best-effort).  With [?cache] absent this is exactly
+    [Router.route ~config]. *)

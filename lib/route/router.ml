@@ -143,6 +143,9 @@ type result = {
   utilization : T.t array;
   net_length : float array;
   iterations_run : int;
+  net_edges : int array array;
+  history : float array;
+  config : config;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -520,6 +523,13 @@ let h_overflow_pass = Obs.histogram "route/overflow_per_pass"
 let h_waves_per_pass = Obs.histogram "route/waves_per_pass"
 let h_wave_size = Obs.histogram "route/wave_size"
 
+(* Warm-start accounting: nets whose previous path trees were kept
+   verbatim vs nets re-traced because a pin changed its GCell.  Both
+   are functions of the two binned placements alone, so they are
+   jobs-invariant. *)
+let c_warm_reused = Obs.counter "route/warm/reused"
+let c_warm_ripped = Obs.counter "route/warm/ripped"
+
 let astar_route st az marks src dst =
   az.generation <- az.generation + 1;
   let gen = az.generation in
@@ -862,23 +872,86 @@ let partition_waves windows victims =
     victims;
   Array.init !n_waves (fun w -> Array.sub waves.(w).members 0 waves.(w).n)
 
-let route ?config ?(validate = false) (p : Pl.t) =
+(* Per-endpoint GCell bins of a net, in endpoint order (driver first,
+   then sinks in netlist order).  Together with the netlist and the
+   config these fully determine the routing result: every quantity the
+   router reads off the placement — pin densities, pin nodes, search
+   windows, sort keys — is a function of the bins, never of sub-GCell
+   coordinates.  The warm-start dirty test and the route cache key both
+   rest on that property. *)
+let endpoint_bins (p : Pl.t) (net : Nl.net) =
+  let fp = p.Pl.fp in
+  let bin e =
+    let x, y, tier = Pl.endpoint_position p e in
+    let gx, gy = Fp.gcell_of fp x y in
+    (gx, gy, tier)
+  in
+  let n_sinks = Array.length net.Nl.sinks in
+  Array.init (n_sinks + 1) (fun i ->
+      if i = 0 then bin net.Nl.driver else bin net.Nl.sinks.(i - 1))
+
+let route ?config ?(validate = false) ?warm_start (p : Pl.t) =
   Obs.with_span "route" @@ fun () ->
   let fp = p.Pl.fp in
   let cfg = match config with Some c -> c | None -> default_config fp in
   let st = make_state cfg fp p in
   let nets = Array.of_list (Nl.signal_nets p.Pl.nl) in
   let n_nets = Array.length nets in
-  (* small nets first: they have the least routing freedom.  The sort
-     keys are precomputed once — comparing on the fly recomputes each
-     net's bbox O(n log n) times. *)
+  let bins = Array.map (endpoint_bins p) nets in
+  (* small nets first: they have the least routing freedom.  The keys
+     are the GCell-quantized half-perimeters with the net index as
+     tie-break — a total order, so the sort is deterministic (the
+     library sort is not stable) and insensitive to sub-GCell jitter,
+     which is what lets a cache key ignore exact coordinates. *)
   let order = Array.init n_nets Fun.id in
   let half_perim =
-    Array.init n_nets (fun k ->
-        let x0, y0, x1, y1 = Pl.net_bbox p nets.(k) in
-        x1 -. x0 +. (y1 -. y0))
+    Array.map
+      (fun bs ->
+        let x0 = ref max_int and y0 = ref max_int in
+        let x1 = ref min_int and y1 = ref min_int in
+        Array.iter
+          (fun (gx, gy, _) ->
+            if gx < !x0 then x0 := gx;
+            if gx > !x1 then x1 := gx;
+            if gy < !y0 then y0 := gy;
+            if gy > !y1 then y1 := gy)
+          bs;
+        !x1 - !x0 + (!y1 - !y0))
+      bins
   in
-  Array.sort (fun a b -> compare half_perim.(a) half_perim.(b)) order;
+  Array.sort
+    (fun a b ->
+      let c = compare half_perim.(a) half_perim.(b) in
+      if c <> 0 then c else compare a b)
+    order;
+  (* Warm start: a net is clean iff every endpoint stayed in its GCell.
+     An all-clean placement has identical pin densities (hence
+     capacities), sort keys and traces, so the previous result is the
+     cold result and is returned verbatim. *)
+  let keep =
+    match warm_start with
+    | None -> None
+    | Some (prev, prev_p) ->
+        if Array.length prev.net_edges <> n_nets then
+          invalid_arg "Router.route: warm_start from a different netlist";
+        let pfp = prev_p.Pl.fp in
+        if
+          pfp.Fp.gcell_nx <> fp.Fp.gcell_nx
+          || pfp.Fp.gcell_ny <> fp.Fp.gcell_ny
+        then invalid_arg "Router.route: warm_start from a different grid";
+        if prev.config <> cfg then
+          invalid_arg "Router.route: warm_start under a different config";
+        let clean =
+          Array.init n_nets (fun k ->
+              endpoint_bins prev_p nets.(k) = bins.(k))
+        in
+        Some (prev, clean)
+  in
+  match keep with
+  | Some (prev, clean) when Array.for_all Fun.id clean ->
+      Obs.incr ~by:n_nets c_warm_reused;
+      prev
+  | _ ->
   let spool = Pool.scratch_pool (fun () -> make_scratch st) in
   (* edge→net incidence: which nets currently commit each edge.  Kept
      in sync by [apply_net]/[rip_up_net] so each repair pass collects
@@ -887,13 +960,51 @@ let route ?config ?(validate = false) (p : Pl.t) =
   let idx = Array.init st.n_edges (fun _ -> { data = [||]; len = 0 }) in
   let net_edges = Array.make n_nets [||] in
   Obs.with_span "initial" (fun () ->
-      Pool.with_scratch spool (fun sc ->
+      match keep with
+      | None ->
+          Pool.with_scratch spool (fun sc ->
+              Array.iter
+                (fun k ->
+                  let path = trace_net st sc ~maze:false p nets.(k) in
+                  net_edges.(k) <- path;
+                  apply_net st idx k path)
+                order)
+      | Some (prev, clean) ->
+          (* carry the negotiated history forward so repair resumes
+             from the prior run's costs instead of rediscovering them *)
+          Array.iteri
+            (fun e h -> st.history.(e) <- 0.25 *. h)
+            prev.history;
+          refresh_pass_cost st;
+          let reused = ref 0 and ripped = ref 0 in
           Array.iter
             (fun k ->
-              let path = trace_net st sc ~maze:false p nets.(k) in
-              net_edges.(k) <- path;
-              apply_net st idx k path)
-            order));
+              if clean.(k) then begin
+                incr reused;
+                net_edges.(k) <- prev.net_edges.(k);
+                apply_net st idx k prev.net_edges.(k)
+              end)
+            order;
+          (* dirty nets re-trace sequentially in sort order against the
+             kept demand — congestion-aware (maze) rather than the cold
+             pass's blind pattern route, so they steer around the kept
+             paths instead of manufacturing overflow the repair waves
+             would then have to undo.  Sequential in a fixed order, so
+             the result stays jobs-invariant.  Kept paths crossing edges
+             the new demand pushes past their baseline are still ripped
+             up by the repair waves below. *)
+          Pool.with_scratch spool (fun sc ->
+              Array.iter
+                (fun k ->
+                  if not clean.(k) then begin
+                    incr ripped;
+                    let path = trace_net st sc ~maze:true p nets.(k) in
+                    net_edges.(k) <- path;
+                    apply_net st idx k path
+                  end)
+                order);
+          Obs.incr ~by:!reused c_warm_reused;
+          Obs.incr ~by:!ripped c_warm_ripped);
   (* negotiated-congestion repair: each pass bumps history, collects
      the victim nets, partitions them into waves of window-disjoint
      nets, and routes each wave's nets concurrently against a frozen
@@ -901,6 +1012,36 @@ let route ?config ?(validate = false) (p : Pl.t) =
      the result is bit-identical at DCO3D_JOBS=1 and N *)
   let windows = Array.map (net_window st fp p) nets in
   let seen = Array.make n_nets (-1) in
+  (* Incremental runs stop negotiating once overflow is clearly at or
+     below the warm-start's converged residual: the prior result
+     already spent its whole repair budget to reach that level, so
+     further waves would re-negotiate paths the placement delta never
+     touched.  The floor sits slightly *under* the residual (0.95x)
+     because the cold re-route of the perturbed placement — the parity
+     reference of the incremental contract (bench gate,
+     `route --warm-check`) — can come out a little better than the
+     warm start when the perturbation eases congestion; stopping at
+     1.0x could strand the warm result outside the 5% parity band.
+     Cold runs keep the floor at 0 (repair until clean or out of
+     budget). *)
+  let overflow_floor =
+    match keep with
+    | Some (prev, _) -> int_of_float (0.95 *. float_of_int prev.overflow_total)
+    | None -> 0
+  in
+  (* Per-edge overflow the warm start had already accepted (its demand
+     replayed against this run's capacities).  Warm repair only rips
+     nets crossing edges that got *worse* than this baseline — residual
+     congestion far from the placement delta keeps its negotiated
+     paths.  Empty for cold runs: every overflowed edge collects. *)
+  let baseline_ov =
+    match keep with
+    | None -> [||]
+    | Some (prev, _) ->
+        let d = Array.make st.n_edges 0 in
+        Array.iter (Array.iter (fun e -> d.(e) <- d.(e) + 1)) prev.net_edges;
+        Array.mapi (fun e de -> max 0 (de - st.cap.(e))) d
+  in
   let iterations_run = ref 0 in
   let continue_ = ref true in
   while !continue_ && !iterations_run < cfg.max_iterations do
@@ -916,21 +1057,33 @@ let route ?config ?(validate = false) (p : Pl.t) =
       if ov > 0 then begin
         total_overflow := !total_overflow + ov;
         st.history.(e) <- st.history.(e) +. (cfg.history_weight *. float_of_int ov);
-        let b = idx.(e) in
-        for j = 0 to b.len - 1 do
-          let k = b.data.(j) in
-          if seen.(k) <> pass then begin
-            seen.(k) <- pass;
-            incr n_victims;
-            victims := k :: !victims
-          end
-        done
+        (* The warm baseline protection decays to nothing on the final
+           pass: if the placement delta genuinely eased congestion,
+           a full-collection last pass lets negotiation reach the cold
+           route's quality instead of locking in a stale residual.
+           Earlier passes stay cheap — only edges *worse* than the
+           baseline collect victims. *)
+        let protected_ =
+          Array.length baseline_ov > 0 && pass < cfg.max_iterations
+        in
+        if (not protected_) || ov > baseline_ov.(e) then begin
+          let b = idx.(e) in
+          for j = 0 to b.len - 1 do
+            let k = b.data.(j) in
+            if seen.(k) <> pass then begin
+              seen.(k) <- pass;
+              incr n_victims;
+              victims := k :: !victims
+            end
+          done
+        end
       end
     done;
     refresh_pass_cost st;
     if Obs.enabled () then
       Obs.observe h_overflow_pass (float_of_int !total_overflow);
-    if !total_overflow = 0 then continue_ := false
+    if !total_overflow <= overflow_floor || !n_victims = 0 then
+      continue_ := false
     else begin
       (* rip up and reroute every net crossing an overflowed edge *)
       Obs.incr c_ripup_rounds;
@@ -1052,6 +1205,9 @@ let route ?config ?(validate = false) (p : Pl.t) =
     utilization;
     net_length;
     iterations_run = !iterations_run;
+    net_edges;
+    history = st.history;
+    config = cfg;
   }
 
 (* Content digest of everything a routing result asserts: overflow

@@ -65,16 +65,40 @@ type result = {
   net_length : float array;
   (** routed length per net id, um; 0 for unrouted/clock nets *)
   iterations_run : int;
+  net_edges : int array array;
+  (** committed edge-id path per signal net, indexed by position in
+      [Netlist.signal_nets] order — what a warm start reuses *)
+  history : float array;
+  (** final per-edge PathFinder history — carried forward by a warm
+      start so repair resumes from the negotiated costs *)
+  config : config;  (** the config this result was routed under *)
 }
 
 val route :
-  ?config:config -> ?validate:bool -> Dco3d_place.Placement.t -> result
+  ?config:config ->
+  ?validate:bool ->
+  ?warm_start:result * Dco3d_place.Placement.t ->
+  Dco3d_place.Placement.t ->
+  result
 (** Route all signal nets of a placement.  Deterministic, including
     across [DCO3D_JOBS] values.  [~validate:true] additionally checks
     the router's internal invariants after routing — the demand array
     must equal the per-edge sum over committed net paths, and the
     edge→net incidence index must agree — raising [Failure] on any
-    violation (used by tests; default off). *)
+    violation (used by tests; default off).
+
+    [~warm_start:(prev, prev_p)] routes incrementally against a prior
+    result: nets whose every pin kept its GCell (comparing [prev_p] to
+    the new placement) keep their path trees verbatim; only dirty nets
+    are re-traced, with [prev.history] carried forward so repair
+    converges in fewer passes.  Kept paths crossing newly overflowed
+    edges are ripped up by the normal repair waves.  If no pin changed
+    its GCell the previous result is returned as-is (it {e is} the cold
+    result — capacities, sort keys and traces are all functions of the
+    pin bins).  Still deterministic at any [DCO3D_JOBS]; counters
+    [route/warm/reused] and [route/warm/ripped] report the split.
+    @raise Invalid_argument if [prev] comes from a different netlist,
+    GCell grid, or config. *)
 
 val digest : result -> string
 (** Hex content digest of a result (overflow totals, wirelength,

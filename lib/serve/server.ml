@@ -13,6 +13,7 @@ type config = {
   cache_capacity : int;
   numeric : [ `F32 | `I8 ];
   spill_dir : string option;
+  route_cache_dir : string option;
   shard_id : int;
 }
 
@@ -25,6 +26,7 @@ let default_config address =
     cache_capacity = 128;
     numeric = `F32;
     spill_dir = None;
+    route_cache_dir = None;
     shard_id = 0;
   }
 
@@ -252,12 +254,12 @@ let batcher_loop t =
 (* Flow worker                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let run_flow_spec (spec : P.flow_spec) =
+let run_flow_spec ?route_cache (spec : P.flow_spec) =
   let profile = Dco3d_netlist.Generator.profile spec.P.fl_design in
   let nl = Dco3d_netlist.Generator.generate ~scale:spec.P.fl_scale ~seed:spec.P.fl_seed profile in
   let ctx =
     Dco3d_flow.Flow.make_context ~seed:spec.P.fl_seed ~gcell_nx:spec.P.fl_gcell
-      ~gcell_ny:spec.P.fl_gcell nl
+      ~gcell_ny:spec.P.fl_gcell ?route_cache nl
   in
   let result =
     match spec.P.fl_variant with
@@ -274,6 +276,12 @@ let run_flow_spec (spec : P.flow_spec) =
   }
 
 let flow_loop t =
+  (* Shards pass one shared directory, so repeated sweeps and sibling
+     daemons replay each other's routed corpus (Framing's temp+rename
+     writes make concurrent producers safe). *)
+  let route_cache =
+    Option.map Dco3d_route.Route_cache.create t.cfg.route_cache_dir
+  in
   let running = ref true in
   while !running do
     let job =
@@ -296,7 +304,7 @@ let flow_loop t =
             let summary =
               Obs.with_span "serve/flow_job"
                 ~args:[ ("design", spec.P.fl_design) ]
-                (fun () -> run_flow_spec spec)
+                (fun () -> run_flow_spec ?route_cache spec)
             in
             P.Job_done summary
           with

@@ -55,6 +55,11 @@ type config = {
       (** when set, evicted LRU entries are persisted here ({!Spill})
           and cache misses read through the spill before running the
           forward pass — restarts keep the hot set (default [None]) *)
+  route_cache_dir : string option;
+      (** when set, the async flow jobs route through a
+          content-addressed {!Dco3d_route.Route_cache} rooted here;
+          shards given the same directory share one routed corpus
+          (default [None]) *)
   shard_id : int;
       (** reported in [Hello_reply] and stats; 0 for a standalone
           daemon, the slot index for balancer-managed shards *)

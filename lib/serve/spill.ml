@@ -1,98 +1,49 @@
 (* Disk spill for evicted LRU result-cache entries.
 
    One file per entry under the spill dir, named by the MD5 hex of the
-   cache key, framed like the on-disk model files:
+   cache key, using the shared [Framing] layout:
 
      "DCO3D-SPILL-V1" | 16-byte MD5(body) | body
 
    where body = Marshal of (key, (c_bottom, c_top)).  The stored key is
    re-checked on load, so an MD5 filename collision (or a stale file
    from another model — keys embed the fingerprint) can never serve the
-   wrong maps.  Writes go through a temp file + rename so a crash
-   mid-write leaves no torn entry; any corrupt file found on read is
-   deleted and treated as a miss. *)
+   wrong maps.  Framing handles temp-file + rename writes and deletes
+   any corrupt file found on read, treating it as a miss. *)
 
 module T = Dco3d_tensor.Tensor
+module Framing = Dco3d_framing.Framing
 
 type t = { dir : string }
 
 let magic = "DCO3D-SPILL-V1"
-
-let rec mkdir_p dir =
-  if not (Sys.file_exists dir) then begin
-    mkdir_p (Filename.dirname dir);
-    try Unix.mkdir dir 0o755
-    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
-  end
+let suffix = ".spill"
 
 let create ~dir =
-  mkdir_p dir;
+  Framing.mkdir_p dir;
   { dir }
 
 let dir t = t.dir
-let path_of t key = Filename.concat t.dir (Digest.to_hex (Digest.string key) ^ ".spill")
-
-(* Temp names carry a per-process sequence besides the pid: two threads
-   writing the same key concurrently (the LRU eviction hook vs. the
-   shutdown flush in [Server.wait]) would otherwise share one temp path
-   and interleave writes — the digest check downgrades that to a
-   deleted entry, but the entry is still silently lost. *)
-let tmp_seq = Atomic.make 0
+let path_of t key = Framing.path_of ~dir:t.dir ~suffix key
 
 let put t key (value : T.t * T.t) =
   let body = Marshal.to_string (key, value) [] in
-  let path = path_of t key in
-  let tmp =
-    Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
-      (Atomic.fetch_and_add tmp_seq 1)
-  in
-  try
-    let oc = open_out_bin tmp in
-    (try
-       output_string oc magic;
-       output_string oc (Digest.string body);
-       output_string oc body;
-       close_out oc
-     with e ->
-       close_out_noerr oc;
-       raise e);
-    Sys.rename tmp path;
-    true
-  with Sys_error _ | Unix.Unix_error _ ->
-    (* Best-effort: a full or read-only disk must not break serving. *)
-    (try Sys.remove tmp with Sys_error _ -> ());
-    false
-
-let discard path = try Sys.remove path with Sys_error _ -> ()
+  Framing.write_file ~magic ~path:(path_of t key) ~body
 
 let find t key =
   let path = path_of t key in
-  if not (Sys.file_exists path) then None
-  else
-    match
-      let ic = open_in_bin path in
-      Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
-      let m = really_input_string ic (String.length magic) in
-      if m <> magic then raise Exit;
-      let digest = really_input_string ic (String.length (Digest.string "")) in
-      let blen = in_channel_length ic - pos_in ic in
-      let body = really_input_string ic blen in
-      if Digest.string body <> digest then raise Exit;
-      let stored_key, value = (Marshal.from_string body 0 : string * (T.t * T.t)) in
-      if stored_key <> key then raise Exit;
-      value
-    with
-    | value -> Some value
-    | exception (Exit | End_of_file | Failure _ | Sys_error _) ->
-        (* Truncated, corrupted, colliding, or unreadable: drop it so the
-           next eviction can rewrite a good copy. *)
-        discard path;
-        None
+  match Framing.read_file ~magic ~path with
+  | None -> None
+  | Some body -> (
+      match (Marshal.from_string body 0 : string * (T.t * T.t)) with
+      | stored_key, value when stored_key = key -> Some value
+      | _ ->
+          (* digest-valid but colliding/stale key: drop it so the next
+             eviction can rewrite a good copy *)
+          Framing.discard path;
+          None
+      | exception Failure _ ->
+          Framing.discard path;
+          None)
 
-let count t =
-  match Sys.readdir t.dir with
-  | entries ->
-      Array.fold_left
-        (fun n e -> if Filename.check_suffix e ".spill" then n + 1 else n)
-        0 entries
-  | exception Sys_error _ -> 0
+let count t = Framing.count_entries ~dir:t.dir ~suffix

@@ -177,6 +177,7 @@ let server_cfg ?(cache_capacity = 128) ?spill_dir ?(shard_id = 0) () =
     cache_capacity;
     numeric = `F32;
     spill_dir;
+    route_cache_dir = None;
     shard_id;
   }
 

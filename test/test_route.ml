@@ -168,6 +168,102 @@ let test_jobs_invariant_digest () =
   Alcotest.(check string) "digest jobs=1 == jobs=4" (R.digest seq)
     (R.digest par)
 
+(* warm start on an unchanged placement short-circuits to the previous
+   result verbatim: every endpoint bin is unchanged, so the stored
+   result IS the cold result — bit-identical at any job count (the
+   property-test side of the cache-replay contract) *)
+let test_warm_unchanged_bit_identical () =
+  let p = placed "DMA" in
+  let cfg = R.calibrated_config p in
+  let cold = R.route ~config:cfg p in
+  let warm1 = R.route ~config:cfg ~warm_start:(cold, p) p in
+  Alcotest.(check string) "warm(unchanged) == cold, jobs=1" (R.digest cold)
+    (R.digest warm1);
+  let warm4 =
+    with_jobs 4 (fun () -> R.route ~config:cfg ~warm_start:(cold, p) p)
+  in
+  Alcotest.(check string) "warm(unchanged) == cold, jobs=4" (R.digest cold)
+    (R.digest warm4)
+
+let test_warm_perturbed_jobs_invariant () =
+  let p = placed "DMA" in
+  let cfg = R.calibrated_config p in
+  let cold = R.route ~config:cfg p in
+  let q = Placer.perturb ~seed:3 ~fraction:0.05 p in
+  let w1 = R.route ~config:cfg ~warm_start:(cold, p) q in
+  let w4 =
+    with_jobs 4 (fun () -> R.route ~config:cfg ~warm_start:(cold, p) q)
+  in
+  Alcotest.(check string) "warm digest jobs=1 == jobs=4" (R.digest w1)
+    (R.digest w4)
+
+(* the incremental contract: a warm start on a perturbed placement must
+   actually reuse kept paths (counters) and stay congestion-faithful —
+   overflow and wirelength within 5% of a cold route of the same
+   placement *)
+let test_warm_reuse_and_parity () =
+  let module Obs = Dco3d_obs.Obs in
+  Obs.reset ();
+  Obs.enable ();
+  Fun.protect
+    ~finally:(fun () -> Obs.reset ())
+    (fun () ->
+      let p = placed "DMA" in
+      let cfg = R.calibrated_config p in
+      let cold = R.route ~config:cfg p in
+      let q = Placer.perturb ~seed:3 ~fraction:0.05 p in
+      let cold_q = R.route ~config:cfg q in
+      let reused0 = Obs.counter_value "route/warm/reused" in
+      let ripped0 = Obs.counter_value "route/warm/ripped" in
+      let warm = R.route ~config:cfg ~warm_start:(cold, p) q in
+      let reused = Obs.counter_value "route/warm/reused" - reused0 in
+      let ripped = Obs.counter_value "route/warm/ripped" - ripped0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "reused %d > 0" reused)
+        true (reused > 0);
+      Alcotest.(check bool)
+        (Printf.sprintf "ripped %d > 0" ripped)
+        true (ripped > 0);
+      Alcotest.(check int) "reused + ripped covers every signal net"
+        (List.length (Nl.signal_nets p.Pl.nl))
+        (reused + ripped);
+      Alcotest.(check bool)
+        (Printf.sprintf "warm overflow %d within 5%% of cold %d"
+           warm.R.overflow_total cold_q.R.overflow_total)
+        true
+        (float_of_int warm.R.overflow_total
+        <= 1.05 *. Float.max 1. (float_of_int cold_q.R.overflow_total));
+      let wl_dev =
+        abs_float (warm.R.wirelength -. cold_q.R.wirelength)
+        /. Float.max 1. cold_q.R.wirelength
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "warm WL within 5%% of cold (dev %.2f%%)"
+           (100. *. wl_dev))
+        true (wl_dev <= 0.05))
+
+let test_warm_mismatch_raises () =
+  let p = placed "DMA" in
+  let cfg = R.calibrated_config p in
+  let cold = R.route ~config:cfg p in
+  let raises f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  (* a warm start is only sound against the same netlist, grid and
+     config — anything else must be rejected, not silently re-keyed *)
+  raises (fun () ->
+      R.route
+        ~config:{ cfg with R.max_iterations = cfg.R.max_iterations + 1 }
+        ~warm_start:(cold, p) p);
+  let other = placed "AES" in
+  raises (fun () -> R.route ~config:cfg ~warm_start:(cold, p) other);
+  let nl = Gen.generate ~scale:0.02 ~seed:5 (Gen.profile "DMA") in
+  let fp32 = Fp.create ~gcell_nx:32 ~gcell_ny:32 nl in
+  let p32 = Placer.global_place ~seed:1 ~params:Params.default nl fp32 in
+  raises (fun () -> R.route ~config:cfg ~warm_start:(cold, p) p32)
+
 let suites =
   [
     ( "route.router",
@@ -184,5 +280,9 @@ let suites =
         Alcotest.test_case "heap pop on empty raises" `Quick test_heap_pop_empty_raises;
         Alcotest.test_case "demand conservation" `Quick test_demand_conservation;
         Alcotest.test_case "jobs-invariant digest" `Quick test_jobs_invariant_digest;
+        Alcotest.test_case "warm unchanged bit-identical" `Quick test_warm_unchanged_bit_identical;
+        Alcotest.test_case "warm perturbed jobs-invariant" `Quick test_warm_perturbed_jobs_invariant;
+        Alcotest.test_case "warm reuse and parity" `Quick test_warm_reuse_and_parity;
+        Alcotest.test_case "warm mismatch raises" `Quick test_warm_mismatch_raises;
       ] );
   ]

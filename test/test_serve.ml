@@ -341,6 +341,7 @@ let with_server ?(queue_capacity = 64) ?(max_batch = 8) ?(batch_linger_ms = 30.)
       cache_capacity;
       numeric;
       spill_dir;
+      route_cache_dir = None;
       shard_id;
     }
   in
@@ -604,6 +605,7 @@ let test_e2e_drain_on_stop () =
       cache_capacity = 16;
       numeric = `F32;
       spill_dir = None;
+      route_cache_dir = None;
       shard_id = 0;
     }
   in
