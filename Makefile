@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples clean bench-deterministic bench-check serve-smoke quantize-smoke balance-smoke thermal-smoke warm-smoke
+.PHONY: all build test bench examples clean bench-deterministic bench-check serve-smoke quantize-smoke balance-smoke thermal-smoke warm-smoke corpus-smoke
 
 # Parallel jobs used for the determinism check's "parallel" leg.
 JOBS ?= 4
@@ -181,6 +181,53 @@ warm-smoke:
 	[ -n "$$D1" ] && [ "$$D1" = "$$DN" ] || \
 	  { echo "warm-smoke: FAILED (digest differs between DCO3D_JOBS=1 and $(JOBS))"; exit 1; }
 	@echo "warm-smoke: OK"
+
+# Corpus smoke: a 2-shard fleet sharing ONE route cache and ONE PPA
+# store runs a 3-design x 2-config PPA matrix twice.  The first run
+# evaluates every cell; the second must be answered from the on-disk
+# store without re-running the flow (rows come back verbatim, so the
+# two JSON matrices are byte-identical, and corpus_cache_hits > 0 in
+# the fleet stats).  A local run of the same matrix must produce the
+# same matrix digest as both fleet runs — the serving tier adds no
+# numeric drift.  The CI matrix runs this at DCO3D_JOBS=1 and 4.
+CORPUS_DESIGNS := dma,ecg-local,vga-macro
+corpus-smoke:
+	dune build bin/dco3d.exe
+	mkdir -p $(LOGS)
+	rm -f $(LOGS)/corpus-smoke.sock $(LOGS)/corpus-smoke.ctl $(LOGS)/corpus-profile.txt*
+	rm -rf $(LOGS)/corpus-store $(LOGS)/corpus-routes
+	dune exec --no-build bin/dco3d.exe -- corpus --matrix \
+	  --designs $(CORPUS_DESIGNS) --configs base,cong --scale 0.03 --gcell 16 \
+	  --json $(LOGS)/corpus-local.json | tee $(LOGS)/corpus-local.log
+	DCO3D_PROFILE=$(LOGS)/corpus-profile.txt \
+	  dune exec --no-build bin/dco3d.exe -- balance --socket $(LOGS)/corpus-smoke.sock \
+	  --ctl $(LOGS)/corpus-smoke.ctl --shards 2 \
+	  --route-cache $(LOGS)/corpus-routes --corpus-cache $(LOGS)/corpus-store \
+	  > $(LOGS)/corpus-smoke.log 2>&1 & \
+	BAL_PID=$$!; \
+	for i in $$(seq 1 150); do grep -q "all 2 shards live" $(LOGS)/corpus-smoke.log 2>/dev/null && break; sleep 0.2; done; \
+	grep -q "all 2 shards live" $(LOGS)/corpus-smoke.log || { cat $(LOGS)/corpus-smoke.log; exit 1; }; \
+	dune exec --no-build bin/dco3d.exe -- corpus --matrix --socket $(LOGS)/corpus-smoke.sock \
+	  --designs $(CORPUS_DESIGNS) --configs base,cong --scale 0.03 --gcell 16 \
+	  --json $(LOGS)/corpus-run1.json | tee $(LOGS)/corpus-run1.log && \
+	dune exec --no-build bin/dco3d.exe -- corpus --matrix --socket $(LOGS)/corpus-smoke.sock \
+	  --designs $(CORPUS_DESIGNS) --configs base,cong --scale 0.03 --gcell 16 \
+	  --json $(LOGS)/corpus-run2.json | tee $(LOGS)/corpus-run2.log && \
+	{ dune exec --no-build bin/dco3d.exe -- client stats --socket $(LOGS)/corpus-smoke.sock; \
+	  dune exec --no-build bin/dco3d.exe -- client stats --socket $(LOGS)/corpus-smoke.sock; } \
+	  | tee $(LOGS)/corpus-stats.log && \
+	kill -TERM $$BAL_PID && wait $$BAL_PID; \
+	STATUS=$$?; cat $(LOGS)/corpus-smoke.log; \
+	[ $$STATUS -eq 0 ] && \
+	  grep -q "drained and stopped" $(LOGS)/corpus-smoke.log && \
+	  cmp $(LOGS)/corpus-run1.json $(LOGS)/corpus-run2.json && \
+	  D_LOCAL=$$(grep "corpus matrix:" $(LOGS)/corpus-local.log) && \
+	  D_RUN1=$$(grep "corpus matrix:" $(LOGS)/corpus-run1.log) && \
+	  D_RUN2=$$(grep "corpus matrix:" $(LOGS)/corpus-run2.log) && \
+	  [ -n "$$D_LOCAL" ] && [ "$$D_LOCAL" = "$$D_RUN1" ] && [ "$$D_RUN1" = "$$D_RUN2" ] && \
+	  awk '/corpus_cache_hits/ { s += $$2 } END { exit !(s > 0) }' $(LOGS)/corpus-stats.log && \
+	  echo "corpus-smoke: OK" || { echo "corpus-smoke: FAILED"; exit 1; }
+	@rm -f $(LOGS)/corpus-smoke.sock $(LOGS)/corpus-smoke.ctl
 
 examples:
 	dune exec examples/quickstart.exe

@@ -652,6 +652,31 @@ let kernels () =
         fun () ->
           let r = Thermal.solve_placement ~nx:48 ~ny:48 p in
           [ r.Thermal.grid ] );
+      ( "corpus_gen",
+        "dma + ecg-local + vga-macro @ 0.05",
+        None,
+        3,
+        fun () ->
+          (* digest the generated netlists themselves: the tensor packs
+             each corpus point's content digest with its cell/net
+             counts, so the seq-vs-par digest match proves corpus
+             generation is jobs-invariant *)
+          List.map
+            (fun name ->
+              let s =
+                Dco3d_corpus.Corpus.scaled 0.05 (Dco3d_corpus.Corpus.find name)
+              in
+              let nl = Dco3d_corpus.Corpus.generate s in
+              let dg = Dco3d_corpus.Corpus.netlist_digest nl in
+              T.of_array1
+                (Array.append
+                   (Array.init (String.length dg) (fun i ->
+                        float_of_int (Char.code dg.[i])))
+                   [|
+                     float_of_int (Nl.n_cells nl);
+                     float_of_int (Nl.n_nets nl);
+                   |]))
+            [ "dma"; "ecg-local"; "vga-macro" ] );
       ( "dataset_build",
         Printf.sprintf "%s, 4 layouts" e.name,
         None,

@@ -22,6 +22,7 @@ module Obs = Dco3d_obs.Obs
 module Pool = Dco3d_parallel.Pool
 module SiaUNet = Dco3d_nn.Siamese_unet
 module Fm = Dco3d_congestion.Feature_maps
+module Corpus = Dco3d_corpus.Corpus
 module Server = Dco3d_serve.Server
 module Client = Dco3d_serve.Client
 module Proto = Dco3d_serve.Protocol
@@ -99,7 +100,18 @@ let route_cache_t =
         ~doc:
           "Content-addressed route cache: routing results are persisted            under $(docv) keyed by netlist, GCell-binned placement and            config, and replayed bit-identically on repeat runs.  Safe            to share between concurrent processes and shards.")
 
-let route_cache_of = Option.map Route_cache.create
+(* Eta-expanded: [Route_cache.create] has a leading optional argument,
+   and a bare [Option.map Route_cache.create] would freeze it at the
+   first type it unifies with. *)
+let route_cache_of = Option.map (fun dir -> Route_cache.create dir)
+
+let corpus_cache_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "corpus-cache" ] ~docv:"DIR"
+        ~doc:
+          "On-disk PPA row store for corpus cells: evaluated            (design x config) cells are persisted under $(docv) and            replayed verbatim on repeat runs.  Safe to share between            concurrent processes and shards.")
 
 (* ------------------------------------------------------------------ *)
 (* gen                                                                  *)
@@ -737,7 +749,7 @@ let thermal_cmd =
 
 let serve_cmd =
   let run () socket port model seed input_hw queue_cap max_batch linger_ms
-      cache_cap numeric shard_of shard_id spill_dir route_cache_dir =
+      cache_cap numeric shard_of shard_id spill_dir route_cache_dir corpus_dir =
     let predictor =
       match model with
       | Some path -> load_any_model path
@@ -757,6 +769,7 @@ let serve_cmd =
         numeric;
         spill_dir;
         route_cache_dir;
+        corpus_dir;
         shard_id;
       }
     in
@@ -885,7 +898,7 @@ let serve_cmd =
     Term.(
       const run $ setup_t $ socket_t $ port_t $ model_t $ seed_t $ hw_t
       $ queue_t $ batch_t $ linger_t $ cache_t $ numeric_t $ shard_of_t
-      $ shard_id_t $ spill_t $ route_cache_t)
+      $ shard_id_t $ spill_t $ route_cache_t $ corpus_cache_t)
 
 (* ------------------------------------------------------------------ *)
 (* balance                                                              *)
@@ -893,7 +906,7 @@ let serve_cmd =
 
 let balance_cmd =
   let run () socket port ctl shards numerics model seed input_hw queue_cap
-      max_batch linger_ms cache_cap spill_root route_cache_dir =
+      max_batch linger_ms cache_cap spill_root route_cache_dir corpus_dir =
     let addr = address_of socket port in
     let ctl_path =
       match ctl with
@@ -967,7 +980,14 @@ let balance_cmd =
         | Some dir -> with_spill @ [ "--route-cache"; dir ]
         | None -> with_spill
       in
-      Array.of_list with_route_cache
+      (* Also fleet-wide: the PPA store is content-addressed, so every
+         shard replays from one evaluated corpus *)
+      let with_corpus_cache =
+        match corpus_dir with
+        | Some dir -> with_route_cache @ [ "--corpus-cache"; dir ]
+        | None -> with_route_cache
+      in
+      Array.of_list with_corpus_cache
     in
     let cfg = Balance.default_config ~address:addr ~ctl_path ~n_shards:shards in
     (* Same sigwait-watcher discipline as `dco3d serve`: an idle
@@ -1093,7 +1113,7 @@ let balance_cmd =
     Term.(
       const run $ setup_t $ socket_t $ port_t $ ctl_t $ shards_t $ numerics_t
       $ model_t $ seed_t $ hw_t $ queue_t $ batch_t $ linger_t $ cache_t
-      $ spill_t $ route_cache_t)
+      $ spill_t $ route_cache_t $ corpus_cache_t)
 
 (* ------------------------------------------------------------------ *)
 (* quantize                                                             *)
@@ -1313,6 +1333,249 @@ let client_cmd =
       const run $ setup_t $ socket_t $ port_t $ action_t $ design_t $ scale_t
       $ seed_t $ gcell_t $ repeat_t $ timeout_t $ route_t $ retry_t)
 
+(* ------------------------------------------------------------------ *)
+(* corpus                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let corpus_cmd =
+  let run () socket port matrix dataset designs_arg configs_arg scale seed
+      gcell util json route_cache_dir corpus_dir =
+    let specs =
+      let names =
+        match designs_arg with
+        | [] -> List.map (fun s -> s.Corpus.sp_name) Corpus.designs
+        | l -> l
+      in
+      List.map
+        (fun n ->
+          match Corpus.find n with
+          | s -> Corpus.reseeded seed (Corpus.scaled scale s)
+          | exception Not_found ->
+              Printf.eprintf
+                "dco3d corpus: unknown corpus point %S (run without            --matrix to list them)\n"
+                n;
+              exit 2)
+        names
+    in
+    let configs =
+      let names =
+        match configs_arg with
+        | [] -> List.map (fun c -> c.Corpus.fc_name) Corpus.default_configs
+        | l -> l
+      in
+      List.map
+        (fun n ->
+          let n = String.lowercase_ascii (String.trim n) in
+          match
+            List.find_opt
+              (fun c -> c.Corpus.fc_name = n)
+              Corpus.default_configs
+          with
+          | Some c -> { c with Corpus.fc_gcell = gcell; fc_util = util }
+          | None ->
+              Printf.eprintf
+                "dco3d corpus: unknown flow config %S (want %s)\n" n
+                (String.concat "|"
+                   (List.map
+                      (fun c -> c.Corpus.fc_name)
+                      Corpus.default_configs));
+              exit 2)
+        names
+    in
+    let remote = socket <> None || port <> None in
+    match (matrix, dataset) with
+    | false, None ->
+        (* No action: list the corpus points (cheap — no generation). *)
+        List.iter
+          (fun s ->
+            let ov =
+              String.concat ""
+                [
+                  (match s.Corpus.sp_seq_fraction with
+                  | Some f -> Printf.sprintf "  ff %.2f" f
+                  | None -> "");
+                  (match s.Corpus.sp_depth with
+                  | Some d -> Printf.sprintf "  depth %d" d
+                  | None -> "");
+                  (match s.Corpus.sp_hub_fraction with
+                  | Some f -> Printf.sprintf "  hubs %.3f" f
+                  | None -> "");
+                  (match s.Corpus.sp_locality with
+                  | Some f -> Printf.sprintf "  locality %.2f" f
+                  | None -> "");
+                  (match s.Corpus.sp_macros with
+                  | Some m -> Printf.sprintf "  macros %d" m
+                  | None -> "");
+                ]
+            in
+            Printf.printf "%-14s base %-7s scale %-5.2f seed %d%s\n"
+              s.Corpus.sp_name s.Corpus.sp_base s.Corpus.sp_scale
+              s.Corpus.sp_seed ov)
+          specs;
+        Printf.printf
+          "(%d corpus points; run the PPA matrix with --matrix)\n"
+          (List.length specs)
+    | true, Some _ ->
+        prerr_endline "dco3d corpus: --matrix and --dataset are exclusive";
+        exit 2
+    | false, Some n_samples ->
+        (* Corpus dataset builds — the serving tier's other corpus
+           request kind.  One config (the first selected) per design. *)
+        let fc = List.hd configs in
+        List.iter
+          (fun s ->
+            let design, samples, digest =
+              if remote then begin
+                let c = Client.connect (address_of socket port) in
+                Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+                let id =
+                  Client.submit_corpus c
+                    {
+                      Proto.cr_spec = s;
+                      cr_config = fc;
+                      cr_kind = Proto.Corpus_dataset n_samples;
+                    }
+                in
+                match Client.wait_corpus c id with
+                | Proto.Corpus_dataset_built { cd_design; cd_samples; cd_digest }
+                  ->
+                    (cd_design, cd_samples, cd_digest)
+                | Proto.Corpus_row _ ->
+                    raise (Client.Error "corpus: unexpected PPA-row reply")
+              end
+              else
+                let route_cache = route_cache_of route_cache_dir in
+                let d = Corpus.build_dataset ~n_samples ?route_cache s fc in
+                (s.Corpus.sp_name, n_samples, Dataset.digest d)
+            in
+            Printf.printf "dataset %-14s %3d samples  digest %s\n" design
+              samples digest)
+          specs
+    | true, None ->
+        let rows =
+          if remote then begin
+            (* One connection per design: a balancer routes a connection
+               by its first frame, so per-design connections spread the
+               matrix across shards via the corpus design affinity while
+               keeping all of one design's cells on one shard. *)
+            let addr = address_of socket port in
+            let conns =
+              List.map
+                (fun s ->
+                  let c = Client.connect addr in
+                  let ids =
+                    List.map
+                      (fun fc ->
+                        Client.submit_corpus c
+                          {
+                            Proto.cr_spec = s;
+                            cr_config = fc;
+                            cr_kind = Proto.Corpus_ppa;
+                          })
+                      configs
+                  in
+                  (c, ids))
+                specs
+            in
+            Fun.protect
+              ~finally:(fun () ->
+                List.iter (fun (c, _) -> Client.close c) conns)
+            @@ fun () ->
+            List.concat_map
+              (fun (c, ids) ->
+                List.map
+                  (fun id ->
+                    match Client.wait_corpus c id with
+                    | Proto.Corpus_row r -> r
+                    | Proto.Corpus_dataset_built _ ->
+                        raise
+                          (Client.Error "corpus: unexpected dataset reply"))
+                  ids)
+              conns
+          end
+          else
+            let store = Option.map (fun d -> Corpus.Store.create d) corpus_dir in
+            let route_cache = route_cache_of route_cache_dir in
+            Corpus.run_matrix ?store ?route_cache ~specs ~configs ()
+        in
+        Corpus.pp_matrix Format.std_formatter rows;
+        Format.pp_print_flush Format.std_formatter ();
+        let digest =
+          Digest.to_hex
+            (Digest.string
+               (String.concat "," (List.map Corpus.row_digest rows)))
+        in
+        Printf.printf "corpus matrix: %d rows, digest %s\n"
+          (List.length rows) digest;
+        Option.iter
+          (fun path ->
+            Corpus.write_json path rows;
+            Printf.printf "matrix written to %s\n" path)
+          json
+  in
+  let matrix_t =
+    Arg.(
+      value & flag
+      & info [ "matrix" ]
+          ~doc:
+            "Run the PPA matrix (designs x flow configs): the full flow            per cell, a rendered table, a matrix digest over the            per-row determinism digests, and optionally $(b,--json).")
+  in
+  let dataset_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "dataset" ] ~docv:"N"
+          ~doc:
+            "Instead of the PPA matrix, build an N-sample congestion            dataset per selected design (first selected config) and            print its content digest.")
+  in
+  let designs_t =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "designs" ] ~docv:"LIST"
+          ~doc:
+            "Comma-separated corpus points to run (default: the whole            corpus; run without $(b,--matrix) to list them).")
+  in
+  let configs_t =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "configs" ] ~docv:"LIST"
+          ~doc:"Comma-separated flow configs (default: $(b,base,cong)).")
+  in
+  let corpus_scale_t =
+    Arg.(
+      value & opt float 1.0
+      & info [ "scale" ] ~docv:"F"
+          ~doc:
+            "Multiplier on each corpus point's native scale (smoke runs            use small values like 0.03).")
+  in
+  let util_t =
+    Arg.(
+      value & opt float 0.55
+      & info [ "util" ] ~docv:"F" ~doc:"Floorplan target utilization.")
+  in
+  let json_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the matrix as one JSON row-object per line.")
+  in
+  Cmd.v
+    (Cmd.info "corpus"
+       ~doc:
+         "The generated multi-design PPA benchmark corpus: list its \
+          design points, run the (design x flow-config) PPA matrix \
+          locally or through a $(b,dco3d serve)/$(b,balance) fleet \
+          ($(b,--socket)/$(b,--port)), or build per-design congestion \
+          datasets.  Served runs are deduped in-flight and cached \
+          on disk, so a fleet evaluates each cell once.")
+    Term.(
+      const run $ setup_t $ socket_t $ port_t $ matrix_t $ dataset_t
+      $ designs_t $ configs_t $ corpus_scale_t $ seed_t $ gcell_t $ util_t
+      $ json_t $ route_cache_t $ corpus_cache_t)
+
 let main =
   Cmd.group
     (Cmd.info "dco3d" ~version:"1.0.0"
@@ -1328,6 +1591,7 @@ let main =
       optimize_cmd;
       thermal_cmd;
       quantize_cmd;
+      corpus_cmd;
       serve_cmd;
       balance_cmd;
       client_cmd;

@@ -175,6 +175,31 @@ let label_scale d =
       let idx = min (Array.length a - 1) (95 * Array.length a / 100) in
       Float.max 1e-6 a.(idx)
 
+(* Content identity over the exact float bits of every map plus the
+   knobs/seeds that produced them — the serving tier's corpus-build
+   replies and the determinism tests compare datasets by this. *)
+let digest d =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf d.design;
+  Buffer.add_string buf (Printf.sprintf " %d %d" d.nx d.ny);
+  let add_tensor t =
+    T.iteri_flat
+      (fun _ v ->
+        Buffer.add_string buf (Printf.sprintf " %Lx" (Int64.bits_of_float v)))
+      t
+  in
+  Array.iter
+    (fun s ->
+      add_tensor s.f_bottom;
+      add_tensor s.f_top;
+      add_tensor s.c_bottom;
+      add_tensor s.c_top;
+      Buffer.add_string buf
+        (Printf.sprintf " %d %s" s.sample_seed
+           (Digest.to_hex (Digest.string (Marshal.to_string s.params [])))))
+    d.samples;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 (* ------------------------------------------------------------------ *)
 (* Persistence                                                         *)
 (* ------------------------------------------------------------------ *)

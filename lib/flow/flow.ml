@@ -23,6 +23,7 @@ type context = {
   clock_period_ps : float;
   seed : int;
   route_cache : Route_cache.t option;
+  mutable last_route : (Router.result * Pl.t) option;
 }
 
 type place_stage = {
@@ -67,7 +68,15 @@ let make_context ?(seed = 1) ?(utilization = 0.55) ?(gcell_nx = 48)
     Sta.suggest_period nl ~net_length:r.Router.net_length
       ~net_is_3d:(net_is_3d_fn base)
   in
-  { nl; fp; route_cfg; clock_period_ps; seed; route_cache }
+  {
+    nl;
+    fp;
+    route_cfg;
+    clock_period_ps;
+    seed;
+    route_cache;
+    last_route = Some (r, base);
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Signoff ECO sizing                                                  *)
@@ -152,10 +161,24 @@ let signoff_optimize ctx nl ~net_length ~net_is_3d =
 let run_with_placement_internal ctx ~name ~params (p : Pl.t) =
   (* placement-stage congestion evaluation (global route), replayed
      from the shared route cache when this binned placement has been
-     routed before (bit-identical, so flow metrics are unchanged) *)
+     routed before (bit-identical, so flow metrics are unchanged);
+     otherwise warm-started from the context's previous full-config
+     route — successive ground-truth evaluations (Algorithm-2 inner
+     loop, Table-III sweeps) pay only for their placement delta.  Only
+     full-config routes thread through [last_route]: BO probes run a
+     reduced-budget config and a cross-config warm start would be
+     rejected by the router. *)
+  let reused0 = Obs.counter_value "route/warm/reused" in
+  let ripped0 = Obs.counter_value "route/warm/ripped" in
   let route =
-    Route_cache.find_or_route ?cache:ctx.route_cache ~config:ctx.route_cfg p
+    Route_cache.find_or_route ?cache:ctx.route_cache
+      ?warm_start:ctx.last_route ~config:ctx.route_cfg p
   in
+  ctx.last_route <- Some (route, p);
+  Log.debug (fun m ->
+      m "%s: warm route reused %d / ripped %d nets" name
+        (Obs.counter_value "route/warm/reused" - reused0)
+        (Obs.counter_value "route/warm/ripped" - ripped0));
   let place_stage =
     {
       overflow = route.Router.overflow_total;

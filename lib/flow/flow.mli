@@ -23,6 +23,16 @@ type context = {
           placement-stage route, BO probes) goes through the
           content-addressed cache — replays are bit-identical, so flow
           metrics are unchanged whether a route hits or misses *)
+  mutable last_route :
+    (Dco3d_route.Router.result * Dco3d_place.Placement.t) option;
+      (** the context's most recent full-config route (seeded with the
+          calibration route): successive flow runs on one context
+          warm-start from it ({!Dco3d_route.Router.route}'s
+          [?warm_start]) instead of cold-routing, so Algorithm-2
+          ground-truth evaluations pay only for their placement delta.
+          The [route/warm/{reused,ripped}] counters in the stage
+          profile report the split.  BO probes (reduced repair budget)
+          neither read nor update it. *)
 }
 
 val make_context :

@@ -71,3 +71,45 @@ let count_entries ~dir ~suffix =
         (fun n e -> if Filename.check_suffix e suffix then n + 1 else n)
         0 entries
   | exception Sys_error _ -> 0
+
+let touch path =
+  try Unix.utimes path 0. 0. with Unix.Unix_error _ -> ()
+
+(* LRU is by mtime: [touch] on read hits keeps hot entries young, so
+   the oldest files are the coldest.  Eviction works on file names
+   alone — a corrupt or foreign [suffix] file still counts against the
+   cap and still gets unlinked, so a directory full of damaged
+   survivors cannot pin the cache above its bound forever. *)
+let evict_lru ~dir ~suffix ~max_entries =
+  let max_entries = max 1 max_entries in
+  match Sys.readdir dir with
+  | exception Sys_error _ -> 0
+  | entries ->
+      let aged =
+        Array.to_list entries
+        |> List.filter_map (fun e ->
+               if not (Filename.check_suffix e suffix) then None
+               else
+                 let path = Filename.concat dir e in
+                 match Unix.stat path with
+                 | st -> Some (st.Unix.st_mtime, path)
+                 | exception Unix.Unix_error _ -> None)
+      in
+      let n = List.length aged in
+      if n <= max_entries then 0
+      else begin
+        (* oldest first; path tie-break keeps the order deterministic
+           when a burst of writes lands within one mtime granule *)
+        let ordered = List.sort compare aged in
+        let doomed = ref (n - max_entries) and evicted = ref 0 in
+        List.iter
+          (fun (_, path) ->
+            if !doomed > 0 then begin
+              decr doomed;
+              match Sys.remove path with
+              | () -> incr evicted
+              | exception Sys_error _ -> ()
+            end)
+          ordered;
+        !evicted
+      end

@@ -42,3 +42,15 @@ val discard : string -> unit
 
 val count_entries : dir:string -> suffix:string -> int
 (** Number of [suffix] entries currently in [dir]; 0 if unreadable. *)
+
+val touch : string -> unit
+(** Best-effort mtime bump (to "now") — read hits call this so
+    LRU-by-mtime eviction keeps hot entries. *)
+
+val evict_lru : dir:string -> suffix:string -> max_entries:int -> int
+(** Delete the oldest-mtime [suffix] entries in [dir] until at most
+    [max_entries] remain (the cap is clamped to >= 1 so a fresh write
+    always survives its own eviction pass).  Corrupt or foreign
+    [suffix] files count against the cap and are evicted like any
+    other entry.  Returns the number of files actually deleted; IO
+    failures are skipped silently. *)

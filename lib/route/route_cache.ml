@@ -24,21 +24,35 @@ module Pl = Dco3d_place.Placement
 module Obs = Dco3d_obs.Obs
 module Framing = Dco3d_framing.Framing
 
-type t = { dir : string }
+type t = { dir : string; max_entries : int }
 
 let magic = "DCO3D-ROUTE-V1"
 let suffix = ".route"
 
-let create dir =
+let default_max_entries () =
+  match int_of_string_opt (Sys.getenv "DCO3D_ROUTE_CACHE_CAP") with
+  | Some n when n > 0 -> n
+  | Some _ | None -> 4096
+  | exception Not_found -> 4096
+
+let create ?max_entries dir =
   Framing.mkdir_p dir;
-  { dir }
+  let max_entries =
+    match max_entries with
+    | Some n when n > 0 -> n
+    | Some _ | None -> default_max_entries ()
+  in
+  { dir; max_entries }
 
 let dir t = t.dir
+let max_entries t = t.max_entries
 
 (* Hits and misses are functions of the request stream alone, so both
-   counters are jobs-invariant. *)
+   counters are jobs-invariant; so is [evicted] (writes beyond the cap
+   are too). *)
 let c_hit = Obs.counter "route/cache_hit"
 let c_miss = Obs.counter "route/cache_miss"
+let c_evicted = Obs.counter "route/cache_evicted"
 
 let add_int buf i = Buffer.add_string buf (Printf.sprintf " %d" i)
 
@@ -165,7 +179,9 @@ let find t ~config p =
     | None -> None
     | Some body -> (
         match (Marshal.from_string body 0 : string * flat) with
-        | stored_key, f when stored_key = k -> Some (result_of_flat f)
+        | stored_key, f when stored_key = k ->
+            Framing.touch path;
+            Some (result_of_flat f)
         | _ ->
             (* digest-valid but colliding/stale key *)
             Framing.discard path;
@@ -180,17 +196,27 @@ let find t ~config p =
 let put t ~config p (r : Router.result) =
   let k = key ~config p in
   let body = Marshal.to_string (k, flat_of_result r) [] in
-  Framing.write_file ~magic ~path:(Framing.path_of ~dir:t.dir ~suffix k) ~body
+  let ok =
+    Framing.write_file ~magic ~path:(Framing.path_of ~dir:t.dir ~suffix k) ~body
+  in
+  let evicted =
+    Framing.evict_lru ~dir:t.dir ~suffix ~max_entries:t.max_entries
+  in
+  if evicted > 0 then Obs.incr ~by:evicted c_evicted;
+  ok
 
 let count t = Framing.count_entries ~dir:t.dir ~suffix
 
-let find_or_route ?cache ?(validate = false) ~config p =
+let find_or_route ?cache ?(validate = false) ?warm_start ~config p =
   match cache with
-  | None -> Router.route ~config ~validate p
+  | None -> Router.route ~config ~validate ?warm_start p
   | Some t -> (
       match find t ~config p with
       | Some r -> r
       | None ->
-          let r = Router.route ~config ~validate p in
-          ignore (put t ~config p r : bool);
+          let r = Router.route ~config ~validate ?warm_start p in
+          (* A warm-started result is a function of its predecessor
+             chain, not of the content key alone, so persisting it
+             would poison the cache's cold-replay contract. *)
+          if Option.is_none warm_start then ignore (put t ~config p r : bool);
           r)

@@ -18,12 +18,21 @@
 
 type t
 
-val create : string -> t
+val create : ?max_entries:int -> string -> t
 (** [create dir] opens a cache rooted at [dir], creating it (and
-    parents) if missing.
+    parents) if missing.  The cache is bounded: once more than
+    [max_entries] [.route] files exist, the oldest-by-mtime entries
+    are evicted after each write (read hits bump the mtime, so this is
+    LRU; corrupt survivors age out like any other file).  The cap
+    defaults to [DCO3D_ROUTE_CACHE_CAP] (else 4096) and is clamped to
+    >= 1.  Evictions are reported on the [route/cache_evicted]
+    counter.
     @raise Unix.Unix_error if the directory cannot be created. *)
 
 val dir : t -> string
+
+val max_entries : t -> int
+(** The entry cap this cache enforces. *)
 
 val key : config:Router.config -> Dco3d_place.Placement.t -> string
 (** The content key (hex MD5) a placement routes under — exposed for
@@ -44,9 +53,14 @@ val count : t -> int
 val find_or_route :
   ?cache:t ->
   ?validate:bool ->
+  ?warm_start:Router.result * Dco3d_place.Placement.t ->
   config:Router.config ->
   Dco3d_place.Placement.t ->
   Router.result
 (** Cache-through routing: look up, route on miss, persist the fresh
     result (best-effort).  With [?cache] absent this is exactly
-    [Router.route ~config]. *)
+    [Router.route ~config].  [?warm_start] is forwarded to
+    {!Router.route} on a miss; a warm-started result is {e not}
+    persisted — it depends on the predecessor chain rather than the
+    content key alone, and caching it would break the cache's
+    cold-replay bit-identity contract. *)

@@ -287,8 +287,25 @@ let pick_slot t (env : P.envelope) = (* t.m held *)
           let n = List.length group in
           let h = Hashtbl.hash (P.predict_key payload) in
           Some (List.nth group (h mod n)))
-  | P.Ping | P.Stats | P.Flow_submit _ | P.Flow_poll _ ->
-      (* Flow jobs are connection-scoped: submit and poll travel on one
+  | P.Flow_submit spec -> (
+      (* Design affinity: all jobs on one design land on one shard of
+         the primary group, so its flow worker's route cache and warm
+         state concentrate per design instead of every shard routing
+         every design. *)
+      match primary_group t with
+      | [] -> None
+      | group ->
+          let h = Hashtbl.hash spec.P.fl_design in
+          Some (List.nth group (h mod List.length group)))
+  | P.Corpus_submit req -> (
+      (* Same per-design affinity for the corpus class. *)
+      match primary_group t with
+      | [] -> None
+      | group ->
+          let h = Hashtbl.hash req.P.cr_spec.Dco3d_corpus.Corpus.sp_name in
+          Some (List.nth group (h mod List.length group)))
+  | P.Ping | P.Stats | P.Flow_poll _ | P.Corpus_poll _ ->
+      (* Job polls are connection-scoped: submit and poll travel on one
          connection, which lives on one shard, so round-robin is safe. *)
       round_robin t (primary_group t)
 

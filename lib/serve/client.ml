@@ -176,6 +176,28 @@ let wait_flow ?(poll_interval_s = 0.05) c id =
   in
   go ()
 
+let submit_corpus c req =
+  match roundtrip c (P.Corpus_submit req) None with
+  | P.Accepted id -> id
+  | r -> fail_reply "submit_corpus" r
+
+let poll_corpus c id =
+  match roundtrip c (P.Corpus_poll id) None with
+  | P.Corpus_status s -> s
+  | r -> fail_reply "poll_corpus" r
+
+let wait_corpus ?(poll_interval_s = 0.05) c id =
+  let rec go () =
+    match poll_corpus c id with
+    | P.Corpus_done result -> result
+    | P.Corpus_failed msg ->
+        raise (Error (Printf.sprintf "corpus job %d failed: %s" id msg))
+    | P.Corpus_queued | P.Corpus_running ->
+        Thread.delay poll_interval_s;
+        go ()
+  in
+  go ()
+
 let stats c =
   match roundtrip c P.Stats None with
   | P.Stats_reply kv -> kv

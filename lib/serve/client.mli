@@ -98,4 +98,16 @@ val wait_flow :
 (** Poll until the job finishes (default every 50 ms).
     @raise Error if the job failed or the id is unknown. *)
 
+val submit_corpus : t -> Protocol.corpus_req -> int
+(** Enqueue a corpus job (PPA cell or dataset build); returns its id
+    immediately.  An identical request already queued or running on
+    the shard returns the in-flight job's id (deduped server-side). *)
+
+val poll_corpus : t -> int -> Protocol.corpus_status
+
+val wait_corpus :
+  ?poll_interval_s:float -> t -> int -> Protocol.corpus_result
+(** Poll until the corpus job finishes (default every 50 ms).
+    @raise Error if the job failed or the id is unknown. *)
+
 val stats : t -> (string * float) list

@@ -20,6 +20,18 @@ type route_want =
   | Want_numeric of string      (* "f32" | "i8" *)
   | Want_fingerprint of string
 
+(* The third async request class: corpus PPA cells and corpus dataset
+   builds, keyed on disk by (netlist digest, flow config, seed). *)
+type corpus_kind =
+  | Corpus_ppa
+  | Corpus_dataset of int  (* n_samples *)
+
+type corpus_req = {
+  cr_spec : Dco3d_corpus.Corpus.spec;
+  cr_config : Dco3d_corpus.Corpus.flow_config;
+  cr_kind : corpus_kind;
+}
+
 (* New constructors are appended at the END of request/reply so Marshal
    tags of existing constructors never shift between releases. *)
 type request =
@@ -29,6 +41,8 @@ type request =
   | Flow_poll of int
   | Stats
   | Hello of route_want
+  | Corpus_submit of corpus_req
+  | Corpus_poll of int
 
 type envelope = { req : request; timeout_ms : float option }
 
@@ -47,6 +61,20 @@ type job_status =
   | Job_done of flow_summary
   | Job_failed of string
 
+type corpus_result =
+  | Corpus_row of Dco3d_corpus.Corpus.row
+  | Corpus_dataset_built of {
+      cd_design : string;
+      cd_samples : int;
+      cd_digest : string;
+    }
+
+type corpus_status =
+  | Corpus_queued
+  | Corpus_running
+  | Corpus_done of corpus_result
+  | Corpus_failed of string
+
 type reply =
   | Pong
   | Predicted of {
@@ -61,6 +89,7 @@ type reply =
   | Timed_out
   | Server_error of string
   | Hello_reply of { h_fingerprint : string; h_shard : int; h_numeric : string }
+  | Corpus_status of corpus_status
 
 exception Protocol_error of string
 
@@ -171,3 +200,8 @@ let decode_shard_hello payload : shard_hello =
 
 let predict_key (p : predict_payload) =
   Digest.to_hex (Digest.string (Marshal.to_string (p.f_bottom, p.f_top) []))
+
+(* In-flight dedup identity of a corpus request: two submits carrying
+   the same (spec, config, kind) share one job. *)
+let corpus_key (r : corpus_req) =
+  Digest.to_hex (Digest.string (Marshal.to_string r []))

@@ -34,6 +34,22 @@ type route_want =
   | Want_numeric of string  (** a shard serving this numeric path ("f32"/"i8") *)
   | Want_fingerprint of string  (** a shard with exactly this model fingerprint *)
 
+(** The third async request class: corpus PPA cells and corpus dataset
+    builds, deduped in-flight by {!corpus_key} and cached on disk by
+    [(netlist digest, flow config, seed)]. *)
+type corpus_kind =
+  | Corpus_ppa  (** run the full flow, report the PPA row *)
+  | Corpus_dataset of int
+      (** build an [n_samples] congestion dataset on the corpus
+          design (warms the fleet's shared route cache), report its
+          content digest *)
+
+type corpus_req = {
+  cr_spec : Dco3d_corpus.Corpus.spec;
+  cr_config : Dco3d_corpus.Corpus.flow_config;
+  cr_kind : corpus_kind;
+}
+
 type request =
   | Ping
   | Predict of predict_payload
@@ -44,6 +60,8 @@ type request =
       (** optional first request on a balanced connection: pins the
           route before the fd is handed to a shard.  New constructors
           are appended so Marshal tags of older ones never shift. *)
+  | Corpus_submit of corpus_req
+  | Corpus_poll of int
 
 type envelope = {
   req : request;
@@ -67,6 +85,20 @@ type job_status =
   | Job_done of flow_summary
   | Job_failed of string
 
+type corpus_result =
+  | Corpus_row of Dco3d_corpus.Corpus.row
+  | Corpus_dataset_built of {
+      cd_design : string;
+      cd_samples : int;
+      cd_digest : string;  (** {!Dco3d_core.Dataset.digest} *)
+    }
+
+type corpus_status =
+  | Corpus_queued
+  | Corpus_running
+  | Corpus_done of corpus_result
+  | Corpus_failed of string
+
 type reply =
   | Pong
   | Predicted of {
@@ -83,6 +115,9 @@ type reply =
   | Server_error of string
   | Hello_reply of { h_fingerprint : string; h_shard : int; h_numeric : string }
       (** answer to [Hello]: which shard the connection landed on *)
+  | Corpus_status of corpus_status
+      (** answer to [Corpus_submit] is [Accepted id]; this answers
+          [Corpus_poll] *)
 
 exception Protocol_error of string
 (** Bad magic, unsupported version, oversized frame, or digest
@@ -113,6 +148,11 @@ val predict_key : predict_payload -> string
 (** Hex digest of the feature-map content alone (no envelope fields),
     combined by the server with the model fingerprint to key the result
     cache. *)
+
+val corpus_key : corpus_req -> string
+(** Hex digest of a corpus request's full content — the server's
+    in-flight dedup identity: concurrent submits of the same request
+    share one job id. *)
 
 val decode_request : string -> envelope
 (** Decode a raw frame payload (from {!recv_frame}) into an envelope.

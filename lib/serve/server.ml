@@ -14,6 +14,8 @@ type config = {
   numeric : [ `F32 | `I8 ];
   spill_dir : string option;
   route_cache_dir : string option;
+  corpus_dir : string option;
+      (* PPA row store; defaults to <route_cache_dir>/corpus *)
   shard_id : int;
 }
 
@@ -27,6 +29,7 @@ let default_config address =
     numeric = `F32;
     spill_dir = None;
     route_cache_dir = None;
+    corpus_dir = None;
     shard_id = 0;
   }
 
@@ -70,6 +73,10 @@ type stats_acc = {
   mutable jobs_failed : int;
   mutable n_spill_hits : int;
   mutable n_spill_writes : int;
+  mutable corpus_submitted : int;
+  mutable corpus_dedup : int;  (* submits answered with an in-flight id *)
+  mutable corpus_done : int;
+  mutable corpus_failed : int;
 }
 
 type t = {
@@ -88,10 +95,16 @@ type t = {
   m : Mutex.t;
   queue_cv : Condition.t;  (* batcher wakeup *)
   flow_cv : Condition.t;  (* flow-worker wakeup *)
+  corpus_cv : Condition.t;  (* corpus-worker wakeup *)
   queue : pending Queue.t;
   cache : (T.t * T.t) Lru.t;
   jobs : (int, P.job_status) Hashtbl.t;
   flow_queue : (int * P.flow_spec) Queue.t;
+  corpus_jobs : (int, P.corpus_status) Hashtbl.t;
+  corpus_queue : (int * string * P.corpus_req) Queue.t;  (* id, dedup key *)
+  (* dedup key -> job id for queued/running corpus jobs: a duplicate
+     submit joins the in-flight job instead of queueing a second run *)
+  corpus_inflight : (string, int) Hashtbl.t;
   mutable next_job_id : int;
   mutable stopping : bool;
   mutable conns : Unix.file_descr list;  (* live connection sockets *)
@@ -99,6 +112,7 @@ type t = {
   mutable accept_thread : Thread.t option;
   mutable batcher_thread : Thread.t option;
   mutable flow_thread : Thread.t option;
+  mutable corpus_thread : Thread.t option;
   mutable handler_threads : Thread.t list;
 }
 
@@ -280,7 +294,9 @@ let flow_loop t =
      daemons replay each other's routed corpus (Framing's temp+rename
      writes make concurrent producers safe). *)
   let route_cache =
-    Option.map Dco3d_route.Route_cache.create t.cfg.route_cache_dir
+    Option.map
+      (fun d -> Dco3d_route.Route_cache.create d)
+      t.cfg.route_cache_dir
   in
   let running = ref true in
   while !running do
@@ -320,6 +336,92 @@ let flow_loop t =
   done
 
 (* ------------------------------------------------------------------ *)
+(* Corpus worker                                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Corpus = Dco3d_corpus.Corpus
+module Dataset = Dco3d_core.Dataset
+
+let c_corpus_dedup = Obs.counter "serve/corpus_dedup"
+
+let run_corpus_req ?store ?route_cache (req : P.corpus_req) =
+  match req.P.cr_kind with
+  | P.Corpus_ppa ->
+      P.Corpus_row
+        (Corpus.run_cell ?store ?route_cache req.P.cr_spec req.P.cr_config)
+  | P.Corpus_dataset n_samples ->
+      let d =
+        Corpus.build_dataset ~n_samples ?route_cache req.P.cr_spec
+          req.P.cr_config
+      in
+      P.Corpus_dataset_built
+        {
+          cd_design = d.Dataset.design;
+          cd_samples = Array.length d.Dataset.samples;
+          cd_digest = Dataset.digest d;
+        }
+
+let corpus_loop t =
+  (* The PPA store sits next to the route cache (one layout corpus per
+     fleet): an explicit --corpus-cache wins, else <route cache>/corpus,
+     else no persistence (jobs still run). *)
+  let route_cache =
+    Option.map
+      (fun d -> Dco3d_route.Route_cache.create d)
+      t.cfg.route_cache_dir
+  in
+  let store_dir =
+    match (t.cfg.corpus_dir, t.cfg.route_cache_dir) with
+    | Some d, _ -> Some d
+    | None, Some rc -> Some (Filename.concat rc "corpus")
+    | None, None -> None
+  in
+  let store = Option.map (fun d -> Corpus.Store.create d) store_dir in
+  let running = ref true in
+  while !running do
+    let job =
+      locked t (fun () ->
+          while Queue.is_empty t.corpus_queue && not t.stopping do
+            Condition.wait t.corpus_cv t.m
+          done;
+          if Queue.is_empty t.corpus_queue then begin
+            running := false;
+            None
+          end
+          else Some (Queue.pop t.corpus_queue))
+    in
+    match job with
+    | None -> ()
+    | Some (id, key, req) ->
+        locked t (fun () -> Hashtbl.replace t.corpus_jobs id P.Corpus_running);
+        let status =
+          try
+            let result =
+              Obs.with_span "serve/corpus_job"
+                ~args:
+                  [
+                    ("design", req.P.cr_spec.Corpus.sp_name);
+                    ("config", req.P.cr_config.Corpus.fc_name);
+                  ]
+                (fun () -> run_corpus_req ?store ?route_cache req)
+            in
+            P.Corpus_done result
+          with
+          | Not_found ->
+              P.Corpus_failed
+                (Printf.sprintf "unknown base profile %S"
+                   req.P.cr_spec.Corpus.sp_base)
+          | e -> P.Corpus_failed (Printexc.to_string e)
+        in
+        locked t (fun () ->
+            Hashtbl.replace t.corpus_jobs id status;
+            Hashtbl.remove t.corpus_inflight key;
+            match status with
+            | P.Corpus_done _ -> t.stats.corpus_done <- t.stats.corpus_done + 1
+            | _ -> t.stats.corpus_failed <- t.stats.corpus_failed + 1)
+  done
+
+(* ------------------------------------------------------------------ *)
 (* Stats                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -344,6 +446,17 @@ let stats_snapshot t =
         ("jobs_failed", float_of_int s.jobs_failed);
         ("spill_hits", float_of_int s.n_spill_hits);
         ("spill_writes", float_of_int s.n_spill_writes);
+        ("corpus_submitted", float_of_int s.corpus_submitted);
+        ("corpus_dedup", float_of_int s.corpus_dedup);
+        ("corpus_done", float_of_int s.corpus_done);
+        ("corpus_failed", float_of_int s.corpus_failed);
+        (* store/cache effectiveness, readable fleet-wide over the wire *)
+        ( "corpus_cache_hits",
+          float_of_int (Obs.counter_value "corpus/cache_hit") );
+        ( "corpus_cache_misses",
+          float_of_int (Obs.counter_value "corpus/cache_miss") );
+        ( "corpus_cache_evicted",
+          float_of_int (Obs.counter_value "corpus/cache_evicted") );
         ("shard_id", float_of_int t.cfg.shard_id);
         ("uptime_s", now () -. t.started_at);
       ])
@@ -461,6 +574,33 @@ let handle_request t (env : P.envelope) =
           h_shard = t.cfg.shard_id;
           h_numeric = numeric_name t.cfg.numeric;
         }
+  | P.Corpus_submit req ->
+      let key = P.corpus_key req in
+      let id =
+        locked t (fun () ->
+            if t.stopping then -1
+            else
+              match Hashtbl.find_opt t.corpus_inflight key with
+              | Some id ->
+                  (* identical request already queued or running: join it *)
+                  t.stats.corpus_dedup <- t.stats.corpus_dedup + 1;
+                  Obs.incr c_corpus_dedup;
+                  id
+              | None ->
+                  let id = t.next_job_id in
+                  t.next_job_id <- id + 1;
+                  Hashtbl.replace t.corpus_jobs id P.Corpus_queued;
+                  Hashtbl.replace t.corpus_inflight key id;
+                  Queue.push (id, key, req) t.corpus_queue;
+                  t.stats.corpus_submitted <- t.stats.corpus_submitted + 1;
+                  Condition.signal t.corpus_cv;
+                  id)
+      in
+      if id < 0 then P.Server_error "server shutting down" else P.Accepted id
+  | P.Corpus_poll id -> (
+      match locked t (fun () -> Hashtbl.find_opt t.corpus_jobs id) with
+      | Some status -> P.Corpus_status status
+      | None -> P.Server_error (Printf.sprintf "unknown corpus job id %d" id))
 
 (* [initial] is a raw frame payload the balancer already read off this
    connection to pick the route; the handler replays it before touching
@@ -606,10 +746,14 @@ let make ~listen ~bound cfg predictor =
       m = Mutex.create ();
       queue_cv = Condition.create ();
       flow_cv = Condition.create ();
+      corpus_cv = Condition.create ();
       queue = Queue.create ();
       cache = Lru.create ~capacity:cfg.cache_capacity;
       jobs = Hashtbl.create 16;
       flow_queue = Queue.create ();
+      corpus_jobs = Hashtbl.create 16;
+      corpus_queue = Queue.create ();
+      corpus_inflight = Hashtbl.create 16;
       next_job_id = 0;
       stopping = false;
       conns = [];
@@ -628,10 +772,15 @@ let make ~listen ~bound cfg predictor =
           jobs_failed = 0;
           n_spill_hits = 0;
           n_spill_writes = 0;
+          corpus_submitted = 0;
+          corpus_dedup = 0;
+          corpus_done = 0;
+          corpus_failed = 0;
         };
       accept_thread = None;
       batcher_thread = None;
       flow_thread = None;
+      corpus_thread = None;
       handler_threads = [];
     }
   in
@@ -652,6 +801,7 @@ let make ~listen ~bound cfg predictor =
     listen;
   t.batcher_thread <- Some (Thread.create (fun () -> batcher_loop t) ());
   t.flow_thread <- Some (Thread.create (fun () -> flow_loop t) ());
+  t.corpus_thread <- Some (Thread.create (fun () -> corpus_loop t) ());
   t
 
 let start cfg predictor =
@@ -673,6 +823,7 @@ let request_stop t =
           t.stopping <- true;
           Condition.broadcast t.queue_cv;
           Condition.broadcast t.flow_cv;
+          Condition.broadcast t.corpus_cv;
           true
         end)
   in
@@ -696,6 +847,7 @@ let wait t =
   Option.iter Thread.join t.batcher_thread;
   List.iter Thread.join (locked t (fun () -> t.handler_threads));
   Option.iter Thread.join t.flow_thread;
+  Option.iter Thread.join t.corpus_thread;
   (* Flush the surviving hot set so a successor process starts warm —
      eviction only spilled the overflow; this writes what's resident. *)
   Option.iter

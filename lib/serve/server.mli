@@ -15,7 +15,12 @@
        batch — bit-identical to per-request [predict], so batching is
        invisible to clients;}
     {- a {b flow worker} that runs submitted flow jobs one at a time;
-       clients poll them by job id.}}
+       clients poll them by job id;}
+    {- a {b corpus worker} that runs the third async request class —
+       corpus PPA cells and corpus dataset builds — deduped in-flight
+       by {!Protocol.corpus_key} and cached on disk through
+       {!Dco3d_corpus.Corpus.Store} next to the route cache, so a
+       whole fleet shares one evaluated corpus.}}
 
     Results are cached in an {!Lru} keyed by
     [Protocol.predict_key ^ ":" ^ Predictor.fingerprint], so a repeated
@@ -30,8 +35,9 @@
 
     Observability: [serve/queue_depth] gauge, [serve/batch_size]
     histogram, [serve/cache_hit]/[serve/cache_miss]/[serve/overloaded]/
-    [serve/timeout]/[serve/epipe] counters, and [serve/batch] /
-    [serve/flow_job] spans, all through {!Dco3d_obs.Obs}. *)
+    [serve/timeout]/[serve/epipe]/[serve/corpus_dedup] counters, and
+    [serve/batch] / [serve/flow_job] / [serve/corpus_job] spans, all
+    through {!Dco3d_obs.Obs}. *)
 
 type address =
   | Unix_path of string  (** Unix-domain socket at this filesystem path *)
@@ -60,6 +66,10 @@ type config = {
           content-addressed {!Dco3d_route.Route_cache} rooted here;
           shards given the same directory share one routed corpus
           (default [None]) *)
+  corpus_dir : string option;
+      (** PPA row store for corpus jobs ({!Dco3d_corpus.Corpus.Store}).
+          Defaults to [<route_cache_dir>/corpus] when a route cache is
+          configured, else no persistence (default [None]) *)
   shard_id : int;
       (** reported in [Hello_reply] and stats; 0 for a standalone
           daemon, the slot index for balancer-managed shards *)

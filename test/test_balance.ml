@@ -178,6 +178,7 @@ let server_cfg ?(cache_capacity = 128) ?spill_dir ?(shard_id = 0) () =
     numeric = `F32;
     spill_dir;
     route_cache_dir = None;
+    corpus_dir = None;
     shard_id;
   }
 

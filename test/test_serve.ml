@@ -342,6 +342,7 @@ let with_server ?(queue_capacity = 64) ?(max_batch = 8) ?(batch_linger_ms = 30.)
       numeric;
       spill_dir;
       route_cache_dir = None;
+      corpus_dir = None;
       shard_id;
     }
   in
@@ -606,6 +607,7 @@ let test_e2e_drain_on_stop () =
       numeric = `F32;
       spill_dir = None;
       route_cache_dir = None;
+      corpus_dir = None;
       shard_id = 0;
     }
   in
